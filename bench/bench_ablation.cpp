@@ -1,0 +1,109 @@
+// E7 — ablation of the paper's two planning principles (§5: favor
+// semi-joins; prefer high-join-count masters): estimated bytes shipped by
+// the paper heuristic vs the communication-optimal safe assignment
+// (MinCostSafePlanner) vs the cheapest plan with semi-joins disabled, over
+// random feasible workloads.
+#include "bench_util.hpp"
+
+#include "planner/cost_planner.hpp"
+#include "planner/verifier.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+struct AblationRow {
+  int instances = 0;
+  double heuristic_bytes = 0.0;
+  double optimal_bytes = 0.0;
+  int heuristic_optimal = 0;  ///< instances where the heuristic hit the optimum
+};
+
+void PrintAblation() {
+  PrintHeader("E7 / §5 planning principles (ablation)",
+              "estimated bytes shipped: paper heuristic vs min-cost safe "
+              "assignment, over random feasible instances");
+  std::printf("%-10s %-10s %-16s %-16s %-12s %-14s\n", "q.rels", "instances",
+              "heuristic_B", "optimal_B", "overhead", "hit_optimum");
+  for (const std::size_t query_relations : {2u, 3u, 4u, 5u}) {
+    AblationRow row;
+    Rng rng(9100 + query_relations);
+    for (int fed_idx = 0; fed_idx < 8; ++fed_idx) {
+      workload::FederationConfig fed_config;
+      fed_config.servers = 5;
+      fed_config.relations = 7;
+      const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+      workload::AuthzConfig authz_config;
+      authz_config.base_grant_prob = 0.7;
+      authz_config.path_grants_per_server = 6;
+      const authz::AuthorizationSet auths =
+          workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+      exec::Cluster cluster(fed.catalog);
+      UnwrapStatus(workload::PopulateCluster(cluster, fed, {}, rng), "populate");
+      const plan::StatsCatalog stats = workload::ComputeStats(cluster);
+
+      for (int q = 0; q < 6; ++q) {
+        workload::QueryConfig query_config;
+        query_config.relations = query_relations;
+        auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+        if (!spec.ok()) continue;
+        auto built = plan::PlanBuilder(fed.catalog, &stats).Build(*spec);
+        if (!built.ok()) continue;
+
+        planner::SafePlanner heuristic(fed.catalog, auths);
+        const auto report = Unwrap(heuristic.Analyze(*built), "analyze");
+        if (!report.feasible) continue;
+
+        planner::MinCostSafePlanner mincost(fed.catalog, auths, &stats);
+        const auto costed = Unwrap(mincost.Plan(*built), "mincost");
+        const double heuristic_bytes = Unwrap(
+            mincost.EstimateAssignmentBytes(*built, report.plan->assignment),
+            "estimate");
+        ++row.instances;
+        row.heuristic_bytes += heuristic_bytes;
+        row.optimal_bytes += costed.total_bytes;
+        if (heuristic_bytes <= costed.total_bytes * 1.001) ++row.heuristic_optimal;
+      }
+    }
+    std::printf("%-10zu %-10d %-16.0f %-16.0f %-12.3f %d/%d\n", query_relations,
+                row.instances, row.heuristic_bytes, row.optimal_bytes,
+                row.optimal_bytes > 0.0 ? row.heuristic_bytes / row.optimal_bytes
+                                        : 1.0,
+                row.heuristic_optimal, row.instances);
+  }
+  std::printf("\n(overhead = heuristic bytes / optimal bytes; 1.0 = the paper\n"
+              "heuristic matches the communication optimum)\n\n");
+}
+
+void BM_MinCostPlanner(benchmark::State& state) {
+  Rng rng(404);
+  workload::FederationConfig fed_config;
+  fed_config.servers = 5;
+  fed_config.relations = 8;
+  const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+  workload::AuthzConfig authz_config;
+  authz_config.base_grant_prob = 0.8;
+  authz_config.path_grants_per_server = 6;
+  const authz::AuthorizationSet auths =
+      workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+  workload::QueryConfig query_config;
+  query_config.relations = static_cast<std::size_t>(state.range(0));
+  const auto spec =
+      Unwrap(workload::GenerateQuery(fed.catalog, query_config, rng), "query");
+  const auto plan = Unwrap(plan::PlanBuilder(fed.catalog).Build(spec), "plan");
+  planner::MinCostSafePlanner mincost(fed.catalog, auths);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mincost.Plan(plan));
+  }
+}
+BENCHMARK(BM_MinCostPlanner)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintAblation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

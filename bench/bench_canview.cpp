@@ -1,0 +1,106 @@
+// E2 — the authorized-view decision (Def. 3.3): regenerates the Fig. 3
+// decision table (which server may see which canonical view) and measures
+// CanView throughput as the policy grows.
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+void PrintDecisionTable() {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+
+  PrintHeader("E2 / paper Fig. 3 + Def. 3.3",
+              "per-server decisions for canonical views, including the §3.2 "
+              "denial of the Disease_list ⋈ Hospital view to S_D");
+
+  const auto attr = [&](std::string_view n) { return cat.FindAttribute(n).value(); };
+  struct Case {
+    std::string label;
+    authz::Profile profile;
+  };
+  std::vector<Case> cases;
+  for (catalog::RelationId r = 0; r < cat.relation_count(); ++r) {
+    cases.push_back({"base " + cat.relation(r).name,
+                     authz::Profile::OfBaseRelation(cat, r)});
+  }
+  // §3.2 example view.
+  authz::Profile sec32;
+  sec32.pi.Insert(attr("Illness"));
+  sec32.pi.Insert(attr("Treatment"));
+  sec32.join.Insert(authz::JoinAtom::Make(attr("Illness"), attr("Disease")));
+  cases.push_back({"sec3.2 Illness,Treatment | Illness=Disease", sec32});
+  // Authorization-3 shaped view.
+  authz::Profile auth3;
+  auth3.pi = IdSet{attr("Holder"), attr("Plan"), attr("Treatment")};
+  auth3.join.Insert(authz::JoinAtom::Make(attr("Holder"), attr("Patient")));
+  auth3.join.Insert(authz::JoinAtom::Make(attr("Disease"), attr("Illness")));
+  cases.push_back({"auth3 Holder,Plan,Treatment | 2-atom path", auth3});
+
+  std::printf("%-46s", "view");
+  for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+    std::printf("%6s", cat.server(s).name.c_str());
+  }
+  std::printf("\n");
+  for (const Case& c : cases) {
+    std::printf("%-46s", c.label.c_str());
+    for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+      std::printf("%6s", auths.CanView(c.profile, s) ? "yes" : "-");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_CanViewMedical(benchmark::State& state) {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+  const authz::Profile probe = authz::Profile::OfBaseRelation(
+      cat, cat.FindRelation("Insurance").value());
+  catalog::ServerId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auths.CanView(probe, s));
+    s = static_cast<catalog::ServerId>((s + 1) % cat.server_count());
+  }
+}
+BENCHMARK(BM_CanViewMedical);
+
+/// CanView latency as the per-server policy grows (path-indexed lookup).
+void BM_CanViewScaling(benchmark::State& state) {
+  const std::size_t rules = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  workload::FederationConfig config;
+  config.servers = 4;
+  config.relations = 12;
+  const workload::Federation fed = workload::GenerateFederation(config, rng);
+  workload::AuthzConfig authz_config;
+  authz_config.base_grant_prob = 1.0;
+  authz_config.path_grants_per_server = rules;
+  authz_config.max_path_atoms = 4;
+  const authz::AuthorizationSet auths =
+      workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+  const authz::Profile probe =
+      authz::Profile::OfBaseRelation(fed.catalog, 0);
+  catalog::ServerId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auths.CanView(probe, s));
+    s = static_cast<catalog::ServerId>((s + 1) % fed.catalog.server_count());
+  }
+  state.counters["rules_total"] = static_cast<double>(auths.size());
+}
+BENCHMARK(BM_CanViewScaling)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintDecisionTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

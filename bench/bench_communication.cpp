@@ -1,0 +1,148 @@
+// E6 — the §4 efficiency/security claim: "Semi-joins are usually more
+// efficient than regular joins as they minimize communication, which also
+// benefits security: the slave server needs only to send those tuples that
+// participate in the join."
+//
+// Regenerates a bytes-shipped series for the paper's n1 join executed as a
+// semi-join vs a regular join while sweeping the join selectivity
+// (hospitalized fraction of the population), then times both executions.
+#include "bench_util.hpp"
+
+#include "exec/executor.hpp"
+#include "planner/verifier.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+struct MeasuredBytes {
+  std::size_t semi = 0;
+  std::size_t regular = 0;
+  std::size_t result_rows = 0;
+};
+
+MeasuredBytes MeasureAtSelectivity(double hospitalized_fraction) {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+  exec::Cluster cluster(cat);
+  Rng rng(31337);
+  workload::MedicalScenario::DataConfig data;
+  data.citizens = 2000;
+  data.hospitalized_fraction = hospitalized_fraction;
+  data.insured_fraction = 0.6;
+  UnwrapStatus(workload::MedicalScenario::PopulateCluster(cluster, data, rng),
+               "populate");
+  const plan::QueryPlan plan = PaperPlan(cat);
+
+  planner::SafePlanner planner(cat, auths);
+  const planner::SafePlan sp = Unwrap(planner.Plan(plan), "safe plan");
+  exec::DistributedExecutor executor(cluster, auths);
+
+  MeasuredBytes out;
+  {
+    const auto result = Unwrap(executor.Execute(plan, sp.assignment), "semi exec");
+    for (const exec::TransferRecord& t : result.network.transfers()) {
+      if (t.node_id == 1) out.semi += t.bytes;
+    }
+    out.result_rows = result.table.row_count();
+  }
+  {
+    // Same join as a regular join (enforcement off: the policy forbids it —
+    // that asymmetry is the security half of the claim).
+    planner::Assignment regular = sp.assignment;
+    planner::Executor ex;
+    ex.master = cat.FindServer("S_H").value();
+    ex.mode = planner::ExecutionMode::kRegularJoin;
+    ex.origin = planner::FromChild::kRight;
+    regular.Set(1, ex);
+    exec::ExecutionOptions lax;
+    lax.enforce_releases = false;
+    const auto result = Unwrap(executor.Execute(plan, regular, lax), "regular exec");
+    for (const exec::TransferRecord& t : result.network.transfers()) {
+      if (t.node_id == 1) out.regular += t.bytes;
+    }
+  }
+  return out;
+}
+
+void PrintSeries() {
+  PrintHeader("E6 / §4 semi-join claim",
+              "bytes shipped by join n1 (semi vs regular) while sweeping the "
+              "join selectivity; the regular execution is additionally "
+              "UNAUTHORIZED under Fig. 3 — run here with enforcement off "
+              "purely for measurement");
+  std::printf("%-14s %-12s %-14s %-14s %-8s\n", "hospitalized", "result_rows",
+              "semi_bytes", "regular_bytes", "ratio");
+  for (const double f : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    const MeasuredBytes m = MeasureAtSelectivity(f);
+    std::printf("%-14.2f %-12zu %-14zu %-14zu %-8.2f\n", f, m.result_rows,
+                m.semi, m.regular,
+                m.semi ? static_cast<double>(m.regular) / static_cast<double>(m.semi)
+                       : 0.0);
+  }
+  std::printf("\n");
+}
+
+struct ExecFixture {
+  catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  authz::AuthorizationSet auths = workload::MedicalScenario::BuildAuthorizations(cat);
+  exec::Cluster cluster{cat};
+  plan::QueryPlan plan;
+  planner::Assignment assignment;
+
+  explicit ExecFixture(std::size_t citizens) {
+    Rng rng(5);
+    workload::MedicalScenario::DataConfig data;
+    data.citizens = citizens;
+    UnwrapStatus(workload::MedicalScenario::PopulateCluster(cluster, data, rng),
+                 "populate");
+    plan = PaperPlan(cat);
+    planner::SafePlanner planner(cat, auths);
+    assignment = Unwrap(planner.Plan(plan), "plan").assignment;
+  }
+};
+
+void BM_DistributedExecution(benchmark::State& state) {
+  ExecFixture fix(static_cast<std::size_t>(state.range(0)));
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  std::size_t bytes = 0;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto result = Unwrap(executor.Execute(fix.plan, fix.assignment), "exec");
+    bytes = result.network.total_bytes();
+    rows = result.table.row_count();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["bytes_shipped"] = static_cast<double>(bytes);
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_DistributedExecution)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_CentralizedReference(benchmark::State& state) {
+  ExecFixture fix(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::ExecuteCentralized(fix.cluster, fix.plan));
+  }
+}
+BENCHMARK(BM_CentralizedReference)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_RuntimeEnforcementOverhead(benchmark::State& state) {
+  ExecFixture fix(2000);
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  exec::ExecutionOptions options;
+  options.enforce_releases = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(fix.plan, fix.assignment, options));
+  }
+}
+BENCHMARK(BM_RuntimeEnforcementOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintSeries();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

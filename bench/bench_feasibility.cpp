@@ -1,0 +1,125 @@
+// E4 — feasibility characterization: the fraction of random queries with a
+// safe executor assignment as a function of authorization density, with the
+// algorithm cross-checked against the exhaustive baseline; plus timing of
+// both planners.
+#include "bench_util.hpp"
+
+#include "planner/exhaustive.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+struct DensityRow {
+  double density;
+  int queries = 0;
+  int feasible = 0;
+  int agreed = 0;
+};
+
+void PrintFeasibilityTable() {
+  PrintHeader("E4 / §5 claim (Problem 4.1)",
+              "feasibility rate vs authorization density; algorithm vs "
+              "exhaustive-baseline agreement on every instance");
+
+  std::printf("%-10s %-9s %-10s %-12s %-10s\n", "density", "queries",
+              "feasible", "feas.rate", "agreement");
+  for (const double density : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    DensityRow row;
+    row.density = density;
+    Rng rng(static_cast<std::uint64_t>(7000 + density * 100));
+    for (int fed_idx = 0; fed_idx < 6; ++fed_idx) {
+      workload::FederationConfig fed_config;
+      fed_config.servers = 4;
+      fed_config.relations = 6;
+      const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+      workload::AuthzConfig authz_config;
+      authz_config.base_grant_prob = density;
+      authz_config.path_grants_per_server =
+          static_cast<std::size_t>(density * 6.0);
+      const authz::AuthorizationSet auths =
+          workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+      for (int q = 0; q < 10; ++q) {
+        workload::QueryConfig query_config;
+        query_config.relations = static_cast<std::size_t>(2 + q % 3);
+        auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+        if (!spec.ok()) continue;
+        auto built = plan::PlanBuilder(fed.catalog).Build(*spec);
+        if (!built.ok()) continue;
+        planner::SafePlanner planner(fed.catalog, auths);
+        const auto report = Unwrap(planner.Analyze(*built), "analyze");
+        const auto exhaustive = Unwrap(
+            planner::EnumerateSafeAssignments(fed.catalog, auths, *built),
+            "exhaustive");
+        ++row.queries;
+        if (report.feasible) ++row.feasible;
+        if (report.feasible == exhaustive.feasible()) ++row.agreed;
+      }
+    }
+    std::printf("%-10.2f %-9d %-10d %-12.3f %d/%d\n", row.density, row.queries,
+                row.feasible,
+                row.queries ? static_cast<double>(row.feasible) / row.queries : 0.0,
+                row.agreed, row.queries);
+  }
+  std::printf("\n");
+}
+
+/// Fixture-free benchmark over a prepared batch of plans.
+struct Prepared {
+  workload::Federation fed;
+  authz::AuthorizationSet auths;
+  std::vector<plan::QueryPlan> plans;
+};
+
+Prepared Prepare(double density, std::size_t query_relations) {
+  Rng rng(4242);
+  workload::FederationConfig fed_config;
+  fed_config.servers = 5;
+  fed_config.relations = 8;
+  Prepared p{workload::GenerateFederation(fed_config, rng), {}, {}};
+  workload::AuthzConfig authz_config;
+  authz_config.base_grant_prob = density;
+  authz_config.path_grants_per_server = static_cast<std::size_t>(density * 8.0);
+  p.auths = workload::GenerateAuthorizations(p.fed.catalog, authz_config, rng);
+  for (int q = 0; q < 16; ++q) {
+    workload::QueryConfig query_config;
+    query_config.relations = query_relations;
+    auto spec = workload::GenerateQuery(p.fed.catalog, query_config, rng);
+    if (!spec.ok()) continue;
+    auto built = plan::PlanBuilder(p.fed.catalog).Build(*spec);
+    if (built.ok()) p.plans.push_back(std::move(*built));
+  }
+  return p;
+}
+
+void BM_SafePlannerAnalyze(benchmark::State& state) {
+  const Prepared p = Prepare(0.5, static_cast<std::size_t>(state.range(0)));
+  planner::SafePlanner planner(p.fed.catalog, p.auths);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Analyze(p.plans[i % p.plans.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SafePlannerAnalyze)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ExhaustiveBaseline(benchmark::State& state) {
+  const Prepared p = Prepare(0.5, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner::EnumerateSafeAssignments(
+        p.fed.catalog, p.auths, p.plans[i % p.plans.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExhaustiveBaseline)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintFeasibilityTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E3 — paper Fig. 4/Fig. 5: regenerates the per-mode view-profile table for
+// the paper's joins and measures profile composition + mode-view derivation.
+#include "bench_util.hpp"
+
+#include "planner/mode_views.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+void PrintModeViews() {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const plan::QueryPlan plan = PaperPlan(cat);
+  const std::vector<authz::Profile> profiles =
+      planner::ComputeNodeProfiles(cat, plan);
+
+  PrintHeader("E3 / paper Figs. 4-5",
+              "profile composition per node and the six per-mode view "
+              "obligations of each join of the Fig. 2 plan");
+
+  std::printf("node profiles (Fig. 4 composition):\n");
+  plan.ForEachPreOrder([&](const plan::PlanNode& n) {
+    std::printf("  n%d %-8s %s\n", n.id,
+                std::string(plan::PlanOpName(n.op)).c_str(),
+                profiles[static_cast<std::size_t>(n.id)].ToString(cat).c_str());
+  });
+
+  std::printf("\nper-join mode views (Fig. 5):\n");
+  plan.ForEachPreOrder([&](const plan::PlanNode& n) {
+    if (n.op != plan::PlanOp::kJoin) return;
+    const planner::JoinModeViews v = planner::ComputeJoinModeViews(
+        profiles[static_cast<std::size_t>(n.left->id)],
+        profiles[static_cast<std::size_t>(n.right->id)], n.join_atoms);
+    std::printf("  n%d:\n", n.id);
+    std::printf("    [Sl,NULL] master sees  %s\n", v.left_full_view.ToString(cat).c_str());
+    std::printf("    [Sr,NULL] master sees  %s\n", v.right_full_view.ToString(cat).c_str());
+    std::printf("    [Sl,Sr]   slave sees   %s\n", v.right_slave_view.ToString(cat).c_str());
+    std::printf("    [Sl,Sr]   master sees  %s\n", v.left_master_view.ToString(cat).c_str());
+    std::printf("    [Sr,Sl]   slave sees   %s\n", v.left_slave_view.ToString(cat).c_str());
+    std::printf("    [Sr,Sl]   master sees  %s\n", v.right_master_view.ToString(cat).c_str());
+  });
+  std::printf("\n");
+}
+
+void BM_ComputeNodeProfiles(benchmark::State& state) {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const plan::QueryPlan plan = PaperPlan(cat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner::ComputeNodeProfiles(cat, plan));
+  }
+}
+BENCHMARK(BM_ComputeNodeProfiles);
+
+void BM_ComputeJoinModeViews(benchmark::State& state) {
+  const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const plan::QueryPlan plan = PaperPlan(cat);
+  const std::vector<authz::Profile> profiles =
+      planner::ComputeNodeProfiles(cat, plan);
+  const plan::PlanNode* join = plan.node(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner::ComputeJoinModeViews(
+        profiles[static_cast<std::size_t>(join->left->id)],
+        profiles[static_cast<std::size_t>(join->right->id)], join->join_atoms));
+  }
+}
+BENCHMARK(BM_ComputeJoinModeViews);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintModeViews();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

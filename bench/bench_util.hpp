@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harness (bench/).
+//
+// Every bench binary regenerates one experiment of EXPERIMENTS.md: it first
+// prints the experiment's table/series to stdout (the artifact), then runs
+// google-benchmark timings for the operations involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "plan/builder.hpp"
+#include "planner/safe_planner.hpp"
+#include "sql/binder.hpp"
+#include "workload/medical.hpp"
+
+namespace cisqp::bench {
+
+/// Dies with a message when a Status/Result is not OK — bench setup only.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// The paper's plan (Fig. 2) for the Example 2.2 query.
+inline plan::QueryPlan PaperPlan(const catalog::Catalog& cat) {
+  auto spec = Unwrap(
+      sql::ParseAndBind(cat, workload::MedicalScenario::kPaperQuery),
+      "parse paper query");
+  return Unwrap(plan::PlanBuilder(cat).Build(spec), "build paper plan");
+}
+
+/// Section header for the printed experiment artifact.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper artifact/claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cisqp::bench

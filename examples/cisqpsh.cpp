@@ -1,0 +1,283 @@
+// cisqpsh — an interactive shell over the library.
+//
+//   ./build/examples/cisqpsh                 # the paper's medical federation
+//   ./build/examples/cisqpsh my.fed          # a federation DSL file
+//
+// Type SQL to plan + execute it safely; backslash commands inspect the
+// federation and the planner:
+//
+//   \schema           the catalog
+//   \policy           the authorizations
+//   \plan SQL         the query tree plan (Fig. 2 style)
+//   \trace SQL        the Find_candidates / Assign_ex trace (Fig. 7 style)
+//   \releases SQL     the data releases a safe execution entails
+//   \search SQL       feasibility-aware join-order search
+//   \requestor NAME   deliver results to this server ('none' to reset)
+//   \enforce on|off   toggle runtime release enforcement
+//   \help \quit
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "authz/analysis.hpp"
+#include "common/strings.hpp"
+#include "dsl/federation_dsl.hpp"
+#include "exec/executor.hpp"
+#include "plan/builder.hpp"
+#include "planner/plan_search.hpp"
+#include "planner/report.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "sql/binder.hpp"
+#include "workload/medical.hpp"
+
+using namespace cisqp;
+
+namespace {
+
+class Shell {
+ public:
+  Shell(catalog::Catalog cat, authz::AuthorizationSet auths)
+      : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_) {
+    PopulateData();
+  }
+
+  int Run() {
+    std::printf("cisqp shell — %zu server(s), %zu relation(s), %zu rule(s). "
+                "\\help for commands.\n",
+                cat_.server_count(), cat_.relation_count(), auths_.size());
+    std::string line;
+    while (true) {
+      std::printf("cisqp> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      const std::string_view trimmed = TrimWhitespace(line);
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      Dispatch(trimmed);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+ private:
+  void PopulateData() {
+    // Generic synthetic data: ints share a small domain so joins match.
+    Rng rng(1);
+    for (catalog::RelationId r = 0; r < cat_.relation_count(); ++r) {
+      for (int i = 0; i < 64; ++i) {
+        storage::Row row;
+        for (catalog::AttributeId a : cat_.relation(r).attributes) {
+          switch (cat_.attribute(a).type) {
+            case catalog::ValueType::kInt64:
+              row.emplace_back(rng.UniformInt(0, 40));
+              break;
+            case catalog::ValueType::kDouble:
+              row.emplace_back(rng.UniformReal() * 100.0);
+              break;
+            case catalog::ValueType::kString:
+              row.emplace_back("v" + std::to_string(rng.UniformInt(0, 40)));
+              break;
+          }
+        }
+        CISQP_CHECK(cluster_.InsertRow(r, std::move(row)).ok());
+      }
+    }
+  }
+
+  void Dispatch(std::string_view input) {
+    if (input[0] != '\\') {
+      ExecuteSql(input);
+      return;
+    }
+    const std::size_t space = input.find(' ');
+    const std::string_view cmd = input.substr(0, space);
+    const std::string_view arg =
+        space == std::string_view::npos ? "" : TrimWhitespace(input.substr(space));
+    if (cmd == "\\help") {
+      std::printf("%s", kHelp);
+    } else if (cmd == "\\schema") {
+      std::printf("%s", cat_.DebugString().c_str());
+    } else if (cmd == "\\policy") {
+      std::printf("%s", auths_.ToString(cat_).c_str());
+    } else if (cmd == "\\matrix") {
+      std::printf("%s", authz::VisibilityMatrixToString(
+                            cat_, authz::BaseVisibilityMatrix(cat_, auths_))
+                            .c_str());
+    } else if (cmd == "\\plan") {
+      WithPlan(arg, [&](const plan::QueryPlan& plan) {
+        std::printf("%s", plan.ToString(cat_).c_str());
+      });
+    } else if (cmd == "\\trace") {
+      WithSafePlan(arg, [&](const plan::QueryPlan&, const planner::SafePlan& sp) {
+        std::printf("%s", sp.trace.ToString(cat_).c_str());
+      });
+    } else if (cmd == "\\dot") {
+      WithSafePlan(arg, [&](const plan::QueryPlan& plan, const planner::SafePlan& sp) {
+        auto dot = planner::ToDot(cat_, plan, sp.assignment);
+        if (dot.ok()) std::printf("%s", dot->c_str());
+      });
+    } else if (cmd == "\\releases") {
+      WithSafePlan(arg, [&](const plan::QueryPlan& plan, const planner::SafePlan& sp) {
+        auto releases = planner::EnumerateReleases(cat_, plan, sp.assignment);
+        for (const planner::Release& r : releases.value()) {
+          std::printf("%s\n", r.ToString(cat_).c_str());
+        }
+      });
+    } else if (cmd == "\\search") {
+      SearchOrders(arg);
+    } else if (cmd == "\\requestor") {
+      SetRequestor(arg);
+    } else if (cmd == "\\enforce") {
+      enforce_ = arg != "off";
+      std::printf("runtime enforcement %s\n", enforce_ ? "on" : "off");
+    } else {
+      std::printf("unknown command; \\help lists commands\n");
+    }
+  }
+
+  template <typename Fn>
+  void WithPlan(std::string_view sql_text, Fn&& fn) {
+    auto spec = sql::ParseAndBind(cat_, sql_text);
+    if (!spec.ok()) {
+      std::printf("error: %s\n", spec.status().ToString().c_str());
+      return;
+    }
+    auto plan = plan::PlanBuilder(cat_).Build(*spec);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    fn(*plan);
+  }
+
+  template <typename Fn>
+  void WithSafePlan(std::string_view sql_text, Fn&& fn) {
+    WithPlan(sql_text, [&](const plan::QueryPlan& plan) {
+      planner::SafePlanner planner(cat_, auths_, PlannerOptions());
+      auto report = planner.Analyze(plan);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        return;
+      }
+      if (!report->feasible) {
+        std::printf("INFEASIBLE: no safe executor assignment (blocked at node n%d)\n%s",
+                    report->blocking_node,
+                    planner::FormatRejections(cat_, report->blocking_rejections)
+                        .c_str());
+        return;
+      }
+      fn(plan, *report->plan);
+    });
+  }
+
+  void ExecuteSql(std::string_view sql_text) {
+    WithSafePlan(sql_text, [&](const plan::QueryPlan& plan,
+                               const planner::SafePlan& sp) {
+      std::printf("%s", sp.assignment.ToString(cat_, plan).c_str());
+      exec::DistributedExecutor executor(cluster_, auths_);
+      exec::ExecutionOptions options;
+      options.enforce_releases = enforce_;
+      options.requestor = requestor_;
+      auto result = executor.Execute(plan, sp.assignment, options);
+      if (!result.ok()) {
+        std::printf("execution error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", result->table.ToDisplayString(cat_, 12).c_str());
+      std::printf("result at %s; %zu transfer(s), %zu byte(s)\n",
+                  cat_.server(result->result_server).name.c_str(),
+                  result->network.total_messages(),
+                  result->network.total_bytes());
+    });
+  }
+
+  void SearchOrders(std::string_view sql_text) {
+    auto spec = sql::ParseAndBind(cat_, sql_text);
+    if (!spec.ok()) {
+      std::printf("error: %s\n", spec.status().ToString().c_str());
+      return;
+    }
+    planner::FeasiblePlanSearch search(cat_, auths_);
+    planner::PlanSearchOptions options;
+    options.planner_options = PlannerOptions();
+    auto result = search.Search(*spec, options);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("tried %zu order(s), %zu feasible; cheapest (est. %.0f bytes):\n%s",
+                result->orders_tried, result->orders_feasible,
+                result->estimated_bytes, result->plan.ToString(cat_).c_str());
+  }
+
+  void SetRequestor(std::string_view arg) {
+    if (arg == "none" || arg.empty()) {
+      requestor_.reset();
+      std::printf("requestor cleared\n");
+      return;
+    }
+    auto server = cat_.FindServer(arg);
+    if (!server.ok()) {
+      std::printf("error: %s\n", server.status().ToString().c_str());
+      return;
+    }
+    requestor_ = *server;
+    std::printf("results will be delivered to %s\n",
+                cat_.server(*requestor_).name.c_str());
+  }
+
+  planner::SafePlannerOptions PlannerOptions() const {
+    planner::SafePlannerOptions options;
+    options.requestor = requestor_;
+    return options;
+  }
+
+  static constexpr const char* kHelp =
+      "  SQL                plan + execute safely\n"
+      "  \\schema            show the catalog\n"
+      "  \\policy            show the authorizations\n"
+      "  \\matrix            base-visibility matrix (who sees what)\n"
+      "  \\plan SQL          show the query tree plan\n"
+      "  \\trace SQL         show the planning trace (Fig. 7 style)\n"
+      "  \\releases SQL      show the releases of the safe assignment\n"
+      "  \\dot SQL           Graphviz DOT of the assigned plan\n"
+      "  \\search SQL        feasibility-aware join-order search\n"
+      "  \\requestor NAME    deliver results to this server (or 'none')\n"
+      "  \\enforce on|off    toggle runtime enforcement\n"
+      "  \\quit              exit\n";
+
+  catalog::Catalog cat_;
+  authz::AuthorizationSet auths_;
+  exec::Cluster cluster_;
+  std::optional<catalog::ServerId> requestor_;
+  bool enforce_ = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto fed = dsl::ParseFederation(text.str());
+    if (!fed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", fed.status().ToString().c_str());
+      return 1;
+    }
+    Shell shell(std::move(fed->catalog), std::move(fed->authorizations));
+    return shell.Run();
+  }
+  catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+  Shell shell(std::move(cat), std::move(auths));
+  return shell.Run();
+}

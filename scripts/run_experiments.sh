@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Rebuilds the project, runs the full test suite, and regenerates every
+# experiment (E1..E11), tee-ing the artifacts next to the repository root.
+#
+#   scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

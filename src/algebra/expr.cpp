@@ -1,0 +1,84 @@
+#include "algebra/expr.hpp"
+
+#include <sstream>
+
+namespace cisqp::algebra {
+
+std::string_view CompareOpSymbol(CompareOp op) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+IdSet Predicate::ReferencedAttributes() const {
+  IdSet out;
+  for (const Comparison& c : conjuncts_) {
+    out.Insert(c.lhs);
+    if (c.rhs_is_attribute()) out.Insert(std::get<catalog::AttributeId>(c.rhs));
+  }
+  return out;
+}
+
+bool EvaluateComparison(const storage::Value& lhs, CompareOp op,
+                        const storage::Value& rhs) noexcept {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CompareOp::kEq: return lhs.SqlEquals(rhs);
+    case CompareOp::kNe: return !lhs.SqlEquals(rhs);
+    case CompareOp::kLt: return lhs.SqlLess(rhs);
+    case CompareOp::kLe: return lhs.SqlLess(rhs) || lhs.SqlEquals(rhs);
+    case CompareOp::kGt: return rhs.SqlLess(lhs);
+    case CompareOp::kGe: return rhs.SqlLess(lhs) || lhs.SqlEquals(rhs);
+  }
+  return false;
+}
+
+Result<bool> Predicate::Evaluate(const storage::Table& table,
+                                 const storage::Row& row) const {
+  for (const Comparison& c : conjuncts_) {
+    const auto lhs_idx = table.ColumnIndex(c.lhs);
+    if (!lhs_idx) {
+      return InvalidArgumentError("predicate references attribute id " +
+                                  std::to_string(c.lhs) + " missing from input");
+    }
+    const storage::Value& lhs = row[*lhs_idx];
+    const storage::Value* rhs = nullptr;
+    if (c.rhs_is_attribute()) {
+      const auto rhs_idx = table.ColumnIndex(std::get<catalog::AttributeId>(c.rhs));
+      if (!rhs_idx) {
+        return InvalidArgumentError("predicate references attribute id " +
+                                    std::to_string(std::get<catalog::AttributeId>(c.rhs)) +
+                                    " missing from input");
+      }
+      rhs = &row[*rhs_idx];
+    } else {
+      rhs = &std::get<storage::Value>(c.rhs);
+    }
+    if (!EvaluateComparison(lhs, c.op, *rhs)) return false;
+  }
+  return true;
+}
+
+std::string Predicate::ToString(const catalog::Catalog& cat) const {
+  if (conjuncts_.empty()) return "TRUE";
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i != 0) oss << " AND ";
+    const Comparison& c = conjuncts_[i];
+    oss << cat.attribute(c.lhs).name << " " << CompareOpSymbol(c.op) << " ";
+    if (c.rhs_is_attribute()) {
+      oss << cat.attribute(std::get<catalog::AttributeId>(c.rhs)).name;
+    } else {
+      oss << std::get<storage::Value>(c.rhs).ToString();
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::algebra

@@ -1,0 +1,54 @@
+// Relational operators over in-memory tables.
+//
+// These are the physical operators the execution engine composes to run a
+// query tree plan: projection (with optional duplicate elimination),
+// selection, hash equi-join, and the shared-attribute natural join that
+// completes the 5-step semi-join flow of paper Fig. 5. All operators are
+// pure functions: inputs by const reference, output by value.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "storage/table.hpp"
+
+namespace cisqp::algebra {
+
+/// One equi-join atom `left_attr = right_attr` where `left_attr` is a column
+/// of the left operand and `right_attr` of the right operand.
+struct EquiJoinAtom {
+  catalog::AttributeId left = catalog::kInvalidId;
+  catalog::AttributeId right = catalog::kInvalidId;
+
+  friend bool operator==(const EquiJoinAtom&, const EquiJoinAtom&) = default;
+};
+
+/// π: keeps columns `attrs` in the given order. With `distinct`, removes
+/// duplicate rows (set semantics, as in the paper's algebra).
+Result<storage::Table> Project(const storage::Table& input,
+                               const std::vector<catalog::AttributeId>& attrs,
+                               bool distinct = false);
+
+/// σ: keeps rows satisfying `predicate`.
+Result<storage::Table> Select(const storage::Table& input,
+                              const Predicate& predicate);
+
+/// ⋈: hash equi-join on the conjunction of `atoms`. Output header is the
+/// left header followed by the right header (no column elimination — the
+/// planner's projections trim). Requires at least one atom.
+Result<storage::Table> HashJoin(const storage::Table& left,
+                                const storage::Table& right,
+                                const std::vector<EquiJoinAtom>& atoms);
+
+/// Natural join on every attribute id the two headers share; shared columns
+/// appear once (from the left). Used for step 5 of the semi-join flow, where
+/// the master rejoins the slave's reduced result with its own relation on the
+/// originally projected join attributes. Requires at least one shared column.
+Result<storage::Table> NaturalJoinOnShared(const storage::Table& left,
+                                           const storage::Table& right);
+
+/// Removes duplicate rows (set semantics).
+storage::Table Distinct(const storage::Table& input);
+
+}  // namespace cisqp::algebra

@@ -1,0 +1,82 @@
+#include "authz/analysis.hpp"
+
+#include <sstream>
+
+namespace cisqp::authz {
+
+std::string_view BaseVisibilityName(BaseVisibility v) noexcept {
+  switch (v) {
+    case BaseVisibility::kNone: return "none";
+    case BaseVisibility::kPartial: return "partial";
+    case BaseVisibility::kFull: return "full";
+  }
+  return "?";
+}
+
+std::vector<std::vector<BaseVisibility>> BaseVisibilityMatrix(
+    const catalog::Catalog& cat, const AuthorizationSet& auths) {
+  std::vector<std::vector<BaseVisibility>> matrix(
+      cat.server_count(),
+      std::vector<BaseVisibility>(cat.relation_count(), BaseVisibility::kNone));
+  for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+    // Union of unconditional grants for this server.
+    IdSet unconditional;
+    for (const Authorization& rule : auths.ForServer(s)) {
+      if (rule.path.empty()) unconditional.UnionWith(rule.attributes);
+    }
+    for (catalog::RelationId r = 0; r < cat.relation_count(); ++r) {
+      const IdSet visible =
+          IdSet::Intersection(unconditional, cat.relation(r).attribute_set);
+      if (visible.empty()) {
+        matrix[s][r] = BaseVisibility::kNone;
+      } else if (visible == cat.relation(r).attribute_set) {
+        matrix[s][r] = BaseVisibility::kFull;
+      } else {
+        matrix[s][r] = BaseVisibility::kPartial;
+      }
+    }
+  }
+  return matrix;
+}
+
+std::string VisibilityMatrixToString(
+    const catalog::Catalog& cat,
+    const std::vector<std::vector<BaseVisibility>>& matrix) {
+  std::ostringstream oss;
+  std::size_t name_width = 6;
+  for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+    name_width = std::max(name_width, cat.server(s).name.size());
+  }
+  oss << std::string(name_width + 2, ' ');
+  for (catalog::RelationId r = 0; r < cat.relation_count(); ++r) {
+    oss << cat.relation(r).name << "  ";
+  }
+  oss << "\n";
+  for (catalog::ServerId s = 0; s < matrix.size(); ++s) {
+    oss << cat.server(s).name
+        << std::string(name_width + 2 - cat.server(s).name.size(), ' ');
+    for (catalog::RelationId r = 0; r < matrix[s].size(); ++r) {
+      const char mark = matrix[s][r] == BaseVisibility::kFull      ? 'F'
+                        : matrix[s][r] == BaseVisibility::kPartial ? 'p'
+                                                                   : '-';
+      oss << mark << std::string(cat.relation(r).name.size() + 1, ' ');
+    }
+    oss << "\n";
+  }
+  oss << "(F = full relation, p = some attributes, - = nothing; "
+         "unconditional grants only)\n";
+  return oss.str();
+}
+
+PolicyDiff DiffPolicies(const AuthorizationSet& a, const AuthorizationSet& b) {
+  PolicyDiff diff;
+  for (const Authorization& rule : a.All()) {
+    if (!b.Contains(rule)) diff.only_in_a.push_back(rule);
+  }
+  for (const Authorization& rule : b.All()) {
+    if (!a.Contains(rule)) diff.only_in_b.push_back(rule);
+  }
+  return diff;
+}
+
+}  // namespace cisqp::authz

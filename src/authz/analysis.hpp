@@ -1,0 +1,47 @@
+// Policy analysis helpers for audits and reviews:
+//  * the base-visibility matrix — per (server, relation), how much of the
+//    base relation the policy releases unconditionally (empty-path rules);
+//  * policy diffs — the rules one policy has and another lacks, e.g. raw vs
+//    chase-closed, or before vs after a grant review.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "authz/authorization.hpp"
+
+namespace cisqp::authz {
+
+/// How much of a base relation a server may view through empty-path rules.
+enum class BaseVisibility : std::uint8_t {
+  kNone,     ///< no attribute
+  kPartial,  ///< some attributes
+  kFull,     ///< the whole schema
+};
+
+std::string_view BaseVisibilityName(BaseVisibility v) noexcept;
+
+/// matrix[server][relation] — unconditional visibility under `auths`.
+/// Join-path rules do not count: they release associations, not the base
+/// relation (Def. 3.3 demands exact path equality).
+std::vector<std::vector<BaseVisibility>> BaseVisibilityMatrix(
+    const catalog::Catalog& cat, const AuthorizationSet& auths);
+
+/// Aligned text rendering of the matrix ("F" full, "p" partial, "-" none).
+std::string VisibilityMatrixToString(
+    const catalog::Catalog& cat,
+    const std::vector<std::vector<BaseVisibility>>& matrix);
+
+/// Rules present in exactly one of two policies.
+struct PolicyDiff {
+  std::vector<Authorization> only_in_a;
+  std::vector<Authorization> only_in_b;
+
+  bool Identical() const noexcept {
+    return only_in_a.empty() && only_in_b.empty();
+  }
+};
+
+PolicyDiff DiffPolicies(const AuthorizationSet& a, const AuthorizationSet& b);
+
+}  // namespace cisqp::authz

@@ -1,0 +1,104 @@
+#include "authz/chase.hpp"
+
+#include <map>
+#include <vector>
+
+namespace cisqp::authz {
+namespace {
+
+/// Working form of a server's rule set with a per-path subsumption index.
+class RulePool {
+ public:
+  /// Adds unless an existing same-path rule already grants a superset of
+  /// attributes. Returns true when the pool changed.
+  bool AddIfNovel(IdSet attrs, const JoinPath& path) {
+    std::vector<IdSet>& grants = by_path_[path];
+    for (const IdSet& existing : grants) {
+      if (attrs.IsSubsetOf(existing)) return false;
+    }
+    grants.push_back(attrs);
+    rules_.emplace_back(std::move(attrs), path);
+    return true;
+  }
+
+  const std::vector<std::pair<IdSet, JoinPath>>& rules() const { return rules_; }
+
+ private:
+  std::vector<std::pair<IdSet, JoinPath>> rules_;
+  std::map<JoinPath, std::vector<IdSet>> by_path_;
+};
+
+}  // namespace
+
+Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
+                                      const AuthorizationSet& auths,
+                                      const ChaseOptions& options,
+                                      ChaseStats* stats) {
+  ChaseStats local_stats;
+  AuthorizationSet closed;
+
+  for (catalog::ServerId server = 0; server < cat.server_count(); ++server) {
+    RulePool pool;
+    for (const Authorization& auth : auths.ForServer(server)) {
+      pool.AddIfNovel(auth.attributes, auth.path);
+    }
+
+    // Fixpoint: combine every pair of rules across every schema edge whose
+    // endpoints are visible one in each rule. New rules join the pool and
+    // participate in later rounds (indirect derivations).
+    bool changed = !pool.rules().empty();
+    while (changed) {
+      changed = false;
+      ++local_stats.iterations;
+      const std::size_t frozen_size = pool.rules().size();
+      for (std::size_t i = 0; i < frozen_size; ++i) {
+        for (std::size_t j = 0; j < frozen_size; ++j) {
+          if (i == j) continue;
+          // By value: AddIfNovel below grows the pool's storage, which would
+          // invalidate references into it.
+          const auto [attrs_i, path_i] = pool.rules()[i];
+          const auto [attrs_j, path_j] = pool.rules()[j];
+          for (const catalog::JoinEdge& edge : cat.join_edges()) {
+            ++local_stats.pairs_considered;
+            // One endpoint must be visible through rule i, the other through
+            // rule j: then the server can join the two authorized views
+            // locally on attributes it already sees.
+            const bool oriented = attrs_i.Contains(edge.left) && attrs_j.Contains(edge.right);
+            const bool reversed = attrs_i.Contains(edge.right) && attrs_j.Contains(edge.left);
+            if (!oriented && !reversed) continue;
+            JoinPath derived_path = JoinPath::Union(path_i, path_j);
+            derived_path.Insert(JoinAtom::Make(edge.left, edge.right));
+            if (options.max_path_atoms != 0 &&
+                derived_path.size() > options.max_path_atoms) {
+              continue;
+            }
+            IdSet derived_attrs = IdSet::Union(attrs_i, attrs_j);
+            if (!pool.AddIfNovel(std::move(derived_attrs), derived_path)) continue;
+            changed = true;
+            if (++local_stats.derived_rules > options.max_derived_rules) {
+              return ResourceExhaustedError(
+                  "chase closure exceeded max_derived_rules=" +
+                  std::to_string(options.max_derived_rules));
+            }
+          }
+        }
+      }
+    }
+
+    for (const auto& [attrs, path] : pool.rules()) {
+      const Status status =
+          closed.Add(cat, Authorization{attrs, path, server});
+      // Exact duplicates cannot arise (the pool dedups); any failure here is
+      // a malformed *input* rule that AuthorizationSet::Add would also have
+      // rejected, so surface it.
+      if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+        return status;
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return closed;
+}
+
+}  // namespace cisqp::authz

@@ -1,0 +1,91 @@
+#include "authz/join_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cisqp::authz {
+
+JoinAtom JoinAtom::Make(catalog::AttributeId a, catalog::AttributeId b) {
+  CISQP_CHECK_MSG(a != b, "join atom needs two distinct attributes");
+  return JoinAtom{std::min(a, b), std::max(a, b)};
+}
+
+bool JoinPath::Contains(const JoinAtom& atom) const noexcept {
+  return std::binary_search(atoms_.begin(), atoms_.end(), atom);
+}
+
+bool JoinPath::Insert(const JoinAtom& atom) {
+  auto it = std::lower_bound(atoms_.begin(), atoms_.end(), atom);
+  if (it != atoms_.end() && *it == atom) return false;
+  atoms_.insert(it, atom);
+  return true;
+}
+
+JoinPath& JoinPath::UnionWith(const JoinPath& other) {
+  std::vector<JoinAtom> merged;
+  merged.reserve(atoms_.size() + other.atoms_.size());
+  std::set_union(atoms_.begin(), atoms_.end(),
+                 other.atoms_.begin(), other.atoms_.end(),
+                 std::back_inserter(merged));
+  atoms_ = std::move(merged);
+  return *this;
+}
+
+JoinPath JoinPath::Union(const JoinPath& a, const JoinPath& b) {
+  JoinPath out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+JoinPath JoinPath::Union(const JoinPath& a, const JoinPath& b, const JoinPath& c) {
+  JoinPath out = Union(a, b);
+  out.UnionWith(c);
+  return out;
+}
+
+bool JoinPath::IsSubsetOf(const JoinPath& other) const noexcept {
+  return std::includes(other.atoms_.begin(), other.atoms_.end(),
+                       atoms_.begin(), atoms_.end());
+}
+
+IdSet JoinPath::Attributes() const {
+  IdSet out;
+  for (const JoinAtom& atom : atoms_) {
+    out.Insert(atom.first);
+    out.Insert(atom.second);
+  }
+  return out;
+}
+
+IdSet JoinPath::Relations(const catalog::Catalog& cat) const {
+  IdSet out;
+  for (const JoinAtom& atom : atoms_) {
+    out.Insert(cat.attribute(atom.first).relation);
+    out.Insert(cat.attribute(atom.second).relation);
+  }
+  return out;
+}
+
+std::string JoinPath::ToString(const catalog::Catalog& cat) const {
+  if (atoms_.empty()) return "∅";
+  std::ostringstream oss;
+  oss << "{";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << "(" << cat.attribute(atoms_[i].first).name << ", "
+        << cat.attribute(atoms_[i].second).name << ")";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+void JoinPath::Normalize() {
+  for (const JoinAtom& atom : atoms_) {
+    CISQP_CHECK_MSG(atom.first < atom.second,
+                    "join atom must be built with JoinAtom::Make");
+  }
+  std::sort(atoms_.begin(), atoms_.end());
+  atoms_.erase(std::unique(atoms_.begin(), atoms_.end()), atoms_.end());
+}
+
+}  // namespace cisqp::authz

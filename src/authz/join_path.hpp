@@ -1,0 +1,85 @@
+// JoinPath: the `R⋈` component of a relation profile (paper Defs. 2.1, 3.2).
+//
+// The paper models a join path as a set of equi-join conditions ⟨Jl, Jr⟩.
+// We canonicalize it as a sorted set of *atoms*, each atom one attribute
+// equality `A = B` stored with the smaller attribute id first. A conjunctive
+// condition contributes one atom per attribute pair. This flattening is
+// information-equivalent (the set of tuple-level equalities conveyed is
+// identical) and makes the two operations the model needs — union for the
+// Fig. 4 join rule and exact equality for the Def. 3.3 test — canonical.
+// Both of the paper's spellings of a condition ((Holder, Patient) in
+// authorization 2 and (Patient, Holder) in authorization 5 of Fig. 3)
+// normalize to the same atom. See DESIGN.md §2.1.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "common/idset.hpp"
+
+namespace cisqp::authz {
+
+/// One attribute equality, normalized so `first < second`.
+struct JoinAtom {
+  catalog::AttributeId first = catalog::kInvalidId;
+  catalog::AttributeId second = catalog::kInvalidId;
+
+  /// Builds a normalized atom from an unordered attribute pair.
+  static JoinAtom Make(catalog::AttributeId a, catalog::AttributeId b);
+
+  friend bool operator==(const JoinAtom&, const JoinAtom&) = default;
+  friend auto operator<=>(const JoinAtom&, const JoinAtom&) = default;
+};
+
+/// A canonical (sorted, deduplicated) set of join atoms with value semantics.
+class JoinPath {
+ public:
+  JoinPath() = default;
+  JoinPath(std::initializer_list<JoinAtom> atoms) : atoms_(atoms) { Normalize(); }
+
+  static JoinPath FromAtoms(std::vector<JoinAtom> atoms) {
+    JoinPath p;
+    p.atoms_ = std::move(atoms);
+    p.Normalize();
+    return p;
+  }
+
+  bool empty() const noexcept { return atoms_.empty(); }
+  std::size_t size() const noexcept { return atoms_.size(); }
+  const std::vector<JoinAtom>& atoms() const noexcept { return atoms_; }
+
+  bool Contains(const JoinAtom& atom) const noexcept;
+
+  /// Inserts `atom`; returns true when newly inserted.
+  bool Insert(const JoinAtom& atom);
+
+  JoinPath& UnionWith(const JoinPath& other);
+  static JoinPath Union(const JoinPath& a, const JoinPath& b);
+  /// Three-way union — the `Rl⋈ ∪ Rr⋈ ∪ j` of the Fig. 4 join rule.
+  static JoinPath Union(const JoinPath& a, const JoinPath& b, const JoinPath& c);
+
+  bool IsSubsetOf(const JoinPath& other) const noexcept;
+
+  /// Every attribute mentioned by any atom.
+  IdSet Attributes() const;
+
+  /// Every relation owning an attribute mentioned by any atom.
+  IdSet Relations(const catalog::Catalog& cat) const;
+
+  /// "{(A, B), (C, D)}" using bare attribute names; "∅" when empty.
+  std::string ToString(const catalog::Catalog& cat) const;
+
+  /// Exact set equality — the Def. 3.3 join-path test.
+  friend bool operator==(const JoinPath&, const JoinPath&) = default;
+  /// Lexicographic order so JoinPath can key ordered maps.
+  friend auto operator<=>(const JoinPath&, const JoinPath&) = default;
+
+ private:
+  void Normalize();
+
+  std::vector<JoinAtom> atoms_;
+};
+
+}  // namespace cisqp::authz

@@ -1,0 +1,89 @@
+#include "authz/open_policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cisqp::authz {
+
+std::string Denial::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "[" << AttributeSetToString(cat, attributes) << ", "
+      << path.ToString(cat) << "] -| " << cat.server(server).name;
+  return oss.str();
+}
+
+Status OpenPolicySet::Add(const catalog::Catalog& cat, Denial denial) {
+  if (denial.server >= cat.server_count()) {
+    return NotFoundError("denial targets an unknown server id");
+  }
+  if (denial.attributes.empty()) {
+    return InvalidArgumentError("denial must name at least one attribute");
+  }
+  for (IdSet::value_type a : denial.attributes) {
+    if (a >= cat.attribute_count()) {
+      return NotFoundError("denial names an unknown attribute id");
+    }
+  }
+  for (const JoinAtom& atom : denial.path.atoms()) {
+    if (atom.first >= cat.attribute_count() ||
+        atom.second >= cat.attribute_count()) {
+      return NotFoundError("denial join path references an unknown attribute id");
+    }
+    if (cat.attribute(atom.first).relation == cat.attribute(atom.second).relation) {
+      return InvalidArgumentError(
+          "denial path atom (" + cat.attribute(atom.first).name + ", " +
+          cat.attribute(atom.second).name + ") stays within one relation");
+    }
+  }
+  if (by_server_.size() < cat.server_count()) by_server_.resize(cat.server_count());
+  std::vector<Denial>& denials = by_server_[denial.server];
+  if (std::find(denials.begin(), denials.end(), denial) != denials.end()) {
+    return AlreadyExistsError("duplicate denial " + denial.ToString(cat));
+  }
+  denials.push_back(std::move(denial));
+  ++total_;
+  return Status::Ok();
+}
+
+Status OpenPolicySet::Add(
+    const catalog::Catalog& cat, std::string_view server_name,
+    const std::vector<std::string>& attribute_names,
+    const std::vector<std::pair<std::string, std::string>>& path_pairs) {
+  Denial denial;
+  CISQP_ASSIGN_OR_RETURN(denial.server, cat.FindServer(server_name));
+  for (const std::string& name : attribute_names) {
+    CISQP_ASSIGN_OR_RETURN(catalog::AttributeId id, cat.FindAttribute(name));
+    denial.attributes.Insert(id);
+  }
+  std::vector<JoinAtom> atoms;
+  for (const auto& [left, right] : path_pairs) {
+    CISQP_ASSIGN_OR_RETURN(catalog::AttributeId l, cat.FindAttribute(left));
+    CISQP_ASSIGN_OR_RETURN(catalog::AttributeId r, cat.FindAttribute(right));
+    atoms.push_back(JoinAtom::Make(l, r));
+  }
+  denial.path = JoinPath::FromAtoms(std::move(atoms));
+  return Add(cat, std::move(denial));
+}
+
+bool OpenPolicySet::CanView(const Profile& profile,
+                            catalog::ServerId server) const {
+  if (server >= by_server_.size()) return true;  // no denials recorded
+  const std::vector<Denial>& denials = by_server_[server];
+  return std::none_of(denials.begin(), denials.end(),
+                      [&](const Denial& d) { return d.Fires(profile); });
+}
+
+std::vector<Denial> OpenPolicySet::ForServer(catalog::ServerId server) const {
+  if (server >= by_server_.size()) return {};
+  return by_server_[server];
+}
+
+std::string OpenPolicySet::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  for (const auto& denials : by_server_) {
+    for (const Denial& d : denials) oss << d.ToString(cat) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::authz

@@ -1,0 +1,76 @@
+// Open-policy variant (paper §3.1 footnote 1): visibility by default,
+// restricted by negative rules.
+//
+// A denial `[Attributes, JoinPath] ⊣ Server` forbids `Server` from viewing
+// any relation that exposes ALL the listed attributes joined (at least)
+// along the listed path:
+//
+//     fires(denial, R)  ⇔  Attributes ⊆ Rπ ∪ Rσ  ∧  JoinPath ⊆ R⋈
+//
+// The duality with Def. 3.3 is deliberate and asymmetric in the same
+// direction the paper argues for positive rules: *more* attributes and a
+// *longer* construction path always carry at least as much information, so a
+// view that exposes a superset of a denied association is denied too; a view
+// exposing only part of the denied attribute set is not (denying the
+// association, not the attributes — a singleton attribute set with an empty
+// path denies the attribute outright). This design is ours: the paper
+// delegates open-policy semantics to [17] without fixing them; DESIGN.md §2
+// records the substitution.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "authz/policy.hpp"
+
+namespace cisqp::authz {
+
+/// One negative rule `[Attributes, JoinPath] ⊣ Server`.
+struct Denial {
+  IdSet attributes;
+  JoinPath path;
+  catalog::ServerId server = catalog::kInvalidId;
+
+  /// True iff this denial forbids `profile` (see file comment).
+  bool Fires(const Profile& profile) const {
+    return attributes.IsSubsetOf(profile.VisibleAttributes()) &&
+           path.IsSubsetOf(profile.join);
+  }
+
+  /// "[{A, B}, {(C, D)}] -| S".
+  std::string ToString(const catalog::Catalog& cat) const;
+
+  friend bool operator==(const Denial&, const Denial&) = default;
+};
+
+/// An open policy: everything is visible unless a denial fires.
+class OpenPolicySet : public Policy {
+ public:
+  OpenPolicySet() = default;
+
+  /// Adds a denial. Validation mirrors Def. 3.1: non-empty attribute set,
+  /// cross-relation path atoms, known ids; duplicates rejected.
+  Status Add(const catalog::Catalog& cat, Denial denial);
+
+  /// Name-based convenience, mirroring AuthorizationSet::Add.
+  Status Add(const catalog::Catalog& cat, std::string_view server_name,
+             const std::vector<std::string>& attribute_names,
+             const std::vector<std::pair<std::string, std::string>>& path_pairs);
+
+  /// True unless some denial of `server` fires on `profile`.
+  bool CanView(const Profile& profile,
+               catalog::ServerId server) const override;
+
+  std::size_t size() const noexcept { return total_; }
+
+  std::vector<Denial> ForServer(catalog::ServerId server) const;
+
+  std::string ToString(const catalog::Catalog& cat) const;
+
+ private:
+  std::vector<std::vector<Denial>> by_server_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cisqp::authz

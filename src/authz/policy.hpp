@@ -1,0 +1,26 @@
+// Policy: the abstract authorization decision the planners and the executor
+// consult.
+//
+// The paper's core model is a closed policy (§3.1: data are visible only to
+// explicitly authorized parties) — `AuthorizationSet`. Footnote 1 notes the
+// approach adapts to an *open* policy, where data are visible by default and
+// negative rules restrict visibility — `OpenPolicySet` below. Both implement
+// this interface, so every planner, verifier, and the runtime enforcer work
+// under either regime.
+#pragma once
+
+#include "authz/profile.hpp"
+
+namespace cisqp::authz {
+
+/// Decides whether a server may view a relation with a given profile.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// True iff `server` is authorized to view a relation with `profile`.
+  virtual bool CanView(const Profile& profile,
+                       catalog::ServerId server) const = 0;
+};
+
+}  // namespace cisqp::authz

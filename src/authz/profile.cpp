@@ -1,0 +1,64 @@
+#include "authz/profile.hpp"
+
+#include <sstream>
+
+namespace cisqp::authz {
+
+Profile Profile::OfBaseRelation(const catalog::Catalog& cat,
+                                catalog::RelationId rel) {
+  Profile p;
+  p.pi = cat.relation(rel).attribute_set;
+  return p;
+}
+
+Profile Profile::Project(const Profile& input, IdSet x) {
+  CISQP_CHECK_MSG(x.IsSubsetOf(input.pi),
+                  "projection attributes must come from the input schema");
+  Profile p;
+  p.pi = std::move(x);
+  p.join = input.join;
+  p.sigma = input.sigma;
+  return p;
+}
+
+Profile Profile::Select(const Profile& input, const IdSet& x) {
+  CISQP_CHECK_MSG(x.IsSubsetOf(input.pi),
+                  "selection attributes must come from the input schema");
+  Profile p;
+  p.pi = input.pi;
+  p.join = input.join;
+  p.sigma = IdSet::Union(input.sigma, x);
+  return p;
+}
+
+Profile Profile::Join(const Profile& left, const Profile& right,
+                      const JoinPath& j) {
+  Profile p;
+  p.pi = IdSet::Union(left.pi, right.pi);
+  p.join = JoinPath::Union(left.join, right.join, j);
+  p.sigma = IdSet::Union(left.sigma, right.sigma);
+  return p;
+}
+
+std::string Profile::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "[" << AttributeSetToString(cat, pi) << ", " << join.ToString(cat)
+      << ", " << AttributeSetToString(cat, sigma) << "]";
+  return oss.str();
+}
+
+std::string AttributeSetToString(const catalog::Catalog& cat, const IdSet& attrs) {
+  if (attrs.empty()) return "∅";
+  std::ostringstream oss;
+  oss << "{";
+  bool first = true;
+  for (IdSet::value_type id : attrs) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << cat.attribute(id).name;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace cisqp::authz

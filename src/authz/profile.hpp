@@ -1,0 +1,50 @@
+// Relation profiles (paper Def. 3.2) and their composition (paper Fig. 4).
+//
+// A profile `[Rπ, R⋈, Rσ]` captures the information content of a relation —
+// base or computed: the attributes it carries, the join path used in its
+// construction, and the attributes constrained by selections along the way.
+// Profiles are what authorizations are checked against: shipping a relation
+// releases exactly its profile (paper §4, Fig. 5).
+#pragma once
+
+#include <string>
+
+#include "authz/join_path.hpp"
+#include "catalog/catalog.hpp"
+#include "common/idset.hpp"
+
+namespace cisqp::authz {
+
+/// `[Rπ, R⋈, Rσ]` with value semantics.
+struct Profile {
+  IdSet pi;        ///< Rπ — the schema (visible attributes)
+  JoinPath join;   ///< R⋈ — the join path of the construction
+  IdSet sigma;     ///< Rσ — attributes appearing in selection conditions
+
+  /// Profile of base relation `rel`: `[{A1..An}, ∅, ∅]` (Def. 3.2).
+  static Profile OfBaseRelation(const catalog::Catalog& cat,
+                                catalog::RelationId rel);
+
+  /// Fig. 4 row 1 — `π_X(Rl)`: pi becomes X, join and sigma carry over.
+  static Profile Project(const Profile& input, IdSet x);
+
+  /// Fig. 4 row 2 — `σ_X(Rl)`: sigma gains X, pi and join carry over.
+  static Profile Select(const Profile& input, const IdSet& x);
+
+  /// Fig. 4 row 3 — `Rl ⋈_j Rr`: componentwise union, join gains `j`.
+  static Profile Join(const Profile& left, const Profile& right,
+                      const JoinPath& j);
+
+  /// `Rπ ∪ Rσ` — the attribute set an authorization must cover (Def. 3.3).
+  IdSet VisibleAttributes() const { return IdSet::Union(pi, sigma); }
+
+  /// "[{A, B}, {(C, D)}, {E}]" with bare attribute names.
+  std::string ToString(const catalog::Catalog& cat) const;
+
+  friend bool operator==(const Profile&, const Profile&) = default;
+};
+
+/// Renders an IdSet of attributes as "{A, B}" ("∅" when empty).
+std::string AttributeSetToString(const catalog::Catalog& cat, const IdSet& attrs);
+
+}  // namespace cisqp::authz

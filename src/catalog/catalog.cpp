@@ -1,0 +1,227 @@
+#include "catalog/catalog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cisqp::catalog {
+
+std::string_view ValueTypeName(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+Result<ServerId> Catalog::AddServer(std::string_view name) {
+  if (name.empty()) return InvalidArgumentError("server name must not be empty");
+  if (server_names_.Contains(name)) {
+    return AlreadyExistsError("server '" + std::string(name) + "' already registered");
+  }
+  const SymbolId sym = server_names_.Intern(name);
+  CISQP_CHECK(sym == servers_.size());
+  ServerDef def;
+  def.id = sym;
+  def.name = std::string(name);
+  servers_.push_back(std::move(def));
+  return static_cast<ServerId>(sym);
+}
+
+Result<RelationId> Catalog::AddRelation(std::string_view name, ServerId server,
+                                        const std::vector<AttributeSpec>& attrs,
+                                        const std::vector<std::string>& primary_key) {
+  if (name.empty()) return InvalidArgumentError("relation name must not be empty");
+  if (server >= servers_.size()) {
+    return NotFoundError("unknown server id for relation '" + std::string(name) + "'");
+  }
+  if (attrs.empty()) {
+    return InvalidArgumentError("relation '" + std::string(name) + "' needs at least one attribute");
+  }
+  if (relation_names_.Contains(name)) {
+    return AlreadyExistsError("relation '" + std::string(name) + "' already registered");
+  }
+  // Validate attribute names before mutating anything (strong guarantee).
+  for (const AttributeSpec& spec : attrs) {
+    if (spec.name.empty()) {
+      return InvalidArgumentError("attribute name must not be empty");
+    }
+    if (spec.name.find('.') != std::string::npos) {
+      return InvalidArgumentError("attribute name '" + spec.name + "' must be bare (no dots)");
+    }
+    if (attribute_names_.Contains(spec.name)) {
+      return AlreadyExistsError(
+          "attribute '" + spec.name +
+          "' already exists; the model requires globally unique bare names");
+    }
+  }
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < attrs.size(); ++j) {
+      if (attrs[i].name == attrs[j].name) {
+        return InvalidArgumentError("duplicate attribute '" + attrs[i].name +
+                                    "' in relation '" + std::string(name) + "'");
+      }
+    }
+  }
+  for (const std::string& key_attr : primary_key) {
+    const bool declared = std::any_of(attrs.begin(), attrs.end(),
+        [&](const AttributeSpec& s) { return s.name == key_attr; });
+    if (!declared) {
+      return InvalidArgumentError("primary key attribute '" + key_attr +
+                                  "' is not a column of relation '" + std::string(name) + "'");
+    }
+  }
+
+  const SymbolId rel_sym = relation_names_.Intern(name);
+  CISQP_CHECK(rel_sym == relations_.size());
+  RelationDef rel;
+  rel.id = rel_sym;
+  rel.name = std::string(name);
+  rel.server = server;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    const SymbolId attr_sym = attribute_names_.Intern(attrs[i].name);
+    CISQP_CHECK(attr_sym == attributes_.size());
+    AttributeDef attr;
+    attr.id = attr_sym;
+    attr.name = attrs[i].name;
+    attr.type = attrs[i].type;
+    attr.relation = rel.id;
+    attr.position = i;
+    attributes_.push_back(std::move(attr));
+    rel.attributes.push_back(attr_sym);
+    rel.attribute_set.Insert(attr_sym);
+  }
+  for (const std::string& key_attr : primary_key) {
+    rel.primary_key.push_back(attribute_names_.Find(key_attr));
+  }
+  relations_.push_back(std::move(rel));
+  servers_[server].relations.push_back(rel_sym);
+  return static_cast<RelationId>(rel_sym);
+}
+
+Status Catalog::AddJoinEdge(AttributeId a, AttributeId b) {
+  if (a >= attributes_.size() || b >= attributes_.size()) {
+    return NotFoundError("join edge references an unknown attribute id");
+  }
+  if (a == b) return InvalidArgumentError("a join edge needs two distinct attributes");
+  const AttributeDef& da = attributes_[a];
+  const AttributeDef& db = attributes_[b];
+  if (da.relation == db.relation) {
+    return InvalidArgumentError("join edge between '" + da.name + "' and '" + db.name +
+                                "' stays within one relation; self-joins are out of model");
+  }
+  if (da.type != db.type) {
+    return InvalidArgumentError("join edge between '" + da.name + "' (" +
+                                std::string(ValueTypeName(da.type)) + ") and '" + db.name +
+                                "' (" + std::string(ValueTypeName(db.type)) +
+                                ") has mismatched types");
+  }
+  JoinEdge edge{std::min(a, b), std::max(a, b)};
+  if (std::find(join_edges_.begin(), join_edges_.end(), edge) != join_edges_.end()) {
+    return AlreadyExistsError("join edge '" + da.name + " = " + db.name + "' already declared");
+  }
+  join_edges_.push_back(edge);
+  return Status::Ok();
+}
+
+Status Catalog::AddJoinEdge(std::string_view a, std::string_view b) {
+  CISQP_ASSIGN_OR_RETURN(AttributeId ida, FindAttribute(a));
+  CISQP_ASSIGN_OR_RETURN(AttributeId idb, FindAttribute(b));
+  return AddJoinEdge(ida, idb);
+}
+
+const ServerDef& Catalog::server(ServerId id) const {
+  CISQP_CHECK_MSG(id < servers_.size(), "unknown server id " << id);
+  return servers_[id];
+}
+
+const RelationDef& Catalog::relation(RelationId id) const {
+  CISQP_CHECK_MSG(id < relations_.size(), "unknown relation id " << id);
+  return relations_[id];
+}
+
+const AttributeDef& Catalog::attribute(AttributeId id) const {
+  CISQP_CHECK_MSG(id < attributes_.size(), "unknown attribute id " << id);
+  return attributes_[id];
+}
+
+Result<ServerId> Catalog::FindServer(std::string_view name) const {
+  const SymbolId id = server_names_.Find(name);
+  if (id == kInvalidSymbol) {
+    return NotFoundError("unknown server '" + std::string(name) + "'");
+  }
+  return static_cast<ServerId>(id);
+}
+
+Result<RelationId> Catalog::FindRelation(std::string_view name) const {
+  const SymbolId id = relation_names_.Find(name);
+  if (id == kInvalidSymbol) {
+    return NotFoundError("unknown relation '" + std::string(name) + "'");
+  }
+  return static_cast<RelationId>(id);
+}
+
+Result<AttributeId> Catalog::FindAttribute(std::string_view name) const {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string_view::npos) {
+    const SymbolId id = attribute_names_.Find(name);
+    if (id == kInvalidSymbol) {
+      return NotFoundError("unknown attribute '" + std::string(name) + "'");
+    }
+    return static_cast<AttributeId>(id);
+  }
+  const std::string_view rel_name = name.substr(0, dot);
+  const std::string_view attr_name = name.substr(dot + 1);
+  CISQP_ASSIGN_OR_RETURN(RelationId rel, FindRelation(rel_name));
+  const SymbolId id = attribute_names_.Find(attr_name);
+  if (id == kInvalidSymbol || attributes_[id].relation != rel) {
+    return NotFoundError("relation '" + std::string(rel_name) +
+                         "' has no attribute '" + std::string(attr_name) + "'");
+  }
+  return static_cast<AttributeId>(id);
+}
+
+std::string Catalog::QualifiedName(AttributeId id) const {
+  const AttributeDef& attr = attribute(id);
+  return relation(attr.relation).name + "." + attr.name;
+}
+
+bool Catalog::Joinable(AttributeId a, AttributeId b) const noexcept {
+  const JoinEdge probe{std::min(a, b), std::max(a, b)};
+  return std::find(join_edges_.begin(), join_edges_.end(), probe) != join_edges_.end();
+}
+
+std::vector<JoinEdge> Catalog::EdgesOfRelation(RelationId rel) const {
+  std::vector<JoinEdge> out;
+  for (const JoinEdge& e : join_edges_) {
+    if (attribute(e.left).relation == rel || attribute(e.right).relation == rel) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Catalog::DebugString() const {
+  std::ostringstream oss;
+  for (const ServerDef& s : servers_) {
+    oss << "server " << s.name << "\n";
+    for (RelationId rid : s.relations) {
+      const RelationDef& r = relations_[rid];
+      oss << "  " << r.name << "(";
+      for (std::size_t i = 0; i < r.attributes.size(); ++i) {
+        const AttributeDef& a = attributes_[r.attributes[i]];
+        if (i != 0) oss << ", ";
+        const bool is_key = std::find(r.primary_key.begin(), r.primary_key.end(),
+                                      a.id) != r.primary_key.end();
+        oss << (is_key ? "*" : "") << a.name << ":" << ValueTypeName(a.type);
+      }
+      oss << ")\n";
+    }
+  }
+  for (const JoinEdge& e : join_edges_) {
+    oss << "join " << QualifiedName(e.left) << " = " << QualifiedName(e.right) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::catalog

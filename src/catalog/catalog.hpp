@@ -1,0 +1,146 @@
+// Distributed catalog: servers, relations, attributes, and the join graph.
+//
+// Models the paper's §2 setting: a distributed system of servers, each
+// storing relations `R(A1,...,An)` with a primary key, where schema-level
+// "lines" (paper Fig. 1) declare which attribute pairs are joinable. The
+// catalog is the single naming authority: per the paper's simplifying
+// assumption, bare attribute names are globally unique; the dotted form
+// `Relation.Attribute` is also accepted everywhere a name is resolved, so the
+// assumption costs no expressiveness (paper §2, footnote on dot notation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/types.hpp"
+#include "common/idset.hpp"
+#include "common/interner.hpp"
+#include "common/status.hpp"
+
+namespace cisqp::catalog {
+
+/// Column description supplied when registering a relation.
+struct AttributeSpec {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// A registered attribute (column) of some relation.
+struct AttributeDef {
+  AttributeId id = kInvalidId;
+  std::string name;          ///< bare name, globally unique
+  ValueType type = ValueType::kInt64;
+  RelationId relation = kInvalidId;
+  std::size_t position = 0;  ///< column index within its relation
+};
+
+/// A registered base relation, stored in full at one server.
+struct RelationDef {
+  RelationId id = kInvalidId;
+  std::string name;
+  ServerId server = kInvalidId;
+  std::vector<AttributeId> attributes;  ///< in declaration order
+  IdSet attribute_set;                  ///< same ids as a set
+  std::vector<AttributeId> primary_key;
+};
+
+/// A participant in the distributed system.
+struct ServerDef {
+  ServerId id = kInvalidId;
+  std::string name;
+  std::vector<RelationId> relations;  ///< relations stored here
+};
+
+/// One schema-declared joinable attribute pair (a "line" in paper Fig. 1).
+/// Stored normalized: `left < right` by attribute id.
+struct JoinEdge {
+  AttributeId left = kInvalidId;
+  AttributeId right = kInvalidId;
+
+  friend bool operator==(const JoinEdge&, const JoinEdge&) = default;
+};
+
+/// The naming authority and schema store for one federation.
+///
+/// Append-only: entities are registered during setup and then read
+/// concurrently without synchronization (the catalog is immutable during
+/// planning and execution).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalog handles index into internal vectors; copying would invalidate
+  // none of them, but accidental copies of a large schema are almost always
+  // bugs, so keep the type move-only.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a server. Fails with kAlreadyExists on duplicate name.
+  Result<ServerId> AddServer(std::string_view name);
+
+  /// Registers relation `name` stored at `server` with columns `attrs` and
+  /// primary key `primary_key` (bare attribute names, must be among `attrs`).
+  /// Enforces global uniqueness of relation and bare attribute names.
+  Result<RelationId> AddRelation(std::string_view name, ServerId server,
+                                 const std::vector<AttributeSpec>& attrs,
+                                 const std::vector<std::string>& primary_key);
+
+  /// Declares attributes `a` and `b` joinable (paper Fig. 1 lines). The two
+  /// attributes must belong to different relations and have the same type.
+  Status AddJoinEdge(AttributeId a, AttributeId b);
+  /// Name-based convenience overload.
+  Status AddJoinEdge(std::string_view a, std::string_view b);
+
+  // --- lookups -------------------------------------------------------------
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+  std::size_t relation_count() const noexcept { return relations_.size(); }
+  std::size_t attribute_count() const noexcept { return attributes_.size(); }
+
+  const ServerDef& server(ServerId id) const;
+  const RelationDef& relation(RelationId id) const;
+  const AttributeDef& attribute(AttributeId id) const;
+
+  Result<ServerId> FindServer(std::string_view name) const;
+  Result<RelationId> FindRelation(std::string_view name) const;
+
+  /// Resolves `name` as a bare attribute name or dotted `Relation.Attribute`.
+  Result<AttributeId> FindAttribute(std::string_view name) const;
+
+  /// The relation owning attribute `id`.
+  RelationId RelationOf(AttributeId id) const { return attribute(id).relation; }
+  /// The server storing the relation owning attribute `id`.
+  ServerId ServerOf(AttributeId id) const {
+    return relation(attribute(id).relation).server;
+  }
+
+  /// Fully qualified `Relation.Attribute` display name.
+  std::string QualifiedName(AttributeId id) const;
+
+  /// All declared join edges (normalized, deduplicated, insertion order).
+  const std::vector<JoinEdge>& join_edges() const noexcept { return join_edges_; }
+
+  /// True iff `a = b` was declared joinable (order-insensitive).
+  bool Joinable(AttributeId a, AttributeId b) const noexcept;
+
+  /// Join edges incident to relation `rel`.
+  std::vector<JoinEdge> EdgesOfRelation(RelationId rel) const;
+
+  /// Human-readable schema dump (for examples and debugging).
+  std::string DebugString() const;
+
+ private:
+  std::vector<ServerDef> servers_;
+  std::vector<RelationDef> relations_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<JoinEdge> join_edges_;
+  SymbolTable server_names_;
+  SymbolTable relation_names_;
+  SymbolTable attribute_names_;
+};
+
+}  // namespace cisqp::catalog

@@ -1,0 +1,28 @@
+// Identifier aliases and schema-level value types for the distributed catalog.
+//
+// Ids are dense u32 indexes assigned by the owning Catalog in registration
+// order. They are aliases (not strong types) so attribute sets can live in
+// the shared `IdSet` machinery; the catalog API keeps the id spaces apart.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cisqp::catalog {
+
+using ServerId = std::uint32_t;
+using RelationId = std::uint32_t;
+using AttributeId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Column type at the schema level; mirrored by storage::Value.
+enum class ValueType : std::uint8_t {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view ValueTypeName(ValueType t) noexcept;
+
+}  // namespace cisqp::catalog

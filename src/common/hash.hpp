@@ -1,0 +1,25 @@
+// Hash utilities: combine and range hashing for library value types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cisqp {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine-style, 64-bit).
+template <typename T>
+void HashCombine(std::size_t& seed, const T& value) {
+  std::size_t h = std::hash<T>{}(value);
+  seed ^= h + 0x9e3779b97f4a7c15ull + (seed << 12) + (seed >> 4);
+}
+
+/// Hashes a range of hashable elements, order-sensitively.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ull;
+  for (; first != last; ++first) HashCombine(seed, *first);
+  return seed;
+}
+
+}  // namespace cisqp

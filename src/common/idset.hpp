@@ -1,0 +1,130 @@
+// IdSet: an ordered set of small integer ids backed by a sorted vector.
+//
+// Attribute sets (the `Rπ` and `Rσ` components of a relation profile) and
+// server sets are small — tens of elements — so a sorted vector beats node
+// based containers and gives O(n) union/subset, canonical ordering for free,
+// and cheap equality. This type is the workhorse of the authorization model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cisqp {
+
+/// Ordered set of `std::uint32_t` ids with value semantics.
+class IdSet {
+ public:
+  using value_type = std::uint32_t;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  IdSet() = default;
+  IdSet(std::initializer_list<value_type> ids) : ids_(ids) { Normalize(); }
+
+  /// Builds from an arbitrary (possibly unsorted, duplicated) vector.
+  static IdSet FromVector(std::vector<value_type> ids) {
+    IdSet s;
+    s.ids_ = std::move(ids);
+    s.Normalize();
+    return s;
+  }
+
+  bool empty() const noexcept { return ids_.empty(); }
+  std::size_t size() const noexcept { return ids_.size(); }
+  const_iterator begin() const noexcept { return ids_.begin(); }
+  const_iterator end() const noexcept { return ids_.end(); }
+  const std::vector<value_type>& ids() const noexcept { return ids_; }
+
+  bool Contains(value_type id) const noexcept {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  /// Inserts `id`; returns true when newly inserted.
+  bool Insert(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) return false;
+    ids_.insert(it, id);
+    return true;
+  }
+
+  /// Removes `id`; returns true when it was present.
+  bool Erase(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) return false;
+    ids_.erase(it);
+    return true;
+  }
+
+  /// True iff every element of *this is in `other` (⊆, not strict).
+  bool IsSubsetOf(const IdSet& other) const noexcept {
+    return std::includes(other.ids_.begin(), other.ids_.end(),
+                         ids_.begin(), ids_.end());
+  }
+
+  bool Intersects(const IdSet& other) const noexcept {
+    auto a = ids_.begin();
+    auto b = other.ids_.begin();
+    while (a != ids_.end() && b != other.ids_.end()) {
+      if (*a < *b) ++a;
+      else if (*b < *a) ++b;
+      else return true;
+    }
+    return false;
+  }
+
+  /// In-place union; returns *this.
+  IdSet& UnionWith(const IdSet& other) {
+    std::vector<value_type> merged;
+    merged.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(),
+                   other.ids_.begin(), other.ids_.end(),
+                   std::back_inserter(merged));
+    ids_ = std::move(merged);
+    return *this;
+  }
+
+  static IdSet Union(const IdSet& a, const IdSet& b) {
+    IdSet out = a;
+    out.UnionWith(b);
+    return out;
+  }
+
+  static IdSet Intersection(const IdSet& a, const IdSet& b) {
+    IdSet out;
+    std::set_intersection(a.ids_.begin(), a.ids_.end(),
+                          b.ids_.begin(), b.ids_.end(),
+                          std::back_inserter(out.ids_));
+    return out;
+  }
+
+  /// Elements of `a` not in `b`.
+  static IdSet Difference(const IdSet& a, const IdSet& b) {
+    IdSet out;
+    std::set_difference(a.ids_.begin(), a.ids_.end(),
+                        b.ids_.begin(), b.ids_.end(),
+                        std::back_inserter(out.ids_));
+    return out;
+  }
+
+  friend bool operator==(const IdSet& a, const IdSet& b) noexcept {
+    return a.ids_ == b.ids_;
+  }
+  /// Lexicographic; gives IdSet a total order usable as a map key.
+  friend bool operator<(const IdSet& a, const IdSet& b) noexcept {
+    return a.ids_ < b.ids_;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  std::vector<value_type> ids_;
+};
+
+}  // namespace cisqp

@@ -1,0 +1,40 @@
+#include "common/interner.hpp"
+
+#include <memory>
+
+namespace cisqp {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  CISQP_CHECK_MSG(names_.size() < kInvalidSymbol, "symbol table overflow");
+  // Store the string in a stable location first; the map key must view the
+  // owned copy, not the caller's buffer. std::deque-like stability is obtained
+  // by reserving through unique_ptr-free growth: std::vector<std::string>
+  // moves the std::string objects on growth but SSO-free heap buffers remain
+  // valid only for long strings — so re-key the map from scratch on
+  // reallocation instead of risking dangling views.
+  const bool will_reallocate = names_.size() == names_.capacity();
+  names_.emplace_back(name);
+  const SymbolId id = static_cast<SymbolId>(names_.size() - 1);
+  if (will_reallocate) {
+    index_.clear();
+    for (SymbolId i = 0; i < names_.size(); ++i) {
+      index_.emplace(std::string_view(names_[i]), i);
+    }
+  } else {
+    index_.emplace(std::string_view(names_.back()), id);
+  }
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const noexcept {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  CISQP_CHECK_MSG(id < names_.size(), "unknown symbol id " << id);
+  return names_[id];
+}
+
+}  // namespace cisqp

@@ -1,0 +1,50 @@
+// String interning: bidirectional mapping between names and dense u32 ids.
+//
+// The paper assumes globally distinct relation/attribute names (its §2
+// simplification); the catalog enforces that on top of this table. Interning
+// lets the hot paths — profile algebra, join-path equality, CanView — work on
+// sorted vectors of 32-bit ids instead of strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cisqp {
+
+/// Dense id assigned by a SymbolTable. 0 is a valid id; kInvalidSymbol marks
+/// "no symbol".
+using SymbolId = std::uint32_t;
+inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFFu;
+
+/// Append-only intern table. Ids are assigned densely in insertion order and
+/// are stable for the lifetime of the table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id for `name`, interning it on first sight.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidSymbol when never interned.
+  SymbolId Find(std::string_view name) const noexcept;
+
+  /// Returns the name for `id`. Precondition: `id` was returned by Intern.
+  const std::string& NameOf(SymbolId id) const;
+
+  bool Contains(std::string_view name) const noexcept {
+    return Find(name) != kInvalidSymbol;
+  }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> index_;  // views into names_
+};
+
+}  // namespace cisqp

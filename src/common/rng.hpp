@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generation for workload synthesis and tests.
+//
+// All randomized components of the library (generators, benchmarks, property
+// tests) draw from an explicitly seeded Rng so every run is reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cisqp {
+
+/// Thin wrapper over a seeded mt19937_64 with the handful of draw shapes the
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    CISQP_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Precondition: n > 0.
+  std::size_t UniformIndex(std::size_t n) {
+    CISQP_CHECK(n > 0);
+    return static_cast<std::size_t>(
+        UniformInt(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[UniformIndex(i)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in sorted order.
+  std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t k) {
+    CISQP_CHECK(k <= n);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cisqp

@@ -1,0 +1,314 @@
+#include "dsl/federation_dsl.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace cisqp::dsl {
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kWord,    ///< identifier or keyword
+  kComma,
+  kSemi,
+  kAt,
+  kEq,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::size_t line = 1;
+};
+
+Result<std::vector<Tok>> Lex(std::string_view text) {
+  std::vector<Tok> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < text.size() && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                                 text[i] == '_' || text[i] == '.')) {
+        ++i;
+      }
+      out.push_back(Tok{TokKind::kWord, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    const auto push1 = [&](TokKind kind) {
+      out.push_back(Tok{kind, std::string(1, c), line});
+      ++i;
+    };
+    switch (c) {
+      case ',': push1(TokKind::kComma); break;
+      case ';': push1(TokKind::kSemi); break;
+      case '@': push1(TokKind::kAt); break;
+      case '=': push1(TokKind::kEq); break;
+      case '(': push1(TokKind::kLParen); break;
+      case ')': push1(TokKind::kRParen); break;
+      default:
+        return InvalidArgumentError("line " + std::to_string(line) +
+                                    ": unexpected character '" + std::string(1, c) + "'");
+    }
+  }
+  out.push_back(Tok{TokKind::kEnd, "", line});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<ParsedFederation> Run() {
+    ParsedFederation fed;
+    while (!At(TokKind::kEnd)) {
+      CISQP_ASSIGN_OR_RETURN(std::string keyword, ExpectWord("statement keyword"));
+      const std::string lower = ToLowerAscii(keyword);
+      if (lower == "server") {
+        CISQP_RETURN_IF_ERROR(ParseServer(fed));
+      } else if (lower == "relation") {
+        CISQP_RETURN_IF_ERROR(ParseRelation(fed));
+      } else if (lower == "joinable") {
+        CISQP_RETURN_IF_ERROR(ParseJoinable(fed));
+      } else if (lower == "grant") {
+        CISQP_RETURN_IF_ERROR(ParseRule(fed, /*is_grant=*/true));
+      } else if (lower == "deny") {
+        CISQP_RETURN_IF_ERROR(ParseRule(fed, /*is_grant=*/false));
+      } else {
+        return Err("unknown statement '" + keyword + "'");
+      }
+      CISQP_RETURN_IF_ERROR(Expect(TokKind::kSemi, "';'"));
+    }
+    return fed;
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  bool At(TokKind kind) const { return Peek().kind == kind; }
+  Tok Advance() {
+    Tok t = toks_[pos_];
+    if (!At(TokKind::kEnd)) ++pos_;
+    return t;
+  }
+
+  Status Err(const std::string& message) const {
+    return InvalidArgumentError("line " + std::to_string(Peek().line) + ": " + message);
+  }
+
+  Status Expect(TokKind kind, std::string_view what) {
+    if (!At(kind)) return Err("expected " + std::string(what));
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectWord(std::string_view what) {
+    if (!At(TokKind::kWord)) return Err("expected " + std::string(what));
+    return Advance().text;
+  }
+
+  Status ParseServer(ParsedFederation& fed) {
+    CISQP_ASSIGN_OR_RETURN(std::string name, ExpectWord("server name"));
+    return fed.catalog.AddServer(name).status();
+  }
+
+  // relation Name @ Server (attr type [key], ...)
+  Status ParseRelation(ParsedFederation& fed) {
+    CISQP_ASSIGN_OR_RETURN(std::string name, ExpectWord("relation name"));
+    CISQP_RETURN_IF_ERROR(Expect(TokKind::kAt, "'@' before the home server"));
+    CISQP_ASSIGN_OR_RETURN(std::string server_name, ExpectWord("server name"));
+    CISQP_ASSIGN_OR_RETURN(catalog::ServerId server,
+                           fed.catalog.FindServer(server_name));
+    CISQP_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' before the column list"));
+    std::vector<catalog::AttributeSpec> specs;
+    std::vector<std::string> key;
+    while (true) {
+      CISQP_ASSIGN_OR_RETURN(std::string attr, ExpectWord("attribute name"));
+      CISQP_ASSIGN_OR_RETURN(std::string type_word, ExpectWord("attribute type"));
+      catalog::ValueType type;
+      const std::string type_lower = ToLowerAscii(type_word);
+      if (type_lower == "int") {
+        type = catalog::ValueType::kInt64;
+      } else if (type_lower == "double") {
+        type = catalog::ValueType::kDouble;
+      } else if (type_lower == "string") {
+        type = catalog::ValueType::kString;
+      } else {
+        return Err("unknown type '" + type_word + "' (int, double, string)");
+      }
+      if (At(TokKind::kWord) && EqualsIgnoreCase(Peek().text, "key")) {
+        Advance();
+        key.push_back(attr);
+      }
+      specs.push_back(catalog::AttributeSpec{std::move(attr), type});
+      if (At(TokKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CISQP_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after the column list"));
+    return fed.catalog.AddRelation(name, server, specs, key).status();
+  }
+
+  // joinable A = B
+  Status ParseJoinable(ParsedFederation& fed) {
+    CISQP_ASSIGN_OR_RETURN(std::string a, ExpectWord("attribute name"));
+    CISQP_RETURN_IF_ERROR(Expect(TokKind::kEq, "'='"));
+    CISQP_ASSIGN_OR_RETURN(std::string b, ExpectWord("attribute name"));
+    return fed.catalog.AddJoinEdge(a, b);
+  }
+
+  // grant A, B [on (X, Y), (Z, W)] to Server
+  // deny  A, B [on (X, Y), (Z, W)] to Server
+  Status ParseRule(ParsedFederation& fed, bool is_grant) {
+    std::vector<std::string> attrs;
+    while (true) {
+      CISQP_ASSIGN_OR_RETURN(std::string attr, ExpectWord("attribute name"));
+      // 'on' / 'to' terminate the attribute list.
+      if (EqualsIgnoreCase(attr, "on") || EqualsIgnoreCase(attr, "to")) {
+        return Err("expected an attribute name, found keyword '" + attr + "'");
+      }
+      attrs.push_back(std::move(attr));
+      if (At(TokKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    std::vector<std::pair<std::string, std::string>> path;
+    if (At(TokKind::kWord) && EqualsIgnoreCase(Peek().text, "on")) {
+      Advance();
+      while (true) {
+        CISQP_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' before a path pair"));
+        CISQP_ASSIGN_OR_RETURN(std::string left, ExpectWord("attribute name"));
+        CISQP_RETURN_IF_ERROR(Expect(TokKind::kComma, "',' inside a path pair"));
+        CISQP_ASSIGN_OR_RETURN(std::string right, ExpectWord("attribute name"));
+        CISQP_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after a path pair"));
+        path.emplace_back(std::move(left), std::move(right));
+        if (At(TokKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!(At(TokKind::kWord) && EqualsIgnoreCase(Peek().text, "to"))) {
+      return Err("expected 'to <server>'");
+    }
+    Advance();
+    CISQP_ASSIGN_OR_RETURN(std::string server, ExpectWord("server name"));
+    if (is_grant) {
+      return fed.authorizations.Add(fed.catalog, server, attrs, path);
+    }
+    return fed.denials.Add(fed.catalog, server, attrs, path);
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+std::string_view TypeWord(catalog::ValueType type) {
+  switch (type) {
+    case catalog::ValueType::kInt64: return "int";
+    case catalog::ValueType::kDouble: return "double";
+    case catalog::ValueType::kString: return "string";
+  }
+  return "int";
+}
+
+void SerializePath(std::ostringstream& oss, const catalog::Catalog& cat,
+                   const authz::JoinPath& path) {
+  if (path.empty()) return;
+  oss << " on ";
+  bool first = true;
+  for (const authz::JoinAtom& atom : path.atoms()) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << "(" << cat.attribute(atom.first).name << ", "
+        << cat.attribute(atom.second).name << ")";
+  }
+}
+
+void SerializeAttrs(std::ostringstream& oss, const catalog::Catalog& cat,
+                    const IdSet& attrs) {
+  bool first = true;
+  for (IdSet::value_type a : attrs) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << cat.attribute(a).name;
+  }
+}
+
+}  // namespace
+
+Result<ParsedFederation> ParseFederation(std::string_view text) {
+  CISQP_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(text));
+  Parser parser(std::move(toks));
+  return parser.Run();
+}
+
+std::string SerializeFederation(const catalog::Catalog& cat,
+                                const authz::AuthorizationSet* authorizations,
+                                const authz::OpenPolicySet* denials) {
+  std::ostringstream oss;
+  for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+    oss << "server " << cat.server(s).name << ";\n";
+  }
+  for (catalog::RelationId r = 0; r < cat.relation_count(); ++r) {
+    const catalog::RelationDef& rel = cat.relation(r);
+    oss << "relation " << rel.name << " @ " << cat.server(rel.server).name << " (";
+    for (std::size_t i = 0; i < rel.attributes.size(); ++i) {
+      const catalog::AttributeDef& attr = cat.attribute(rel.attributes[i]);
+      if (i != 0) oss << ", ";
+      oss << attr.name << " " << TypeWord(attr.type);
+      const bool is_key = std::find(rel.primary_key.begin(), rel.primary_key.end(),
+                                    attr.id) != rel.primary_key.end();
+      if (is_key) oss << " key";
+    }
+    oss << ");\n";
+  }
+  for (const catalog::JoinEdge& e : cat.join_edges()) {
+    oss << "joinable " << cat.attribute(e.left).name << " = "
+        << cat.attribute(e.right).name << ";\n";
+  }
+  if (authorizations != nullptr) {
+    for (const authz::Authorization& rule : authorizations->All()) {
+      oss << "grant ";
+      SerializeAttrs(oss, cat, rule.attributes);
+      SerializePath(oss, cat, rule.path);
+      oss << " to " << cat.server(rule.server).name << ";\n";
+    }
+  }
+  if (denials != nullptr) {
+    for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+      for (const authz::Denial& denial : denials->ForServer(s)) {
+        oss << "deny ";
+        SerializeAttrs(oss, cat, denial.attributes);
+        SerializePath(oss, cat, denial.path);
+        oss << " to " << cat.server(s).name << ";\n";
+      }
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::dsl

@@ -1,0 +1,52 @@
+// Federation DSL: a declarative text format for a whole federation — the
+// schema (servers, relations, joinable pairs; paper Fig. 1) and the policy
+// (authorizations, Fig. 3; optional open-policy denials).
+//
+//   # the paper's medical federation
+//   server S_I;
+//   server S_H;
+//   relation Insurance @ S_I (Holder int key, Plan string);
+//   relation Hospital  @ S_H (Patient int key, Disease string, Physician string);
+//   joinable Holder = Patient;
+//   grant Holder, Plan to S_I;
+//   grant Holder, Plan, Treatment on (Holder, Patient), (Disease, Illness) to S_I;
+//   deny Holder, Disease to S_I;
+//   deny Illness on (Illness, Disease) to S_D;
+//
+// Statements end with ';'. '#' starts a line comment. Keywords are
+// case-insensitive; names are case-sensitive. Attribute types: int, double,
+// string; `key` marks primary-key columns. `grant`/`deny` paths are
+// parenthesized attribute pairs after `on`.
+//
+// `ParseFederation` builds the catalog and both policy flavors in statement
+// order (so later statements may reference earlier names);
+// `SerializeFederation` renders them back in canonical form (round-trip
+// stable).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "authz/authorization.hpp"
+#include "authz/open_policy.hpp"
+#include "catalog/catalog.hpp"
+
+namespace cisqp::dsl {
+
+struct ParsedFederation {
+  catalog::Catalog catalog;
+  authz::AuthorizationSet authorizations;
+  authz::OpenPolicySet denials;
+};
+
+/// Parses a federation description. Fails with kInvalidArgument (with line
+/// number) on syntax errors, propagating catalog/policy validation errors.
+Result<ParsedFederation> ParseFederation(std::string_view text);
+
+/// Renders a federation in the DSL's canonical form. Pass nullptr for parts
+/// to omit.
+std::string SerializeFederation(const catalog::Catalog& cat,
+                                const authz::AuthorizationSet* authorizations,
+                                const authz::OpenPolicySet* denials);
+
+}  // namespace cisqp::dsl

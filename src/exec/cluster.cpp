@@ -1,0 +1,32 @@
+#include "exec/cluster.hpp"
+
+namespace cisqp::exec {
+
+Status Cluster::LoadTable(catalog::RelationId rel, storage::Table table) {
+  if (rel >= cat_.relation_count()) {
+    return NotFoundError("unknown relation id " + std::to_string(rel));
+  }
+  const storage::Table expected = storage::Table::ForRelation(cat_, rel);
+  if (table.columns() != expected.columns()) {
+    return InvalidArgumentError("table header does not match schema of '" +
+                                cat_.relation(rel).name + "'");
+  }
+  tables_[rel] = std::move(table);
+  return Status::Ok();
+}
+
+Status Cluster::InsertRow(catalog::RelationId rel, storage::Row row) {
+  if (rel >= cat_.relation_count()) {
+    return NotFoundError("unknown relation id " + std::to_string(rel));
+  }
+  if (!tables_[rel]) tables_[rel] = storage::Table::ForRelation(cat_, rel);
+  return tables_[rel]->AppendRow(std::move(row));
+}
+
+const storage::Table& Cluster::TableOf(catalog::RelationId rel) const {
+  CISQP_CHECK_MSG(rel < cat_.relation_count(), "unknown relation id " << rel);
+  if (!tables_[rel]) tables_[rel] = storage::Table::ForRelation(cat_, rel);
+  return *tables_[rel];
+}
+
+}  // namespace cisqp::exec

@@ -1,0 +1,44 @@
+// Cluster: the simulated federation's data plane.
+//
+// Holds one table per base relation, conceptually resident at the relation's
+// home server (paper §2: each relation is stored in full at one server).
+// Loading validates the table header against the catalog schema.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "storage/table.hpp"
+
+namespace cisqp::exec {
+
+class Cluster {
+ public:
+  explicit Cluster(const catalog::Catalog& cat)
+      : cat_(cat), tables_(cat.relation_count()) {}
+
+  const catalog::Catalog& catalog() const noexcept { return cat_; }
+
+  /// Installs `table` as the instance of `rel`. The header must be exactly
+  /// the relation's attributes in declaration order.
+  Status LoadTable(catalog::RelationId rel, storage::Table table);
+
+  /// Appends one row to `rel`'s table (creating an empty one on first use).
+  Status InsertRow(catalog::RelationId rel, storage::Row row);
+
+  /// The instance of `rel`; an empty correctly-headed table when never loaded.
+  const storage::Table& TableOf(catalog::RelationId rel) const;
+
+  /// True iff `rel` currently has at least one row.
+  bool HasData(catalog::RelationId rel) const {
+    return rel < tables_.size() && tables_[rel].has_value() &&
+           !tables_[rel]->empty();
+  }
+
+ private:
+  const catalog::Catalog& cat_;
+  mutable std::vector<std::optional<storage::Table>> tables_;
+};
+
+}  // namespace cisqp::exec

@@ -1,0 +1,264 @@
+#include "exec/executor.hpp"
+
+#include "algebra/operators.hpp"
+
+namespace cisqp::exec {
+namespace {
+
+/// A materialized intermediate result and the server currently holding it.
+struct Located {
+  storage::Table table;
+  catalog::ServerId server = catalog::kInvalidId;
+};
+
+class Run {
+ public:
+  Run(const Cluster& cluster, const authz::Policy& auths,
+      const plan::QueryPlan& plan, const planner::Assignment& assignment,
+      const ExecutionOptions& options)
+      : cluster_(cluster), auths_(auths), assignment_(assignment),
+        options_(options),
+        profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {}
+
+  Result<ExecutionResult> Execute(const plan::PlanNode& root) {
+    CISQP_ASSIGN_OR_RETURN(Located located, Exec(root));
+    if (options_.requestor && *options_.requestor != located.server) {
+      CISQP_RETURN_IF_ERROR(Ship(root.id, located.server, *options_.requestor,
+                                 located.table, ProfileOf(root.id),
+                                 "final result delivered to requestor"));
+      located.server = *options_.requestor;
+    }
+    ExecutionResult result;
+    result.table = std::move(located.table);
+    result.result_server = located.server;
+    result.network = std::move(network_);
+    result.load = std::move(load_);
+    return result;
+  }
+
+ private:
+  const catalog::Catalog& cat() const { return cluster_.catalog(); }
+
+  const authz::Profile& ProfileOf(int node_id) const {
+    return profiles_[static_cast<std::size_t>(node_id)];
+  }
+
+  /// Accounts one operator invocation producing `rows` at `server`.
+  void Account(catalog::ServerId server, std::size_t rows) {
+    ServerLoad& load = load_[server];
+    ++load.operations;
+    load.rows_produced += rows;
+  }
+
+  /// Moves `table` from one server to another: accounts the transfer and,
+  /// under enforcement, checks that the receiver may view `profile`.
+  Status Ship(int node_id, catalog::ServerId from, catalog::ServerId to,
+              const storage::Table& table, const authz::Profile& profile,
+              std::string description) {
+    CISQP_CHECK_MSG(from != to, "Ship called for a colocated transfer");
+    if (options_.enforce_releases && !auths_.CanView(profile, to)) {
+      return UnauthorizedError(
+          "runtime enforcement: server '" + cat().server(to).name +
+          "' is not authorized to view " + profile.ToString(cat()) +
+          " (node n" + std::to_string(node_id) + ": " + description + ")");
+    }
+    network_.Record(TransferRecord{node_id, from, to, table.row_count(),
+                                   table.WireSizeBytes(), std::move(description)});
+    return Status::Ok();
+  }
+
+  Result<Located> Exec(const plan::PlanNode& node) {
+    const planner::Executor& ex = assignment_.Of(node.id);
+    switch (node.op) {
+      case plan::PlanOp::kRelation: {
+        const catalog::ServerId home = cat().relation(node.relation).server;
+        if (ex.master != home) {
+          return InvalidArgumentError("leaf n" + std::to_string(node.id) +
+                                      " not assigned to its home server");
+        }
+        return Located{cluster_.TableOf(node.relation), home};
+      }
+      case plan::PlanOp::kProject: {
+        CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
+        if (ex.master != child.server) {
+          return InvalidArgumentError("unary node n" + std::to_string(node.id) +
+                                      " must run at its operand's server");
+        }
+        CISQP_ASSIGN_OR_RETURN(
+            storage::Table out,
+            algebra::Project(child.table, node.projection, node.distinct));
+        Account(child.server, out.row_count());
+        return Located{std::move(out), child.server};
+      }
+      case plan::PlanOp::kSelect: {
+        CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
+        if (ex.master != child.server) {
+          return InvalidArgumentError("unary node n" + std::to_string(node.id) +
+                                      " must run at its operand's server");
+        }
+        CISQP_ASSIGN_OR_RETURN(storage::Table out,
+                               algebra::Select(child.table, node.predicate));
+        Account(child.server, out.row_count());
+        return Located{std::move(out), child.server};
+      }
+      case plan::PlanOp::kJoin:
+        return ExecJoin(node, ex);
+    }
+    return InternalError("unknown plan operator");
+  }
+
+  Result<Located> ExecJoin(const plan::PlanNode& node,
+                           const planner::Executor& ex) {
+    CISQP_ASSIGN_OR_RETURN(Located left, Exec(*node.left));
+    CISQP_ASSIGN_OR_RETURN(Located right, Exec(*node.right));
+    const authz::Profile& lp = ProfileOf(node.left->id);
+    const authz::Profile& rp = ProfileOf(node.right->id);
+    const planner::JoinModeViews views =
+        planner::ComputeJoinModeViews(lp, rp, node.join_atoms);
+
+    switch (ex.mode) {
+      case planner::ExecutionMode::kLocal:
+        return InvalidArgumentError("join node n" + std::to_string(node.id) +
+                                    " cannot have mode 'local'");
+      case planner::ExecutionMode::kRegularJoin: {
+        // The operand not computed by the master ships in full (Fig. 5 rows
+        // [Sl,NULL] / [Sr,NULL]); a third-party master receives both.
+        if (left.server != ex.master) {
+          CISQP_RETURN_IF_ERROR(Ship(node.id, left.server, ex.master,
+                                     left.table, lp,
+                                     "regular join: left operand"));
+        }
+        if (right.server != ex.master) {
+          CISQP_RETURN_IF_ERROR(Ship(node.id, right.server, ex.master,
+                                     right.table, rp,
+                                     "regular join: right operand"));
+        }
+        CISQP_ASSIGN_OR_RETURN(storage::Table out,
+                               algebra::HashJoin(left.table, right.table,
+                                                 node.join_atoms));
+        Account(ex.master, out.row_count());
+        return Located{std::move(out), ex.master};
+      }
+      case planner::ExecutionMode::kSemiJoin: {
+        if (!ex.slave) {
+          return InvalidArgumentError("semi-join n" + std::to_string(node.id) +
+                                      " without a slave");
+        }
+        const bool master_is_left = ex.origin == planner::FromChild::kLeft;
+        const Located& master_op = master_is_left ? left : right;
+        const Located& slave_op = master_is_left ? right : left;
+        if (master_op.server != ex.master || slave_op.server != *ex.slave) {
+          return InvalidArgumentError(
+              "semi-join n" + std::to_string(node.id) +
+              " executor does not match the servers holding its operands");
+        }
+
+        // Step 1: the master projects its join attributes (distinct).
+        std::vector<catalog::AttributeId> master_join_cols(
+            master_is_left ? views.left_join_attrs.begin() : views.right_join_attrs.begin(),
+            master_is_left ? views.left_join_attrs.end() : views.right_join_attrs.end());
+        CISQP_ASSIGN_OR_RETURN(
+            storage::Table projected,
+            algebra::Project(master_op.table, master_join_cols, /*distinct=*/true));
+        Account(ex.master, projected.row_count());
+
+        // Step 2: ship it to the slave.
+        CISQP_RETURN_IF_ERROR(Ship(
+            node.id, ex.master, *ex.slave, projected,
+            master_is_left ? views.right_slave_view : views.left_slave_view,
+            "semi-join step 2: master join-attribute projection"));
+
+        // Step 3: the slave joins with its operand.
+        std::vector<algebra::EquiJoinAtom> atoms = node.join_atoms;
+        if (!master_is_left) {
+          // HashJoin wants atoms oriented (left-input attr, right-input attr);
+          // here the shipped projection carries the *right* child's attrs.
+          for (algebra::EquiJoinAtom& atom : atoms) std::swap(atom.left, atom.right);
+        }
+        CISQP_ASSIGN_OR_RETURN(storage::Table reduced,
+                               algebra::HashJoin(projected, slave_op.table, atoms));
+        Account(*ex.slave, reduced.row_count());
+
+        // Step 4: ship the reduced operand back to the master.
+        CISQP_RETURN_IF_ERROR(Ship(
+            node.id, *ex.slave, ex.master, reduced,
+            master_is_left ? views.left_master_view : views.right_master_view,
+            "semi-join step 4: reduced slave operand"));
+
+        // Step 5: the master completes the join on the shared join columns.
+        CISQP_ASSIGN_OR_RETURN(
+            storage::Table joined,
+            algebra::NaturalJoinOnShared(master_op.table, reduced));
+
+        // Restore the canonical left++right column order expected upstream.
+        std::vector<catalog::AttributeId> out_cols =
+            node.left->OutputAttributes(cat());
+        const std::vector<catalog::AttributeId> right_cols =
+            node.right->OutputAttributes(cat());
+        out_cols.insert(out_cols.end(), right_cols.begin(), right_cols.end());
+        CISQP_ASSIGN_OR_RETURN(storage::Table out,
+                               algebra::Project(joined, out_cols));
+        Account(ex.master, out.row_count());
+        return Located{std::move(out), ex.master};
+      }
+    }
+    return InternalError("unknown execution mode");
+  }
+
+  const Cluster& cluster_;
+  const authz::Policy& auths_;
+  const planner::Assignment& assignment_;
+  const ExecutionOptions& options_;
+  std::vector<authz::Profile> profiles_;
+  NetworkStats network_;
+  std::map<catalog::ServerId, ServerLoad> load_;
+};
+
+Result<storage::Table> CentralizedRec(const Cluster& cluster,
+                                      const plan::PlanNode& node) {
+  switch (node.op) {
+    case plan::PlanOp::kRelation:
+      return cluster.TableOf(node.relation);
+    case plan::PlanOp::kProject: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+                             CentralizedRec(cluster, *node.left));
+      return algebra::Project(child, node.projection, node.distinct);
+    }
+    case plan::PlanOp::kSelect: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+                             CentralizedRec(cluster, *node.left));
+      return algebra::Select(child, node.predicate);
+    }
+    case plan::PlanOp::kJoin: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table left,
+                             CentralizedRec(cluster, *node.left));
+      CISQP_ASSIGN_OR_RETURN(storage::Table right,
+                             CentralizedRec(cluster, *node.right));
+      return algebra::HashJoin(left, right, node.join_atoms);
+    }
+  }
+  return InternalError("unknown plan operator");
+}
+
+}  // namespace
+
+Result<ExecutionResult> DistributedExecutor::Execute(
+    const plan::QueryPlan& plan, const planner::Assignment& assignment,
+    const ExecutionOptions& options) const {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cluster_.catalog()));
+  if (assignment.size() != static_cast<std::size_t>(plan.node_count())) {
+    return InvalidArgumentError("assignment size does not match plan");
+  }
+  Run run(cluster_, auths_, plan, assignment, options);
+  return run.Execute(*plan.root());
+}
+
+Result<storage::Table> ExecuteCentralized(const Cluster& cluster,
+                                          const plan::QueryPlan& plan) {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cluster.catalog()));
+  return CentralizedRec(cluster, *plan.root());
+}
+
+}  // namespace cisqp::exec

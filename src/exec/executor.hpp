@@ -1,0 +1,67 @@
+// DistributedExecutor: runs a query tree plan under an executor assignment,
+// materializing the exact Fig. 5 flows — whole-relation shipments for
+// regular joins, the 5-step semi-join protocol — over the simulated cluster,
+// with per-transfer network accounting and runtime release enforcement.
+//
+// Runtime enforcement is the second line of defense behind the planner: every
+// *physical* shipment is checked against the authorization set with the
+// profile of the shipped relation before the receiving server sees a byte.
+// A safe assignment never trips it (tests assert this); a hand-crafted unsafe
+// assignment is stopped at the first unauthorized transfer.
+#pragma once
+
+#include "authz/authorization.hpp"
+#include "exec/cluster.hpp"
+#include "exec/network.hpp"
+#include "planner/assignment.hpp"
+#include "planner/mode_views.hpp"
+
+namespace cisqp::exec {
+
+struct ExecutionOptions {
+  /// Check every physical transfer against the authorization set.
+  bool enforce_releases = true;
+  /// Deliver the final result to this server (checked as a release when it
+  /// differs from the root master).
+  std::optional<catalog::ServerId> requestor;
+};
+
+/// Compute performed at one server during a query (operator invocations and
+/// the rows they produced) — the load-distribution side of the accounting,
+/// complementing NetworkStats' communication side.
+struct ServerLoad {
+  std::size_t operations = 0;
+  std::size_t rows_produced = 0;
+};
+
+struct ExecutionResult {
+  storage::Table table;
+  catalog::ServerId result_server = catalog::kInvalidId;
+  NetworkStats network;
+  std::map<catalog::ServerId, ServerLoad> load;  ///< per executing server
+};
+
+class DistributedExecutor {
+ public:
+  DistributedExecutor(const Cluster& cluster,
+                      const authz::Policy& auths)
+      : cluster_(cluster), auths_(auths) {}
+
+  /// Executes `plan` under `assignment`. Fails with kUnauthorized when
+  /// enforcement trips, kInvalidArgument on malformed plans/assignments.
+  Result<ExecutionResult> Execute(const plan::QueryPlan& plan,
+                                  const planner::Assignment& assignment,
+                                  const ExecutionOptions& options = {}) const;
+
+ private:
+  const Cluster& cluster_;
+  const authz::Policy& auths_;
+};
+
+/// Reference evaluator: runs `plan` as if all relations were local, with no
+/// authorization or distribution concerns. The distributed execution of a
+/// valid assignment must return the same row multiset (tests rely on this).
+Result<storage::Table> ExecuteCentralized(const Cluster& cluster,
+                                          const plan::QueryPlan& plan);
+
+}  // namespace cisqp::exec

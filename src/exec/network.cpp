@@ -1,0 +1,30 @@
+#include "exec/network.hpp"
+
+#include <sstream>
+
+namespace cisqp::exec {
+
+void NetworkStats::Record(TransferRecord record) {
+  total_bytes_ += record.bytes;
+  total_rows_ += record.rows;
+  link_bytes_[{record.from, record.to}] += record.bytes;
+  transfers_.push_back(std::move(record));
+}
+
+std::string NetworkStats::Summary(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << total_messages() << " transfer(s), " << total_rows_ << " row(s), "
+      << total_bytes_ << " byte(s)\n";
+  for (const auto& [link, bytes] : link_bytes_) {
+    oss << "  " << cat.server(link.first).name << " -> "
+        << cat.server(link.second).name << ": " << bytes << " byte(s)\n";
+  }
+  for (const TransferRecord& t : transfers_) {
+    oss << "  n" << t.node_id << " " << cat.server(t.from).name << " -> "
+        << cat.server(t.to).name << " " << t.rows << " row(s), " << t.bytes
+        << " byte(s): " << t.description << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::exec

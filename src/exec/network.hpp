@@ -1,0 +1,54 @@
+// Network accounting for the simulated federation.
+//
+// The paper's testbed is a set of cooperating database servers; this library
+// simulates them in-process (DESIGN.md §2.7). What the experiments need from
+// the network is its *accounting*: which server shipped how many rows and
+// bytes to which other server on behalf of which plan node. NetworkStats
+// records every transfer and aggregates per-link and global totals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+
+namespace cisqp::exec {
+
+/// One materialized shipment between two servers.
+struct TransferRecord {
+  int node_id = -1;
+  catalog::ServerId from = catalog::kInvalidId;
+  catalog::ServerId to = catalog::kInvalidId;
+  std::size_t rows = 0;
+  std::size_t bytes = 0;
+  std::string description;
+};
+
+/// Append-only transfer log with aggregation helpers.
+class NetworkStats {
+ public:
+  void Record(TransferRecord record);
+
+  const std::vector<TransferRecord>& transfers() const noexcept { return transfers_; }
+  std::size_t total_messages() const noexcept { return transfers_.size(); }
+  std::size_t total_bytes() const noexcept { return total_bytes_; }
+  std::size_t total_rows() const noexcept { return total_rows_; }
+
+  /// Bytes shipped per directed (from, to) link.
+  const std::map<std::pair<catalog::ServerId, catalog::ServerId>, std::size_t>&
+  link_bytes() const noexcept {
+    return link_bytes_;
+  }
+
+  /// Multi-line human-readable report.
+  std::string Summary(const catalog::Catalog& cat) const;
+
+ private:
+  std::vector<TransferRecord> transfers_;
+  std::size_t total_bytes_ = 0;
+  std::size_t total_rows_ = 0;
+  std::map<std::pair<catalog::ServerId, catalog::ServerId>, std::size_t> link_bytes_;
+};
+
+}  // namespace cisqp::exec

@@ -1,0 +1,298 @@
+#include "plan/builder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cisqp::plan {
+namespace {
+
+/// Undirected view of one equi-join atom for reordering.
+struct AtomEdge {
+  catalog::AttributeId a = catalog::kInvalidId;  // attribute of rel_a
+  catalog::AttributeId b = catalog::kInvalidId;  // attribute of rel_b
+  catalog::RelationId rel_a = catalog::kInvalidId;
+  catalog::RelationId rel_b = catalog::kInvalidId;
+};
+
+std::vector<AtomEdge> CollectEdges(const catalog::Catalog& cat,
+                                   const QuerySpec& spec) {
+  std::vector<AtomEdge> edges;
+  for (const JoinStep& step : spec.joins) {
+    for (const algebra::EquiJoinAtom& atom : step.atoms) {
+      edges.push_back(AtomEdge{atom.left, atom.right,
+                               cat.attribute(atom.left).relation,
+                               cat.attribute(atom.right).relation});
+    }
+  }
+  return edges;
+}
+
+/// Greedy left-deep ordering: start from the smallest relation, repeatedly
+/// absorb the connected relation minimizing the estimated intermediate
+/// cardinality. Returns steps with atoms oriented prefix→new.
+Result<std::pair<catalog::RelationId, std::vector<JoinStep>>> GreedyOrder(
+    const catalog::Catalog& cat, const StatsCatalog* stats,
+    const QuerySpec& spec) {
+  const auto rows_of = [&](catalog::RelationId rel) {
+    return stats != nullptr ? stats->Of(rel).rows : RelationStats{}.rows;
+  };
+  const auto distinct_of = [&](catalog::AttributeId attr) {
+    const catalog::RelationId rel = cat.attribute(attr).relation;
+    return stats != nullptr ? stats->Of(rel).DistinctOf(attr)
+                            : RelationStats{}.DistinctOf(attr);
+  };
+
+  const std::vector<catalog::RelationId> relations = spec.Relations();
+  const std::vector<AtomEdge> edges = CollectEdges(cat, spec);
+
+  catalog::RelationId start = relations.front();
+  for (catalog::RelationId rel : relations) {
+    if (rows_of(rel) < rows_of(start)) start = rel;
+  }
+
+  IdSet placed;
+  placed.Insert(start);
+  double prefix_card = rows_of(start);
+  std::vector<JoinStep> steps;
+
+  while (placed.size() < relations.size()) {
+    catalog::RelationId best = catalog::kInvalidId;
+    double best_card = std::numeric_limits<double>::infinity();
+    std::vector<algebra::EquiJoinAtom> best_atoms;
+    for (catalog::RelationId cand : relations) {
+      if (placed.Contains(cand)) continue;
+      // Atoms connecting cand to the placed prefix, oriented prefix→cand.
+      std::vector<algebra::EquiJoinAtom> atoms;
+      double selectivity = 1.0;
+      for (const AtomEdge& e : edges) {
+        if (e.rel_b == cand && placed.Contains(e.rel_a)) {
+          atoms.push_back(algebra::EquiJoinAtom{e.a, e.b});
+        } else if (e.rel_a == cand && placed.Contains(e.rel_b)) {
+          atoms.push_back(algebra::EquiJoinAtom{e.b, e.a});
+        } else {
+          continue;
+        }
+        selectivity /= std::max({distinct_of(e.a), distinct_of(e.b), 1.0});
+      }
+      if (atoms.empty()) continue;  // not yet connected
+      const double card = prefix_card * rows_of(cand) * selectivity;
+      if (card < best_card ||
+          (card == best_card && best != catalog::kInvalidId && cand < best)) {
+        best = cand;
+        best_card = card;
+        best_atoms = std::move(atoms);
+      }
+    }
+    if (best == catalog::kInvalidId) {
+      return InvalidArgumentError(
+          "query join graph is disconnected; cross joins are out of model");
+    }
+    steps.push_back(JoinStep{best, std::move(best_atoms)});
+    placed.Insert(best);
+    prefix_card = best_card;
+  }
+  return std::make_pair(start, std::move(steps));
+}
+
+/// Wraps `node` in a selection with `c`, merging into an existing top select.
+std::unique_ptr<PlanNode> WrapSelect(std::unique_ptr<PlanNode> node,
+                                     const algebra::Comparison& c) {
+  if (node->op == PlanOp::kSelect) {
+    node->predicate.And(c);
+    return node;
+  }
+  return PlanNode::Select(std::move(node), algebra::Predicate({c}));
+}
+
+IdSet OutputSet(const catalog::Catalog& cat, const PlanNode& node) {
+  IdSet out;
+  for (catalog::AttributeId a : node.OutputAttributes(cat)) out.Insert(a);
+  return out;
+}
+
+/// Pushes one WHERE conjunct to the lowest subtree producing its attributes.
+std::unique_ptr<PlanNode> PushConjunct(const catalog::Catalog& cat,
+                                       std::unique_ptr<PlanNode> node,
+                                       const algebra::Comparison& c,
+                                       const IdSet& refs) {
+  if (node->op == PlanOp::kJoin) {
+    if (refs.IsSubsetOf(OutputSet(cat, *node->left))) {
+      node->left = PushConjunct(cat, std::move(node->left), c, refs);
+      return node;
+    }
+    if (refs.IsSubsetOf(OutputSet(cat, *node->right))) {
+      node->right = PushConjunct(cat, std::move(node->right), c, refs);
+      return node;
+    }
+    return WrapSelect(std::move(node), c);
+  }
+  if (node->op == PlanOp::kSelect) {
+    // Placing below an existing selection is equivalent; merge instead.
+    node->predicate.And(c);
+    return node;
+  }
+  return WrapSelect(std::move(node), c);
+}
+
+/// Ordered filter of `candidates` keeping members of `keep`.
+std::vector<catalog::AttributeId> OrderedIntersect(
+    const std::vector<catalog::AttributeId>& candidates, const IdSet& keep) {
+  std::vector<catalog::AttributeId> out;
+  for (catalog::AttributeId a : candidates) {
+    if (keep.Contains(a)) out.push_back(a);
+  }
+  return out;
+}
+
+/// Projection pushdown: returns a subtree producing (at least) `required`,
+/// inserting π nodes so leaves expose only what is needed above them.
+std::unique_ptr<PlanNode> Prune(const catalog::Catalog& cat,
+                                std::unique_ptr<PlanNode> node,
+                                const IdSet& required) {
+  switch (node->op) {
+    case PlanOp::kRelation: {
+      const std::vector<catalog::AttributeId> out = node->OutputAttributes(cat);
+      const std::vector<catalog::AttributeId> keep = OrderedIntersect(out, required);
+      CISQP_CHECK_MSG(!keep.empty(), "pruned a leaf to zero attributes");
+      if (keep.size() == out.size()) return node;
+      return PlanNode::Project(std::move(node), keep);
+    }
+    case PlanOp::kSelect: {
+      const IdSet child_required =
+          IdSet::Union(required, node->predicate.ReferencedAttributes());
+      node->left = Prune(cat, std::move(node->left), child_required);
+      return node;
+    }
+    case PlanOp::kProject: {
+      const std::vector<catalog::AttributeId> keep =
+          OrderedIntersect(node->projection, required);
+      CISQP_CHECK_MSG(!keep.empty(), "pruned a projection to zero attributes");
+      node->projection = keep;
+      IdSet child_required;
+      for (catalog::AttributeId a : keep) child_required.Insert(a);
+      node->left = Prune(cat, std::move(node->left), child_required);
+      return node;
+    }
+    case PlanOp::kJoin: {
+      IdSet left_required = IdSet::Intersection(required, OutputSet(cat, *node->left));
+      IdSet right_required = IdSet::Intersection(required, OutputSet(cat, *node->right));
+      for (const algebra::EquiJoinAtom& atom : node->join_atoms) {
+        left_required.Insert(atom.left);
+        right_required.Insert(atom.right);
+      }
+      node->left = Prune(cat, std::move(node->left), left_required);
+      node->right = Prune(cat, std::move(node->right), right_required);
+      return node;
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<QueryPlan> PlanBuilder::Build(const QuerySpec& spec,
+                                     const BuildOptions& options) const {
+  CISQP_RETURN_IF_ERROR(spec.Validate(cat_));
+
+  catalog::RelationId first = spec.first_relation;
+  std::vector<JoinStep> steps = spec.joins;
+  if (options.join_order == JoinOrderPolicy::kGreedyCost && !spec.joins.empty()) {
+    CISQP_ASSIGN_OR_RETURN(auto ordered, GreedyOrder(cat_, stats_, spec));
+    first = ordered.first;
+    steps = std::move(ordered.second);
+  }
+
+  // Left-deep join tree in the chosen order.
+  std::unique_ptr<PlanNode> root = PlanNode::Relation(first);
+  for (JoinStep& step : steps) {
+    root = PlanNode::Join(std::move(root), PlanNode::Relation(step.relation),
+                          std::move(step.atoms));
+  }
+  return Finish(std::move(root), spec, options);
+}
+
+Result<QueryPlan> PlanBuilder::Finish(std::unique_ptr<PlanNode> root,
+                                      const QuerySpec& spec,
+                                      const BuildOptions& options) const {
+  CISQP_RETURN_IF_ERROR(spec.Validate(cat_));
+  if (root == nullptr) return InvalidArgumentError("null join tree");
+
+  // WHERE placement.
+  if (!spec.where.IsTrue()) {
+    if (options.push_selections) {
+      for (const algebra::Comparison& c : spec.where.conjuncts()) {
+        IdSet refs;
+        refs.Insert(c.lhs);
+        if (c.rhs_is_attribute()) refs.Insert(std::get<catalog::AttributeId>(c.rhs));
+        root = PushConjunct(cat_, std::move(root), c, refs);
+      }
+    } else {
+      root = PlanNode::Select(std::move(root), spec.where);
+    }
+  }
+
+  // Projection pushdown, then the final π on the select list.
+  if (options.push_projections) {
+    IdSet required;
+    for (catalog::AttributeId a : spec.select_list) required.Insert(a);
+    root = Prune(cat_, std::move(root), required);
+  }
+  if (spec.distinct || root->OutputAttributes(cat_) != spec.select_list) {
+    root = PlanNode::Project(std::move(root), spec.select_list);
+    root->distinct = spec.distinct;
+  }
+
+  QueryPlan plan(std::move(root));
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat_));
+  return plan;
+}
+
+double PlanBuilder::EstimateCardinality(const PlanNode& node) const {
+  const auto distinct_of = [&](catalog::AttributeId attr) {
+    const catalog::RelationId rel = cat_.attribute(attr).relation;
+    return stats_ != nullptr ? stats_->Of(rel).DistinctOf(attr)
+                             : RelationStats{}.DistinctOf(attr);
+  };
+  switch (node.op) {
+    case PlanOp::kRelation:
+      return stats_ != nullptr ? stats_->Of(node.relation).rows
+                               : RelationStats{}.rows;
+    case PlanOp::kProject: {
+      double card = EstimateCardinality(*node.left);
+      if (node.distinct) {
+        double combos = 1.0;
+        for (catalog::AttributeId a : node.projection) {
+          combos *= std::max(distinct_of(a), 1.0);
+        }
+        card = std::min(card, combos);
+      }
+      return card;
+    }
+    case PlanOp::kSelect: {
+      double card = EstimateCardinality(*node.left);
+      for (const algebra::Comparison& c : node.predicate.conjuncts()) {
+        if (c.op == algebra::CompareOp::kEq) {
+          double d = distinct_of(c.lhs);
+          if (c.rhs_is_attribute()) {
+            d = std::max(d, distinct_of(std::get<catalog::AttributeId>(c.rhs)));
+          }
+          card /= std::max(d, 1.0);
+        } else {
+          card /= 3.0;  // textbook default for range predicates
+        }
+      }
+      return card;
+    }
+    case PlanOp::kJoin: {
+      double card =
+          EstimateCardinality(*node.left) * EstimateCardinality(*node.right);
+      for (const algebra::EquiJoinAtom& atom : node.join_atoms) {
+        card /= std::max({distinct_of(atom.left), distinct_of(atom.right), 1.0});
+      }
+      return card;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace cisqp::plan

@@ -1,0 +1,57 @@
+// PlanBuilder: QuerySpec → query tree plan (step one of the two-step
+// distributed optimization the paper integrates with, §5 end).
+//
+// Builds a left-deep join tree, places WHERE conjuncts at the lowest node
+// that produces their attributes, pushes projections down so every subtree
+// carries only the attributes needed above it (paper §2: "projections are
+// pushed down ... also important for security purposes, as it discloses only
+// the attributes needed"), and optionally reorders joins greedily by
+// estimated intermediate cardinality.
+#pragma once
+
+#include "plan/plan_node.hpp"
+#include "plan/query_spec.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::plan {
+
+enum class JoinOrderPolicy : std::uint8_t {
+  kFromClause,  ///< keep the FROM-clause order (paper examples use this)
+  kGreedyCost,  ///< greedy smallest-intermediate-result order using stats
+};
+
+struct BuildOptions {
+  JoinOrderPolicy join_order = JoinOrderPolicy::kFromClause;
+  bool push_selections = true;
+  bool push_projections = true;
+};
+
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const catalog::Catalog& cat,
+                       const StatsCatalog* stats = nullptr)
+      : cat_(cat), stats_(stats) {}
+
+  /// Builds and validates a plan for `spec`. Fails when the spec is invalid
+  /// or (under kGreedyCost) when the join graph of the spec is disconnected.
+  Result<QueryPlan> Build(const QuerySpec& spec,
+                          const BuildOptions& options = {}) const;
+
+  /// Finishes an externally built join tree (scans + joins covering exactly
+  /// the relations of `spec`, any shape — e.g. the bushy trees of the DP
+  /// optimizer): places WHERE conjuncts, pushes projections, adds the final
+  /// π, renumbers and validates. `options.join_order` is ignored.
+  Result<QueryPlan> Finish(std::unique_ptr<PlanNode> join_tree,
+                           const QuerySpec& spec,
+                           const BuildOptions& options = {}) const;
+
+  /// Estimated output cardinality of a plan subtree under this builder's
+  /// statistics (used by tests and the cost-based safe planner).
+  double EstimateCardinality(const PlanNode& node) const;
+
+ private:
+  const catalog::Catalog& cat_;
+  const StatsCatalog* stats_;  // may be null: defaults apply
+};
+
+}  // namespace cisqp::plan

@@ -1,0 +1,274 @@
+#include "plan/plan_node.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cisqp::plan {
+
+std::string_view PlanOpName(PlanOp op) noexcept {
+  switch (op) {
+    case PlanOp::kRelation: return "scan";
+    case PlanOp::kProject: return "project";
+    case PlanOp::kSelect: return "select";
+    case PlanOp::kJoin: return "join";
+  }
+  return "unknown";
+}
+
+std::vector<catalog::AttributeId> PlanNode::OutputAttributes(
+    const catalog::Catalog& cat) const {
+  switch (op) {
+    case PlanOp::kRelation:
+      return cat.relation(relation).attributes;
+    case PlanOp::kProject:
+      return projection;
+    case PlanOp::kSelect:
+      return left->OutputAttributes(cat);
+    case PlanOp::kJoin: {
+      std::vector<catalog::AttributeId> out = left->OutputAttributes(cat);
+      const std::vector<catalog::AttributeId> r = right->OutputAttributes(cat);
+      out.insert(out.end(), r.begin(), r.end());
+      return out;
+    }
+  }
+  return {};
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->op = op;
+  copy->id = id;
+  copy->relation = relation;
+  copy->projection = projection;
+  copy->distinct = distinct;
+  copy->predicate = predicate;
+  copy->join_atoms = join_atoms;
+  if (left) copy->left = left->Clone();
+  if (right) copy->right = right->Clone();
+  return copy;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Relation(catalog::RelationId rel) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = PlanOp::kRelation;
+  node->relation = rel;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Project(
+    std::unique_ptr<PlanNode> child, std::vector<catalog::AttributeId> attrs) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = PlanOp::kProject;
+  node->projection = std::move(attrs);
+  node->left = std::move(child);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Select(std::unique_ptr<PlanNode> child,
+                                           algebra::Predicate predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = PlanOp::kSelect;
+  node->predicate = std::move(predicate);
+  node->left = std::move(child);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Join(
+    std::unique_ptr<PlanNode> l, std::unique_ptr<PlanNode> r,
+    std::vector<algebra::EquiJoinAtom> atoms) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = PlanOp::kJoin;
+  node->join_atoms = std::move(atoms);
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+int QueryPlan::Renumber() {
+  // Level-order (BFS) ids, root = 0 — the numbering the paper's figures use
+  // (Fig. 2 labels the projection over Hospital n3 and the deeper leaves
+  // n4..n6), so traces compare one-to-one with Fig. 7.
+  by_id_.clear();
+  if (root_ != nullptr) {
+    std::vector<PlanNode*> queue{root_.get()};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      PlanNode* node = queue[head];
+      node->id = static_cast<int>(head);
+      by_id_.push_back(node);
+      if (node->left) queue.push_back(node->left.get());
+      if (node->right) queue.push_back(node->right.get());
+    }
+  }
+  node_count_ = static_cast<int>(by_id_.size());
+  return node_count_;
+}
+
+const PlanNode* QueryPlan::node(int id) const {
+  if (id < 0 || id >= static_cast<int>(by_id_.size())) return nullptr;
+  return by_id_[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+Status ValidateRec(const catalog::Catalog& cat, const PlanNode& node) {
+  const auto contains = [](const std::vector<catalog::AttributeId>& hay,
+                           catalog::AttributeId needle) {
+    return std::find(hay.begin(), hay.end(), needle) != hay.end();
+  };
+  switch (node.op) {
+    case PlanOp::kRelation:
+      if (node.left || node.right) {
+        return InvalidArgumentError("scan node must be a leaf");
+      }
+      if (node.relation >= cat.relation_count()) {
+        return NotFoundError("scan of unknown relation id");
+      }
+      return Status::Ok();
+    case PlanOp::kProject: {
+      if (!node.left || node.right) {
+        return InvalidArgumentError("project node must have exactly a left child");
+      }
+      CISQP_RETURN_IF_ERROR(ValidateRec(cat, *node.left));
+      if (node.projection.empty()) {
+        return InvalidArgumentError("project node with empty attribute list");
+      }
+      const auto child_out = node.left->OutputAttributes(cat);
+      for (catalog::AttributeId a : node.projection) {
+        if (!contains(child_out, a)) {
+          return InvalidArgumentError("projection attribute '" +
+                                      cat.attribute(a).name +
+                                      "' not produced by child");
+        }
+      }
+      return Status::Ok();
+    }
+    case PlanOp::kSelect: {
+      if (!node.left || node.right) {
+        return InvalidArgumentError("select node must have exactly a left child");
+      }
+      CISQP_RETURN_IF_ERROR(ValidateRec(cat, *node.left));
+      const auto child_out = node.left->OutputAttributes(cat);
+      for (IdSet::value_type a : node.predicate.ReferencedAttributes()) {
+        if (!contains(child_out, a)) {
+          return InvalidArgumentError("selection attribute '" +
+                                      cat.attribute(a).name +
+                                      "' not produced by child");
+        }
+      }
+      return Status::Ok();
+    }
+    case PlanOp::kJoin: {
+      if (!node.left || !node.right) {
+        return InvalidArgumentError("join node must have two children");
+      }
+      CISQP_RETURN_IF_ERROR(ValidateRec(cat, *node.left));
+      CISQP_RETURN_IF_ERROR(ValidateRec(cat, *node.right));
+      if (node.join_atoms.empty()) {
+        return InvalidArgumentError("join node without equi-join atoms");
+      }
+      const auto left_out = node.left->OutputAttributes(cat);
+      const auto right_out = node.right->OutputAttributes(cat);
+      for (const algebra::EquiJoinAtom& atom : node.join_atoms) {
+        if (!contains(left_out, atom.left)) {
+          return InvalidArgumentError("join atom left attribute '" +
+                                      cat.attribute(atom.left).name +
+                                      "' not produced by left child");
+        }
+        if (!contains(right_out, atom.right)) {
+          return InvalidArgumentError("join atom right attribute '" +
+                                      cat.attribute(atom.right).name +
+                                      "' not produced by right child");
+        }
+      }
+      return Status::Ok();
+    }
+  }
+  return InternalError("unknown plan operator");
+}
+
+}  // namespace
+
+Status QueryPlan::Validate(const catalog::Catalog& cat) const {
+  if (!root_) return InvalidArgumentError("empty plan");
+  return ValidateRec(cat, *root_);
+}
+
+namespace {
+
+int CountJoins(const PlanNode* node) {
+  if (node == nullptr) return 0;
+  return (node->op == PlanOp::kJoin ? 1 : 0) + CountJoins(node->left.get()) +
+         CountJoins(node->right.get());
+}
+
+void PreOrderRec(const PlanNode* node,
+                 const std::function<void(const PlanNode&)>& fn) {
+  if (node == nullptr) return;
+  fn(*node);
+  PreOrderRec(node->left.get(), fn);
+  PreOrderRec(node->right.get(), fn);
+}
+
+void PrintRec(const catalog::Catalog& cat, const PlanNode* node, int depth,
+              std::ostringstream& oss) {
+  if (node == nullptr) return;
+  oss << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  oss << "n" << node->id << " " << PlanOpName(node->op);
+  switch (node->op) {
+    case PlanOp::kRelation:
+      oss << " " << cat.relation(node->relation).name << " @"
+          << cat.server(cat.relation(node->relation).server).name;
+      break;
+    case PlanOp::kProject: {
+      if (node->distinct) oss << " distinct";
+      oss << " [";
+      for (std::size_t i = 0; i < node->projection.size(); ++i) {
+        if (i != 0) oss << ", ";
+        oss << cat.attribute(node->projection[i]).name;
+      }
+      oss << "]";
+      break;
+    }
+    case PlanOp::kSelect:
+      oss << " (" << node->predicate.ToString(cat) << ")";
+      break;
+    case PlanOp::kJoin: {
+      oss << " on ";
+      for (std::size_t i = 0; i < node->join_atoms.size(); ++i) {
+        if (i != 0) oss << " AND ";
+        oss << cat.attribute(node->join_atoms[i].left).name << " = "
+            << cat.attribute(node->join_atoms[i].right).name;
+      }
+      break;
+    }
+  }
+  oss << "\n";
+  PrintRec(cat, node->left.get(), depth + 1, oss);
+  PrintRec(cat, node->right.get(), depth + 1, oss);
+}
+
+}  // namespace
+
+int QueryPlan::JoinCount() const { return CountJoins(root_.get()); }
+
+QueryPlan QueryPlan::Clone() const {
+  QueryPlan copy;
+  if (root_) {
+    copy.root_ = root_->Clone();
+    copy.Renumber();
+  }
+  return copy;
+}
+
+void QueryPlan::ForEachPreOrder(
+    const std::function<void(const PlanNode&)>& fn) const {
+  PreOrderRec(root_.get(), fn);
+}
+
+std::string QueryPlan::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  PrintRec(cat, root_.get(), 0, oss);
+  return oss.str();
+}
+
+}  // namespace cisqp::plan

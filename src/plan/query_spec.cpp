@@ -1,0 +1,96 @@
+#include "plan/query_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cisqp::plan {
+
+std::vector<catalog::RelationId> QuerySpec::Relations() const {
+  std::vector<catalog::RelationId> out;
+  out.push_back(first_relation);
+  for (const JoinStep& step : joins) out.push_back(step.relation);
+  return out;
+}
+
+Status QuerySpec::Validate(const catalog::Catalog& cat) const {
+  if (first_relation >= cat.relation_count()) {
+    return NotFoundError("query references an unknown first relation id");
+  }
+  IdSet in_scope = cat.relation(first_relation).attribute_set;
+  IdSet seen_relations;
+  seen_relations.Insert(first_relation);
+  for (const JoinStep& step : joins) {
+    if (step.relation >= cat.relation_count()) {
+      return NotFoundError("join step references an unknown relation id");
+    }
+    if (seen_relations.Contains(step.relation)) {
+      return InvalidArgumentError("relation '" + cat.relation(step.relation).name +
+                                  "' appears twice in FROM (self-joins are out of model)");
+    }
+    if (step.atoms.empty()) {
+      return InvalidArgumentError("join with '" + cat.relation(step.relation).name +
+                                  "' has no ON condition (cross joins are out of model)");
+    }
+    const IdSet& new_attrs = cat.relation(step.relation).attribute_set;
+    for (const algebra::EquiJoinAtom& atom : step.atoms) {
+      if (atom.left >= cat.attribute_count() || atom.right >= cat.attribute_count()) {
+        return NotFoundError("join atom references an unknown attribute id");
+      }
+      if (!in_scope.Contains(atom.left)) {
+        return InvalidArgumentError("join atom left side '" + cat.attribute(atom.left).name +
+                                    "' is not an attribute of an earlier FROM entry");
+      }
+      if (!new_attrs.Contains(atom.right)) {
+        return InvalidArgumentError("join atom right side '" + cat.attribute(atom.right).name +
+                                    "' is not an attribute of '" +
+                                    cat.relation(step.relation).name + "'");
+      }
+      if (cat.attribute(atom.left).type != cat.attribute(atom.right).type) {
+        return InvalidArgumentError("join atom '" + cat.attribute(atom.left).name + " = " +
+                                    cat.attribute(atom.right).name + "' has mismatched types");
+      }
+    }
+    in_scope.UnionWith(new_attrs);
+    seen_relations.Insert(step.relation);
+  }
+  for (catalog::AttributeId a : select_list) {
+    if (a >= cat.attribute_count() || !in_scope.Contains(a)) {
+      return InvalidArgumentError("select-list attribute id " + std::to_string(a) +
+                                  " is not produced by the FROM clause");
+    }
+  }
+  if (select_list.empty()) {
+    return InvalidArgumentError("empty select list");
+  }
+  for (IdSet::value_type a : where.ReferencedAttributes()) {
+    if (!in_scope.Contains(a)) {
+      return InvalidArgumentError("WHERE references attribute '" + cat.attribute(a).name +
+                                  "' not produced by the FROM clause");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string QuerySpec::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "SELECT " << (distinct ? "DISTINCT " : "");
+  for (std::size_t i = 0; i < select_list.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << cat.attribute(select_list[i]).name;
+  }
+  oss << " FROM " << cat.relation(first_relation).name;
+  for (const JoinStep& step : joins) {
+    oss << " JOIN " << cat.relation(step.relation).name << " ON ";
+    for (std::size_t i = 0; i < step.atoms.size(); ++i) {
+      if (i != 0) oss << " AND ";
+      oss << cat.attribute(step.atoms[i].left).name << " = "
+          << cat.attribute(step.atoms[i].right).name;
+    }
+  }
+  if (!where.IsTrue()) {
+    oss << " WHERE " << where.ToString(cat);
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::plan

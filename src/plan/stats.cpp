@@ -1,0 +1,22 @@
+#include "plan/stats.hpp"
+
+#include <unordered_set>
+
+namespace cisqp::plan {
+
+RelationStats StatsCatalog::FromTable(const storage::Table& table) {
+  RelationStats stats;
+  stats.rows = static_cast<double>(table.row_count());
+  for (std::size_t c = 0; c < table.column_count(); ++c) {
+    std::unordered_set<std::size_t> hashes;
+    hashes.reserve(table.row_count());
+    for (const storage::Row& row : table.rows()) {
+      hashes.insert(row[c].Hash());
+    }
+    stats.distinct[table.columns()[c].attribute] =
+        static_cast<double>(hashes.size());
+  }
+  return stats;
+}
+
+}  // namespace cisqp::plan

@@ -1,0 +1,52 @@
+// Cardinality statistics for the join-order optimizer (two-step optimization,
+// paper §5 end: "First, the query optimizer identifies a good plan; second,
+// it assigns operations to the servers"). Step one needs estimates; this is
+// the textbook System-R style model: per-relation row counts and per-column
+// distinct counts, uniformity and independence assumed.
+#pragma once
+
+#include <map>
+
+#include "catalog/catalog.hpp"
+#include "storage/table.hpp"
+
+namespace cisqp::plan {
+
+/// Statistics of one relation instance.
+struct RelationStats {
+  double rows = 1000.0;
+  std::map<catalog::AttributeId, double> distinct;
+
+  /// Distinct count of `attr`, defaulting to `rows` (key-like) when unknown.
+  double DistinctOf(catalog::AttributeId attr) const {
+    const auto it = distinct.find(attr);
+    return it == distinct.end() ? rows : it->second;
+  }
+};
+
+/// Per-relation statistics for one federation.
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  void Set(catalog::RelationId rel, RelationStats stats) {
+    stats_[rel] = std::move(stats);
+  }
+
+  /// Stats of `rel`; a default RelationStats when never set.
+  const RelationStats& Of(catalog::RelationId rel) const {
+    static const RelationStats kDefault;
+    const auto it = stats_.find(rel);
+    return it == stats_.end() ? kDefault : it->second;
+  }
+
+  bool Has(catalog::RelationId rel) const { return stats_.contains(rel); }
+
+  /// Exact statistics scanned from a materialized table.
+  static RelationStats FromTable(const storage::Table& table);
+
+ private:
+  std::map<catalog::RelationId, RelationStats> stats_;
+};
+
+}  // namespace cisqp::plan

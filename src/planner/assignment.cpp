@@ -1,0 +1,90 @@
+#include "planner/assignment.hpp"
+
+#include <sstream>
+
+namespace cisqp::planner {
+
+std::string_view ExecutionModeName(ExecutionMode mode) noexcept {
+  switch (mode) {
+    case ExecutionMode::kLocal: return "local";
+    case ExecutionMode::kRegularJoin: return "regular-join";
+    case ExecutionMode::kSemiJoin: return "semi-join";
+  }
+  return "unknown";
+}
+
+std::string_view FromChildName(FromChild from) noexcept {
+  switch (from) {
+    case FromChild::kSelf: return "-";
+    case FromChild::kLeft: return "left";
+    case FromChild::kRight: return "right";
+    case FromChild::kThird: return "third";
+  }
+  return "?";
+}
+
+std::string Executor::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "[" << (master == catalog::kInvalidId ? std::string("?")
+                                               : cat.server(master).name)
+      << ", " << (slave ? cat.server(*slave).name : std::string("NULL")) << "]";
+  return oss.str();
+}
+
+std::string Assignment::ToString(const catalog::Catalog& cat,
+                                 const plan::QueryPlan& plan) const {
+  std::ostringstream oss;
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    const Executor& ex = Of(node.id);
+    oss << "n" << node.id << " " << plan::PlanOpName(node.op) << ": "
+        << ex.ToString(cat) << " (" << ExecutionModeName(ex.mode) << ")\n";
+  });
+  return oss.str();
+}
+
+std::string CandidateRejection::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << cat.server(server).name << " cannot be " << ExecutionModeName(mode)
+      << " " << role;
+  if (from != FromChild::kSelf) oss << " (from " << FromChildName(from) << ")";
+  oss << ": needs " << required_view.ToString(cat);
+  return oss.str();
+}
+
+std::string FormatRejections(const catalog::Catalog& cat,
+                             const std::vector<CandidateRejection>& rejections) {
+  std::ostringstream oss;
+  for (const CandidateRejection& r : rejections) {
+    oss << "  " << r.ToString(cat) << "\n";
+  }
+  return oss.str();
+}
+
+std::string PlanningTrace::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "Find_candidates (post-order):\n";
+  for (const NodeTrace& nt : find_candidates) {
+    oss << "  n" << nt.node_id << "  candidates: ";
+    for (std::size_t i = 0; i < nt.candidates.size(); ++i) {
+      const Candidate& c = nt.candidates[i];
+      if (i != 0) oss << ", ";
+      oss << "[" << cat.server(c.server).name << ", " << FromChildName(c.from)
+          << ", " << c.count << "]";
+      if (c.from == FromChild::kSelf) oss << "*";
+    }
+    if (nt.leftslave) oss << "  leftslave: " << cat.server(*nt.leftslave).name;
+    if (nt.rightslave) oss << "  rightslave: " << cat.server(*nt.rightslave).name;
+    oss << "\n";
+  }
+  oss << "Assign_ex (pre-order):\n";
+  for (const AssignTrace& at : assign) {
+    oss << "  n" << at.node_id << "  " << at.executor.ToString(cat);
+    if (at.pushed_from_parent) {
+      oss << "  (pushed " << cat.server(*at.pushed_from_parent).name << ")";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,142 @@
+// Executor assignments (paper Def. 4.1) and planning traces.
+//
+// An executor assignment λ_T maps every plan node to a [master, slave] pair:
+// leaves to their home server, unary operators to their child's executor,
+// joins to one of the four Fig. 5 modes. `Assignment` stores λ_T keyed by
+// plan-node id; `PlanningTrace` records the two traversals of the paper's
+// algorithm in enough detail to regenerate its Fig. 7 table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "authz/profile.hpp"
+#include "catalog/catalog.hpp"
+#include "plan/plan_node.hpp"
+
+namespace cisqp::planner {
+
+/// How a node's operation is physically executed.
+enum class ExecutionMode : std::uint8_t {
+  kLocal,       ///< leaf scan or unary operator at the child's server
+  kRegularJoin, ///< [S,NULL]: the other operand ships its whole relation
+  kSemiJoin,    ///< [S_master,S_slave]: the 5-step Fig. 5 flow
+};
+
+std::string_view ExecutionModeName(ExecutionMode mode) noexcept;
+
+/// Which child a candidate was inherited from during Find_candidates.
+enum class FromChild : std::uint8_t {
+  kSelf,   ///< leaf: the server storing the relation
+  kLeft,
+  kRight,
+  kThird,  ///< third-party extension (DESIGN.md §2.5); not in the paper core
+};
+
+std::string_view FromChildName(FromChild from) noexcept;
+
+/// λ_T(n): master (always set) and slave (set only for semi-joins).
+struct Executor {
+  catalog::ServerId master = catalog::kInvalidId;
+  std::optional<catalog::ServerId> slave;  ///< nullopt renders as NULL
+  ExecutionMode mode = ExecutionMode::kLocal;
+  /// For join nodes: the child whose subtree the master computes (kThird for
+  /// a proxy master). Lets verifiers and executors derive the exact Fig. 5
+  /// flow without inference.
+  FromChild origin = FromChild::kSelf;
+
+  /// "[S_H, S_N]" / "[S_H, NULL]".
+  std::string ToString(const catalog::Catalog& cat) const;
+
+  friend bool operator==(const Executor&, const Executor&) = default;
+};
+
+/// λ_T for a whole plan, keyed by plan-node id.
+class Assignment {
+ public:
+  Assignment() = default;
+  explicit Assignment(int node_count)
+      : executors_(static_cast<std::size_t>(node_count)) {}
+
+  const Executor& Of(int node_id) const {
+    CISQP_CHECK(node_id >= 0 &&
+                static_cast<std::size_t>(node_id) < executors_.size());
+    return executors_[static_cast<std::size_t>(node_id)];
+  }
+
+  void Set(int node_id, Executor executor) {
+    CISQP_CHECK(node_id >= 0 &&
+                static_cast<std::size_t>(node_id) < executors_.size());
+    executors_[static_cast<std::size_t>(node_id)] = executor;
+  }
+
+  std::size_t size() const noexcept { return executors_.size(); }
+
+  /// One line per node: "n3 join: [S_H, S_N] (semi-join)".
+  std::string ToString(const catalog::Catalog& cat,
+                       const plan::QueryPlan& plan) const;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+
+ private:
+  std::vector<Executor> executors_;
+};
+
+/// One candidate record [server, fromchild, counter] (paper §5), extended
+/// with the execution mode the candidate qualified under and, for semi-join
+/// masters, the slave resolved for this candidate (DESIGN.md §2.2).
+struct Candidate {
+  catalog::ServerId server = catalog::kInvalidId;
+  FromChild from = FromChild::kSelf;
+  int count = 0;
+  ExecutionMode mode = ExecutionMode::kLocal;
+  std::optional<catalog::ServerId> slave;  ///< set iff mode == kSemiJoin
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// Per-node result of the post-order Find_candidates traversal.
+struct NodeTrace {
+  int node_id = -1;
+  authz::Profile profile;
+  std::vector<Candidate> candidates;  ///< sorted by count desc
+  std::optional<catalog::ServerId> leftslave;   ///< slave for [S_r, S_l]
+  std::optional<catalog::ServerId> rightslave;  ///< slave for [S_l, S_r]
+};
+
+/// One step of the pre-order Assign_ex traversal.
+struct AssignTrace {
+  int node_id = -1;
+  Executor executor;
+  std::optional<catalog::ServerId> pushed_from_parent;  ///< the `from_parent` argument
+};
+
+/// Everything the two traversals produced (paper Fig. 7 contents).
+struct PlanningTrace {
+  std::vector<NodeTrace> find_candidates;  ///< in post-order visit order
+  std::vector<AssignTrace> assign;         ///< in pre-order visit order
+
+  /// Renders the Fig. 7-style two-part table.
+  std::string ToString(const catalog::Catalog& cat) const;
+};
+
+/// One failed CanView probe at a join node — why a server could not take a
+/// role. Collected per node so an infeasible plan can be explained: every
+/// rejection names the exact view profile the policy refused.
+struct CandidateRejection {
+  catalog::ServerId server = catalog::kInvalidId;
+  FromChild from = FromChild::kSelf;    ///< child the server came from
+  ExecutionMode mode = ExecutionMode::kLocal;  ///< the mode attempted
+  std::string role;                     ///< "master" / "slave" / "proxy"
+  authz::Profile required_view;         ///< the view CanView denied
+
+  /// "S_I cannot be semi-join slave (from left): needs [...]".
+  std::string ToString(const catalog::Catalog& cat) const;
+};
+
+/// Multi-line rendering of a rejection list.
+std::string FormatRejections(const catalog::Catalog& cat,
+                             const std::vector<CandidateRejection>& rejections);
+
+}  // namespace cisqp::planner

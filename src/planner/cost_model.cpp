@@ -1,0 +1,60 @@
+#include "planner/cost_model.hpp"
+
+#include <algorithm>
+
+namespace cisqp::planner {
+
+double CostModel::RowWidthBytes(
+    const std::vector<catalog::AttributeId>& attrs) const {
+  double width = 0.0;
+  for (catalog::AttributeId a : attrs) {
+    width += cat_.attribute(a).type == catalog::ValueType::kString
+                 ? options_.string_width_bytes
+                 : options_.scalar_width_bytes;
+  }
+  return width;
+}
+
+double CostModel::EstimateResultBytes(const plan::PlanNode& node) const {
+  return EstimateRows(node) * RowWidthBytes(node.OutputAttributes(cat_));
+}
+
+double CostModel::EstimateDistinct(const plan::PlanNode& node,
+                                   const IdSet& attrs) const {
+  double combos = 1.0;
+  for (IdSet::value_type a : attrs) {
+    const catalog::RelationId rel = cat_.attribute(a).relation;
+    const double d = stats_ != nullptr
+                         ? stats_->Of(rel).DistinctOf(a)
+                         : plan::RelationStats{}.DistinctOf(a);
+    combos *= std::max(d, 1.0);
+  }
+  return std::min(combos, std::max(EstimateRows(node), 1.0));
+}
+
+double CostModel::RegularJoinBytes(const plan::PlanNode& other_child,
+                                   bool colocated) const {
+  return colocated ? 0.0 : EstimateResultBytes(other_child);
+}
+
+double CostModel::SemiJoinBytes(const plan::PlanNode& join_node,
+                                const plan::PlanNode& master_child,
+                                const plan::PlanNode& slave_child,
+                                const IdSet& master_join_attrs) const {
+  std::vector<catalog::AttributeId> join_cols(master_join_attrs.begin(),
+                                              master_join_attrs.end());
+  // Step 2: the master ships the distinct projection of its join attributes.
+  const double step2 = EstimateDistinct(master_child, master_join_attrs) *
+                       RowWidthBytes(join_cols);
+  // Step 4: the slave ships back its operand reduced to matching tuples —
+  // one row per row of the eventual join result, carrying the join columns
+  // plus the slave operand's attributes.
+  std::vector<catalog::AttributeId> step4_cols = join_cols;
+  for (catalog::AttributeId a : slave_child.OutputAttributes(cat_)) {
+    step4_cols.push_back(a);
+  }
+  const double step4 = EstimateRows(join_node) * RowWidthBytes(step4_cols);
+  return step2 + step4;
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,64 @@
+// Communication cost model for executor assignments.
+//
+// The paper's algorithm is a heuristic guided by two principles (§5): favor
+// semi-joins, and prefer masters with high join counts. To quantify how close
+// that heuristic gets to the optimum (experiment E7), this model estimates
+// the bytes every Fig. 5 flow moves, from System-R style statistics.
+#pragma once
+
+#include "plan/builder.hpp"
+#include "plan/plan_node.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::planner {
+
+struct CostModelOptions {
+  double scalar_width_bytes = 8.0;   ///< int64 / double cells
+  double string_width_bytes = 16.0;  ///< average string cell
+};
+
+/// Estimates result sizes of plan subtrees and the transfer volume of each
+/// join execution mode.
+class CostModel {
+ public:
+  CostModel(const catalog::Catalog& cat, const plan::StatsCatalog* stats,
+            CostModelOptions options = {})
+      : cat_(cat), builder_(cat, stats), stats_(stats), options_(options) {}
+
+  /// Estimated row count of a subtree's result.
+  double EstimateRows(const plan::PlanNode& node) const {
+    return builder_.EstimateCardinality(node);
+  }
+
+  /// Average row width of a header, by column type.
+  double RowWidthBytes(const std::vector<catalog::AttributeId>& attrs) const;
+
+  /// Estimated wire size of a subtree's whole result.
+  double EstimateResultBytes(const plan::PlanNode& node) const;
+
+  /// Estimated distinct combinations of `attrs` within a subtree's result:
+  /// min(subtree rows, product of base distinct counts).
+  double EstimateDistinct(const plan::PlanNode& node, const IdSet& attrs) const;
+
+  /// Bytes shipped by a regular join: the other operand's whole result
+  /// (0 when colocated with the master).
+  double RegularJoinBytes(const plan::PlanNode& other_child,
+                          bool colocated) const;
+
+  /// Bytes shipped by a semi-join (Fig. 5 steps 2 + 4): the master-side join
+  /// column, then the reduced other operand joined back.
+  /// `join_node` is the join; `master_child` the child the master computes;
+  /// `master_join_attrs` its join attributes (Jl or Jr).
+  double SemiJoinBytes(const plan::PlanNode& join_node,
+                       const plan::PlanNode& master_child,
+                       const plan::PlanNode& slave_child,
+                       const IdSet& master_join_attrs) const;
+
+ private:
+  const catalog::Catalog& cat_;
+  plan::PlanBuilder builder_;
+  const plan::StatsCatalog* stats_;
+  CostModelOptions options_;
+};
+
+}  // namespace cisqp::planner

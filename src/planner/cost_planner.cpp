@@ -1,0 +1,197 @@
+#include "planner/cost_planner.hpp"
+
+#include <limits>
+#include <map>
+
+namespace cisqp::planner {
+namespace {
+
+struct Entry {
+  double cost = std::numeric_limits<double>::infinity();
+  Executor ex;
+  catalog::ServerId left_server = catalog::kInvalidId;
+  catalog::ServerId right_server = catalog::kInvalidId;
+};
+
+using Table = std::map<catalog::ServerId, Entry>;
+
+class Dp {
+ public:
+  Dp(const catalog::Catalog& cat, const authz::Policy& auths,
+     const CostModel& model, const plan::QueryPlan& plan)
+      : cat_(cat), auths_(auths), model_(model),
+        profiles_(ComputeNodeProfiles(cat, plan)),
+        tables_(static_cast<std::size_t>(plan.node_count())) {}
+
+  const Table& Solve(const plan::PlanNode& node) {
+    Table& table = tables_[static_cast<std::size_t>(node.id)];
+    switch (node.op) {
+      case plan::PlanOp::kRelation: {
+        const catalog::ServerId home = cat_.relation(node.relation).server;
+        table[home] = Entry{0.0,
+                            Executor{home, std::nullopt, ExecutionMode::kLocal,
+                                     FromChild::kSelf},
+                            catalog::kInvalidId, catalog::kInvalidId};
+        break;
+      }
+      case plan::PlanOp::kProject:
+      case plan::PlanOp::kSelect: {
+        for (const auto& [server, child_entry] : Solve(*node.left)) {
+          table[server] = Entry{child_entry.cost,
+                                Executor{server, std::nullopt,
+                                         ExecutionMode::kLocal, FromChild::kLeft},
+                                server, catalog::kInvalidId};
+        }
+        break;
+      }
+      case plan::PlanOp::kJoin:
+        SolveJoin(node, table);
+        break;
+    }
+    return table;
+  }
+
+  /// Fills `assignment` for the subtree of `node`, assuming its result is
+  /// produced at `server`.
+  void Rebuild(const plan::PlanNode& node, catalog::ServerId server,
+               Assignment& assignment) const {
+    const Table& table = tables_[static_cast<std::size_t>(node.id)];
+    const auto it = table.find(server);
+    CISQP_CHECK_MSG(it != table.end(), "no DP entry for rebuild");
+    assignment.Set(node.id, it->second.ex);
+    if (node.left) Rebuild(*node.left, it->second.left_server, assignment);
+    if (node.right) Rebuild(*node.right, it->second.right_server, assignment);
+  }
+
+ private:
+  void SolveJoin(const plan::PlanNode& node, Table& table) {
+    const Table& lefts = Solve(*node.left);
+    const Table& rights = Solve(*node.right);
+    const authz::Profile& lp = profiles_[static_cast<std::size_t>(node.left->id)];
+    const authz::Profile& rp = profiles_[static_cast<std::size_t>(node.right->id)];
+    const JoinModeViews views = ComputeJoinModeViews(lp, rp, node.join_atoms);
+
+    const auto relax = [&](catalog::ServerId server, double cost, Executor ex,
+                           catalog::ServerId ls, catalog::ServerId rs) {
+      Entry& entry = table.try_emplace(server).first->second;
+      if (cost < entry.cost) entry = Entry{cost, ex, ls, rs};
+    };
+
+    for (const auto& [ls, el] : lefts) {
+      for (const auto& [rs, er] : rights) {
+        const double base = el.cost + er.cost;
+        if (auths_.CanView(views.left_full_view, ls)) {
+          relax(ls,
+                base + model_.RegularJoinBytes(*node.right, rs == ls),
+                Executor{ls, std::nullopt, ExecutionMode::kRegularJoin,
+                         FromChild::kLeft},
+                ls, rs);
+        }
+        if (auths_.CanView(views.right_full_view, rs)) {
+          relax(rs,
+                base + model_.RegularJoinBytes(*node.left, ls == rs),
+                Executor{rs, std::nullopt, ExecutionMode::kRegularJoin,
+                         FromChild::kRight},
+                ls, rs);
+        }
+        if (ls != rs) {
+          if (auths_.CanView(views.right_slave_view, rs) &&
+              auths_.CanView(views.left_master_view, ls)) {
+            relax(ls,
+                  base + model_.SemiJoinBytes(node, *node.left, *node.right,
+                                              views.left_join_attrs),
+                  Executor{ls, rs, ExecutionMode::kSemiJoin, FromChild::kLeft},
+                  ls, rs);
+          }
+          if (auths_.CanView(views.left_slave_view, ls) &&
+              auths_.CanView(views.right_master_view, rs)) {
+            relax(rs,
+                  base + model_.SemiJoinBytes(node, *node.right, *node.left,
+                                              views.right_join_attrs),
+                  Executor{rs, ls, ExecutionMode::kSemiJoin, FromChild::kRight},
+                  ls, rs);
+          }
+        }
+      }
+    }
+  }
+
+  const catalog::Catalog& cat_;
+  const authz::Policy& auths_;
+  const CostModel& model_;
+  std::vector<authz::Profile> profiles_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace
+
+Result<CostedPlan> MinCostSafePlanner::Plan(const plan::QueryPlan& plan) const {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat_));
+
+  Dp dp(cat_, auths_, model_, plan);
+  const Table& root = dp.Solve(*plan.root());
+  const Entry* best = nullptr;
+  catalog::ServerId best_server = catalog::kInvalidId;
+  for (const auto& [server, entry] : root) {
+    if (best == nullptr || entry.cost < best->cost) {
+      best = &entry;
+      best_server = server;
+    }
+  }
+  if (best == nullptr) {
+    return InfeasibleError("no safe executor assignment exists (min-cost DP)");
+  }
+  CostedPlan out;
+  out.assignment = Assignment(plan.node_count());
+  dp.Rebuild(*plan.root(), best_server, out.assignment);
+  out.total_bytes = best->cost;
+  return out;
+}
+
+Result<double> MinCostSafePlanner::EstimateAssignmentBytes(
+    const plan::QueryPlan& plan, const Assignment& assignment) const {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  double total = 0.0;
+  Status failure = Status::Ok();
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    if (node.op != plan::PlanOp::kJoin || !failure.ok()) return;
+    const Executor& ex = assignment.Of(node.id);
+    const catalog::ServerId lm = assignment.Of(node.left->id).master;
+    const catalog::ServerId rm = assignment.Of(node.right->id).master;
+    IdSet left_join_attrs;
+    IdSet right_join_attrs;
+    for (const algebra::EquiJoinAtom& atom : node.join_atoms) {
+      left_join_attrs.Insert(atom.left);
+      right_join_attrs.Insert(atom.right);
+    }
+    switch (ex.mode) {
+      case ExecutionMode::kLocal:
+        failure = InvalidArgumentError("join node with mode 'local'");
+        return;
+      case ExecutionMode::kRegularJoin:
+        if (ex.origin == FromChild::kThird) {
+          total += model_.RegularJoinBytes(*node.left, lm == ex.master);
+          total += model_.RegularJoinBytes(*node.right, rm == ex.master);
+        } else if (ex.origin == FromChild::kLeft) {
+          total += model_.RegularJoinBytes(*node.right, rm == ex.master);
+        } else {
+          total += model_.RegularJoinBytes(*node.left, lm == ex.master);
+        }
+        return;
+      case ExecutionMode::kSemiJoin:
+        if (ex.origin == FromChild::kLeft) {
+          total += model_.SemiJoinBytes(node, *node.left, *node.right,
+                                        left_join_attrs);
+        } else {
+          total += model_.SemiJoinBytes(node, *node.right, *node.left,
+                                        right_join_attrs);
+        }
+        return;
+    }
+  });
+  CISQP_RETURN_IF_ERROR(failure);
+  return total;
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,47 @@
+// MinCostSafePlanner: the communication-optimal safe assignment.
+//
+// Dynamic program over (plan node, result server): the minimum total bytes
+// shipped to produce the node's result at that server under only safe
+// executions — the same Fig. 5/Fig. 6 view obligations the paper's
+// algorithm enforces. Exact within the Def. 4.1 assignment space (masters
+// come from operand servers), polynomial: O(nodes × servers² × modes).
+//
+// Used as the upper baseline in the E7 ablation: how much communication does
+// the paper's greedy two-principle heuristic leave on the table?
+#pragma once
+
+#include "authz/authorization.hpp"
+#include "planner/assignment.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/mode_views.hpp"
+
+namespace cisqp::planner {
+
+struct CostedPlan {
+  Assignment assignment;
+  double total_bytes = 0.0;  ///< estimated bytes shipped by all joins
+};
+
+class MinCostSafePlanner {
+ public:
+  MinCostSafePlanner(const catalog::Catalog& cat,
+                     const authz::Policy& auths,
+                     const plan::StatsCatalog* stats = nullptr,
+                     CostModelOptions cost_options = {})
+      : cat_(cat), auths_(auths), model_(cat, stats, cost_options) {}
+
+  /// The cheapest safe assignment, or kInfeasible when none exists.
+  Result<CostedPlan> Plan(const plan::QueryPlan& plan) const;
+
+  /// Estimated bytes an existing assignment would ship (same model), so the
+  /// heuristic and the optimum are compared on one scale.
+  Result<double> EstimateAssignmentBytes(const plan::QueryPlan& plan,
+                                         const Assignment& assignment) const;
+
+ private:
+  const catalog::Catalog& cat_;
+  const authz::Policy& auths_;
+  CostModel model_;
+};
+
+}  // namespace cisqp::planner

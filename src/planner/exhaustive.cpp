@@ -1,0 +1,133 @@
+#include "planner/exhaustive.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "planner/verifier.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+/// One fully assigned subtree: where its result lives plus the executors of
+/// every node inside it.
+struct SubPlan {
+  catalog::ServerId server = catalog::kInvalidId;
+  std::map<int, Executor> executors;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const catalog::Catalog& cat, const ExhaustiveOptions& options)
+      : cat_(cat), options_(options) {}
+
+  Result<std::vector<SubPlan>> Enumerate(const plan::PlanNode& node) {
+    switch (node.op) {
+      case plan::PlanOp::kRelation: {
+        const catalog::ServerId home = cat_.relation(node.relation).server;
+        SubPlan sub;
+        sub.server = home;
+        sub.executors[node.id] =
+            Executor{home, std::nullopt, ExecutionMode::kLocal, FromChild::kSelf};
+        return std::vector<SubPlan>{std::move(sub)};
+      }
+      case plan::PlanOp::kProject:
+      case plan::PlanOp::kSelect: {
+        CISQP_ASSIGN_OR_RETURN(std::vector<SubPlan> children,
+                               Enumerate(*node.left));
+        for (SubPlan& sub : children) {
+          sub.executors[node.id] = Executor{sub.server, std::nullopt,
+                                            ExecutionMode::kLocal, FromChild::kLeft};
+        }
+        return children;
+      }
+      case plan::PlanOp::kJoin: {
+        CISQP_ASSIGN_OR_RETURN(std::vector<SubPlan> lefts, Enumerate(*node.left));
+        CISQP_ASSIGN_OR_RETURN(std::vector<SubPlan> rights, Enumerate(*node.right));
+        std::vector<SubPlan> out;
+        for (const SubPlan& l : lefts) {
+          for (const SubPlan& r : rights) {
+            // The four Def. 4.1 modes; semi-joins need distinct servers.
+            AppendMode(out, node, l, r,
+                       Executor{l.server, std::nullopt,
+                                ExecutionMode::kRegularJoin, FromChild::kLeft});
+            AppendMode(out, node, l, r,
+                       Executor{r.server, std::nullopt,
+                                ExecutionMode::kRegularJoin, FromChild::kRight});
+            if (l.server != r.server) {
+              AppendMode(out, node, l, r,
+                         Executor{l.server, r.server,
+                                  ExecutionMode::kSemiJoin, FromChild::kLeft});
+              AppendMode(out, node, l, r,
+                         Executor{r.server, l.server,
+                                  ExecutionMode::kSemiJoin, FromChild::kRight});
+            }
+            if (explored_ > options_.max_explored) {
+              return ResourceExhaustedError(
+                  "exhaustive enumeration exceeded max_explored=" +
+                  std::to_string(options_.max_explored));
+            }
+          }
+        }
+        return out;
+      }
+    }
+    return InternalError("unknown plan operator");
+  }
+
+  std::size_t explored() const noexcept { return explored_; }
+
+ private:
+  void AppendMode(std::vector<SubPlan>& out, const plan::PlanNode& node,
+                  const SubPlan& l, const SubPlan& r, Executor ex) {
+    ++explored_;
+    SubPlan sub;
+    sub.server = ex.master;
+    sub.executors = l.executors;
+    sub.executors.insert(r.executors.begin(), r.executors.end());
+    sub.executors[node.id] = ex;
+    out.push_back(std::move(sub));
+  }
+
+  const catalog::Catalog& cat_;
+  const ExhaustiveOptions& options_;
+  std::size_t explored_ = 0;
+};
+
+}  // namespace
+
+Result<ExhaustiveResult> EnumerateSafeAssignments(
+    const catalog::Catalog& cat, const authz::Policy& auths,
+    const plan::QueryPlan& plan, const ExhaustiveOptions& options) {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat));
+
+  Enumerator enumerator(cat, options);
+  CISQP_ASSIGN_OR_RETURN(std::vector<SubPlan> subplans,
+                         enumerator.Enumerate(*plan.root()));
+
+  ExhaustiveResult result;
+  result.explored = enumerator.explored();
+  for (const SubPlan& sub : subplans) {
+    Assignment assignment(plan.node_count());
+    for (const auto& [id, ex] : sub.executors) assignment.Set(id, ex);
+    // Safety is judged by the independent release-based verifier, not by the
+    // planner's candidate logic — that independence is the point.
+    CISQP_ASSIGN_OR_RETURN(std::vector<Release> releases,
+                           EnumerateReleases(cat, plan, assignment));
+    if (!FindViolations(auths, releases).empty()) continue;
+    result.feasible_root_servers.push_back(sub.server);
+    if (options.max_assignments == 0 ||
+        result.safe_assignments.size() < options.max_assignments) {
+      result.safe_assignments.push_back(std::move(assignment));
+    }
+  }
+  std::sort(result.feasible_root_servers.begin(),
+            result.feasible_root_servers.end());
+  result.feasible_root_servers.erase(
+      std::unique(result.feasible_root_servers.begin(),
+                  result.feasible_root_servers.end()),
+      result.feasible_root_servers.end());
+  return result;
+}
+
+}  // namespace cisqp::planner

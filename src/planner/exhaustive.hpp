@@ -1,0 +1,43 @@
+// Exhaustive baseline for Problem 4.1.
+//
+// Enumerates every executor assignment permitted by Def. 4.1 — each join
+// node takes one of the four Fig. 5 modes over the servers computing its
+// operands — and keeps the safe ones (same CanView obligations as Fig. 6).
+// Exponential in the number of joins; usable for plans with up to a dozen
+// joins. Exists to validate the paper's algorithm: SafePlanner must report
+// feasible exactly when this enumeration finds at least one safe assignment
+// (tests/planner_equivalence_test.cpp), and the feasible-master set per
+// subtree must match the algorithm's candidate set.
+#pragma once
+
+#include "authz/authorization.hpp"
+#include "planner/assignment.hpp"
+#include "planner/mode_views.hpp"
+
+namespace cisqp::planner {
+
+struct ExhaustiveOptions {
+  /// Stop after collecting this many safe assignments (0 = unlimited).
+  std::size_t max_assignments = 0;
+  /// Abort with kResourceExhausted after exploring this many partial
+  /// combinations, as a runaway guard on big plans.
+  std::size_t max_explored = 50'000'000;
+};
+
+struct ExhaustiveResult {
+  std::vector<Assignment> safe_assignments;
+  /// Feasible result servers of the *root*, deduplicated and sorted —
+  /// comparable to the SafePlanner's root candidate server set.
+  std::vector<catalog::ServerId> feasible_root_servers;
+  std::size_t explored = 0;  ///< total (safe or not) assignments considered
+
+  bool feasible() const noexcept { return !safe_assignments.empty(); }
+};
+
+/// Runs the enumeration. Fails only on malformed plans or when hitting
+/// max_explored.
+Result<ExhaustiveResult> EnumerateSafeAssignments(
+    const catalog::Catalog& cat, const authz::Policy& auths,
+    const plan::QueryPlan& plan, const ExhaustiveOptions& options = {});
+
+}  // namespace cisqp::planner

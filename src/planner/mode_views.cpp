@@ -1,0 +1,90 @@
+#include "planner/mode_views.hpp"
+
+namespace cisqp::planner {
+
+authz::JoinPath AtomsToJoinPath(const std::vector<algebra::EquiJoinAtom>& atoms) {
+  std::vector<authz::JoinAtom> out;
+  out.reserve(atoms.size());
+  for (const algebra::EquiJoinAtom& atom : atoms) {
+    out.push_back(authz::JoinAtom::Make(atom.left, atom.right));
+  }
+  return authz::JoinPath::FromAtoms(std::move(out));
+}
+
+JoinModeViews ComputeJoinModeViews(
+    const authz::Profile& left, const authz::Profile& right,
+    const std::vector<algebra::EquiJoinAtom>& atoms) {
+  JoinModeViews v;
+  v.condition = AtomsToJoinPath(atoms);
+  for (const algebra::EquiJoinAtom& atom : atoms) {
+    v.left_join_attrs.Insert(atom.left);
+    v.right_join_attrs.Insert(atom.right);
+  }
+
+  // Slave views: the projection of the *other* operand on its join
+  // attributes (Fig. 5 semi-join step 2).
+  v.right_slave_view = authz::Profile{v.left_join_attrs, left.join, left.sigma};
+  v.left_slave_view = authz::Profile{v.right_join_attrs, right.join, right.sigma};
+
+  // Master views: the reduced other operand joined back (Fig. 5 step 4).
+  const authz::JoinPath joined =
+      authz::JoinPath::Union(left.join, right.join, v.condition);
+  const IdSet sigma = IdSet::Union(left.sigma, right.sigma);
+  v.left_master_view = authz::Profile{
+      IdSet::Union(v.left_join_attrs, right.pi), joined, sigma};
+  v.right_master_view = authz::Profile{
+      IdSet::Union(left.pi, v.right_join_attrs), joined, sigma};
+
+  // Full views: the whole other operand (regular join).
+  v.left_full_view = right;
+  v.right_full_view = left;
+  return v;
+}
+
+namespace {
+
+authz::Profile ProfileRec(const catalog::Catalog& cat,
+                          const plan::PlanNode& node,
+                          std::vector<authz::Profile>& out) {
+  authz::Profile profile;
+  switch (node.op) {
+    case plan::PlanOp::kRelation:
+      profile = authz::Profile::OfBaseRelation(cat, node.relation);
+      break;
+    case plan::PlanOp::kProject: {
+      const authz::Profile child = ProfileRec(cat, *node.left, out);
+      IdSet x;
+      for (catalog::AttributeId a : node.projection) x.Insert(a);
+      profile = authz::Profile::Project(child, std::move(x));
+      break;
+    }
+    case plan::PlanOp::kSelect: {
+      const authz::Profile child = ProfileRec(cat, *node.left, out);
+      profile = authz::Profile::Select(child,
+                                       node.predicate.ReferencedAttributes());
+      break;
+    }
+    case plan::PlanOp::kJoin: {
+      const authz::Profile l = ProfileRec(cat, *node.left, out);
+      const authz::Profile r = ProfileRec(cat, *node.right, out);
+      profile = authz::Profile::Join(l, r, AtomsToJoinPath(node.join_atoms));
+      break;
+    }
+  }
+  CISQP_CHECK_MSG(node.id >= 0 &&
+                      static_cast<std::size_t>(node.id) < out.size(),
+                  "plan must be renumbered before profile computation");
+  out[static_cast<std::size_t>(node.id)] = profile;
+  return profile;
+}
+
+}  // namespace
+
+std::vector<authz::Profile> ComputeNodeProfiles(const catalog::Catalog& cat,
+                                                const plan::QueryPlan& plan) {
+  std::vector<authz::Profile> out(static_cast<std::size_t>(plan.node_count()));
+  if (plan.root() != nullptr) ProfileRec(cat, *plan.root(), out);
+  return out;
+}
+
+}  // namespace cisqp::planner

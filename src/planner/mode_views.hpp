@@ -1,0 +1,58 @@
+// The per-mode view obligations of paper Fig. 5 / Fig. 6.
+//
+// Executing a join `Rl ⋈_j Rr` in a given mode forces specific relations to
+// flow between the two executing servers; each flow releases a view with a
+// specific profile. This header centralizes those profiles so the paper's
+// algorithm, the exhaustive baseline, the cost-based planner, the
+// independent safety verifier, and the execution engine's runtime
+// enforcement all derive them from one implementation.
+//
+// Naming follows the paper's Fig. 6 pseudocode:
+//   right_slave_view  = [Jl, Rl⋈, Rlσ]        what the RIGHT server sees when
+//                                              acting as slave ([Sl,Sr]): the
+//                                              master's join-attribute column
+//   left_slave_view   = [Jr, Rr⋈, Rrσ]        symmetric, left server as slave
+//   left_master_view  = [Jl ∪ Rrπ, Rl⋈∪Rr⋈∪j, Rlσ∪Rrσ]
+//                                              what the LEFT server sees as
+//                                              semi-join master: the reduced
+//                                              right relation joined back
+//   right_master_view = [Rlπ ∪ Jr, Rl⋈∪Rr⋈∪j, Rlσ∪Rrσ]  symmetric
+//   left_full_view    = [Rrπ, Rr⋈, Rrσ]       what the LEFT server sees in a
+//                                              regular join: all of Rr
+//   right_full_view   = [Rlπ, Rl⋈, Rlσ]       symmetric
+#pragma once
+
+#include "authz/authorization.hpp"
+#include "authz/profile.hpp"
+#include "plan/plan_node.hpp"
+
+namespace cisqp::planner {
+
+/// All six Fig. 6 view profiles of one join node.
+struct JoinModeViews {
+  authz::Profile left_slave_view;
+  authz::Profile right_slave_view;
+  authz::Profile left_master_view;
+  authz::Profile right_master_view;
+  authz::Profile left_full_view;
+  authz::Profile right_full_view;
+  authz::JoinPath condition;  ///< `j`, the node's own equi-join atoms
+  IdSet left_join_attrs;      ///< Jl
+  IdSet right_join_attrs;     ///< Jr
+};
+
+/// Computes the six view profiles from the children's profiles and the
+/// node's join atoms.
+JoinModeViews ComputeJoinModeViews(const authz::Profile& left,
+                                   const authz::Profile& right,
+                                   const std::vector<algebra::EquiJoinAtom>& atoms);
+
+/// Converts a plan node's equi-join atoms to a canonical JoinPath.
+authz::JoinPath AtomsToJoinPath(const std::vector<algebra::EquiJoinAtom>& atoms);
+
+/// Computes the profile of every node of `plan` bottom-up per paper Fig. 4,
+/// indexed by node id. The plan must validate against `cat`.
+std::vector<authz::Profile> ComputeNodeProfiles(const catalog::Catalog& cat,
+                                                const plan::QueryPlan& plan);
+
+}  // namespace cisqp::planner

@@ -1,0 +1,166 @@
+#include "planner/plan_search.hpp"
+
+#include <algorithm>
+
+namespace cisqp::planner {
+namespace {
+
+/// Undirected equi-join atom between two relations.
+struct Edge {
+  catalog::AttributeId a = catalog::kInvalidId;
+  catalog::AttributeId b = catalog::kInvalidId;
+  catalog::RelationId rel_a = catalog::kInvalidId;
+  catalog::RelationId rel_b = catalog::kInvalidId;
+};
+
+std::vector<Edge> CollectEdges(const catalog::Catalog& cat,
+                               const plan::QuerySpec& spec) {
+  std::vector<Edge> edges;
+  for (const plan::JoinStep& step : spec.joins) {
+    for (const algebra::EquiJoinAtom& atom : step.atoms) {
+      edges.push_back(Edge{atom.left, atom.right,
+                           cat.attribute(atom.left).relation,
+                           cat.attribute(atom.right).relation});
+    }
+  }
+  return edges;
+}
+
+/// DFS over connected prefixes, emitting every complete order until the cap.
+class OrderEnumerator {
+ public:
+  OrderEnumerator(const std::vector<catalog::RelationId>& relations,
+                  const std::vector<Edge>& edges, std::size_t max_orders)
+      : relations_(relations), edges_(edges), max_orders_(max_orders) {}
+
+  std::vector<std::vector<catalog::RelationId>> Run() {
+    for (catalog::RelationId start : relations_) {
+      prefix_ = {start};
+      placed_ = IdSet{start};
+      Extend();
+      if (orders_.size() >= max_orders_) break;
+    }
+    return std::move(orders_);
+  }
+
+ private:
+  void Extend() {
+    if (orders_.size() >= max_orders_) return;
+    if (prefix_.size() == relations_.size()) {
+      orders_.push_back(prefix_);
+      return;
+    }
+    for (catalog::RelationId cand : relations_) {
+      if (placed_.Contains(cand)) continue;
+      const bool connected = std::any_of(
+          edges_.begin(), edges_.end(), [&](const Edge& e) {
+            return (e.rel_a == cand && placed_.Contains(e.rel_b)) ||
+                   (e.rel_b == cand && placed_.Contains(e.rel_a));
+          });
+      if (!connected) continue;
+      prefix_.push_back(cand);
+      placed_.Insert(cand);
+      Extend();
+      placed_.Erase(cand);
+      prefix_.pop_back();
+      if (orders_.size() >= max_orders_) return;
+    }
+  }
+
+  const std::vector<catalog::RelationId>& relations_;
+  const std::vector<Edge>& edges_;
+  const std::size_t max_orders_;
+  std::vector<catalog::RelationId> prefix_;
+  IdSet placed_;
+  std::vector<std::vector<catalog::RelationId>> orders_;
+};
+
+/// Rebuilds `spec` with the relations in `order`, re-orienting every atom so
+/// the new relation's attribute sits on the right.
+plan::QuerySpec ReorderSpec(const catalog::Catalog& cat,
+                            const plan::QuerySpec& spec,
+                            const std::vector<catalog::RelationId>& order,
+                            const std::vector<Edge>& edges) {
+  plan::QuerySpec out;
+  out.select_list = spec.select_list;
+  out.where = spec.where;
+  out.first_relation = order.front();
+  IdSet placed{order.front()};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const catalog::RelationId next = order[i];
+    plan::JoinStep step;
+    step.relation = next;
+    for (const Edge& e : edges) {
+      if (e.rel_b == next && placed.Contains(e.rel_a)) {
+        step.atoms.push_back(algebra::EquiJoinAtom{e.a, e.b});
+      } else if (e.rel_a == next && placed.Contains(e.rel_b)) {
+        step.atoms.push_back(algebra::EquiJoinAtom{e.b, e.a});
+      }
+    }
+    out.joins.push_back(std::move(step));
+    placed.Insert(next);
+  }
+  (void)cat;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<plan::QuerySpec>> FeasiblePlanSearch::EnumerateOrders(
+    const plan::QuerySpec& spec, std::size_t max_orders) const {
+  CISQP_RETURN_IF_ERROR(spec.Validate(cat_));
+  const std::vector<catalog::RelationId> relations = spec.Relations();
+  const std::vector<Edge> edges = CollectEdges(cat_, spec);
+  OrderEnumerator enumerator(relations, edges, max_orders);
+  std::vector<plan::QuerySpec> out;
+  for (const std::vector<catalog::RelationId>& order : enumerator.Run()) {
+    out.push_back(ReorderSpec(cat_, spec, order, edges));
+  }
+  if (out.empty()) {
+    return InvalidArgumentError("query join graph admits no connected order");
+  }
+  return out;
+}
+
+Result<PlanSearchResult> FeasiblePlanSearch::Search(
+    const plan::QuerySpec& spec, const PlanSearchOptions& options) const {
+  CISQP_ASSIGN_OR_RETURN(std::vector<plan::QuerySpec> orders,
+                         EnumerateOrders(spec, options.max_orders));
+
+  plan::PlanBuilder builder(cat_, stats_);
+  plan::BuildOptions build_options = options.build_options;
+  build_options.join_order = plan::JoinOrderPolicy::kFromClause;
+  SafePlanner planner(cat_, policy_, options.planner_options);
+  MinCostSafePlanner cost_scorer(cat_, policy_, stats_);
+
+  std::optional<PlanSearchResult> best;
+  std::size_t tried = 0;
+  std::size_t feasible = 0;
+  for (plan::QuerySpec& order : orders) {
+    ++tried;
+    auto built = builder.Build(order, build_options);
+    if (!built.ok()) continue;
+    CISQP_ASSIGN_OR_RETURN(PlanningReport report, planner.Analyze(*built));
+    if (!report.feasible) continue;
+    ++feasible;
+    CISQP_ASSIGN_OR_RETURN(
+        double bytes,
+        cost_scorer.EstimateAssignmentBytes(*built, report.plan->assignment));
+    if (!best || bytes < best->estimated_bytes) {
+      PlanSearchResult candidate;
+      candidate.plan = std::move(*built);
+      candidate.safe_plan = std::move(*report.plan);
+      candidate.estimated_bytes = bytes;
+      best = std::move(candidate);
+    }
+  }
+  if (!best) {
+    return InfeasibleError("no examined join order admits a safe assignment (" +
+                           std::to_string(tried) + " orders tried)");
+  }
+  best->orders_tried = tried;
+  best->orders_feasible = feasible;
+  return std::move(*best);
+}
+
+}  // namespace cisqp::planner

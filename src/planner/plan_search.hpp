@@ -1,0 +1,66 @@
+// FeasiblePlanSearch: feasibility-aware join ordering.
+//
+// The paper separates optimization into two steps (§5 end): pick a good
+// query tree, then assign executors safely. A tree that is optimal for cost
+// can still be *infeasible* — no safe assignment exists for that shape —
+// while a different join order of the same query is perfectly executable
+// (authorizations are path- and shape-sensitive). This module closes the
+// loop the paper leaves open: it enumerates connected left-deep join orders
+// of a QuerySpec, runs the paper's algorithm on each, and returns the
+// cheapest feasible plan (estimated communication bytes under the shared
+// cost model), reporting how many orders were tried and how many were
+// feasible.
+//
+// Experiment E9 (bench_plan_search) measures the rescue rate: the fraction
+// of queries whose FROM-order plan is infeasible but that this search still
+// executes safely.
+#pragma once
+
+#include "planner/cost_planner.hpp"
+#include "planner/safe_planner.hpp"
+#include "plan/builder.hpp"
+#include "plan/query_spec.hpp"
+
+namespace cisqp::planner {
+
+struct PlanSearchOptions {
+  /// Cap on join orders examined (the order space is factorial).
+  std::size_t max_orders = 2000;
+  /// Options forwarded to the per-order SafePlanner runs.
+  SafePlannerOptions planner_options;
+  /// Options forwarded to the per-order PlanBuilder runs (join_order is
+  /// ignored; the search dictates the order).
+  plan::BuildOptions build_options;
+};
+
+struct PlanSearchResult {
+  plan::QueryPlan plan;       ///< the chosen feasible plan
+  SafePlan safe_plan;         ///< its safe assignment (paper heuristic)
+  double estimated_bytes = 0; ///< heuristic assignment cost, shared model
+  std::size_t orders_tried = 0;
+  std::size_t orders_feasible = 0;
+};
+
+class FeasiblePlanSearch {
+ public:
+  FeasiblePlanSearch(const catalog::Catalog& cat, const authz::Policy& policy,
+                     const plan::StatsCatalog* stats = nullptr)
+      : cat_(cat), policy_(policy), stats_(stats) {}
+
+  /// Finds the cheapest feasible left-deep ordering of `spec`, or
+  /// kInfeasible when no examined order admits a safe assignment.
+  Result<PlanSearchResult> Search(const plan::QuerySpec& spec,
+                                  const PlanSearchOptions& options = {}) const;
+
+  /// Enumerates connected left-deep orders of `spec` (capped), as reordered
+  /// QuerySpecs. Exposed for tests and experiments.
+  Result<std::vector<plan::QuerySpec>> EnumerateOrders(
+      const plan::QuerySpec& spec, std::size_t max_orders) const;
+
+ private:
+  const catalog::Catalog& cat_;
+  const authz::Policy& policy_;
+  const plan::StatsCatalog* stats_;
+};
+
+}  // namespace cisqp::planner

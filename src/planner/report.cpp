@@ -1,0 +1,118 @@
+#include "planner/report.hpp"
+
+#include <sstream>
+
+namespace cisqp::planner {
+namespace {
+
+/// Pastel fill colors, cycled by server id.
+constexpr const char* kPalette[] = {
+    "#cfe8ff", "#ffd9cf", "#d6f5d6", "#f5e6c8", "#e8d6f5",
+    "#f5d6e8", "#d6ecf5", "#eef5c8",
+};
+
+std::string NodeLabel(const catalog::Catalog& cat, const plan::PlanNode& node,
+                      const Executor& ex,
+                      const std::vector<authz::Profile>* profiles,
+                      bool show_profiles) {
+  std::ostringstream oss;
+  oss << "n" << node.id << " " << plan::PlanOpName(node.op);
+  switch (node.op) {
+    case plan::PlanOp::kRelation:
+      oss << "\\n" << cat.relation(node.relation).name;
+      break;
+    case plan::PlanOp::kProject: {
+      oss << "\\n[";
+      for (std::size_t i = 0; i < node.projection.size(); ++i) {
+        if (i != 0) oss << ", ";
+        oss << cat.attribute(node.projection[i]).name;
+      }
+      oss << "]";
+      break;
+    }
+    case plan::PlanOp::kSelect:
+      oss << "\\n" << node.predicate.ToString(cat);
+      break;
+    case plan::PlanOp::kJoin: {
+      oss << "\\n";
+      for (std::size_t i = 0; i < node.join_atoms.size(); ++i) {
+        if (i != 0) oss << " AND ";
+        oss << cat.attribute(node.join_atoms[i].left).name << "="
+            << cat.attribute(node.join_atoms[i].right).name;
+      }
+      break;
+    }
+  }
+  oss << "\\n" << ex.ToString(cat);
+  if (node.op == plan::PlanOp::kJoin) {
+    oss << " " << ExecutionModeName(ex.mode);
+  }
+  if (show_profiles && profiles != nullptr) {
+    oss << "\\n" << (*profiles)[static_cast<std::size_t>(node.id)].ToString(cat);
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+Result<std::string> ToDot(const catalog::Catalog& cat,
+                          const plan::QueryPlan& plan,
+                          const Assignment& assignment,
+                          const DotOptions& options) {
+  // Release enumeration both validates the assignment and tells us which
+  // parent-child edges carry cross-server shipments.
+  CISQP_ASSIGN_OR_RETURN(std::vector<Release> releases,
+                         EnumerateReleases(cat, plan, assignment));
+  const std::vector<authz::Profile> profiles = ComputeNodeProfiles(cat, plan);
+
+  std::ostringstream oss;
+  oss << "digraph " << options.graph_name << " {\n";
+  oss << "  rankdir=BT;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    const Executor& ex = assignment.Of(node.id);
+    const char* fill = kPalette[ex.master % (sizeof(kPalette) / sizeof(kPalette[0]))];
+    oss << "  n" << node.id << " [label=\""
+        << NodeLabel(cat, node, ex, &profiles, options.show_profiles)
+        << "\", fillcolor=\"" << fill << "\"];\n";
+  });
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    for (const plan::PlanNode* child : {node.left.get(), node.right.get()}) {
+      if (child == nullptr) continue;
+      const bool ships =
+          assignment.Of(child->id).master != assignment.Of(node.id).master;
+      oss << "  n" << child->id << " -> n" << node.id;
+      if (ships) {
+        oss << " [style=dashed, label=\"ship\"]";
+      }
+      oss << ";\n";
+    }
+  });
+  // Legend: one line per server with its color.
+  oss << "  subgraph cluster_legend {\n    label=\"servers\";\n";
+  for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+    oss << "    legend_" << s << " [label=\"" << cat.server(s).name
+        << "\", fillcolor=\""
+        << kPalette[s % (sizeof(kPalette) / sizeof(kPalette[0]))] << "\"];\n";
+  }
+  oss << "  }\n}\n";
+  return oss.str();
+}
+
+Result<std::string> ReleasesToMarkdown(const catalog::Catalog& cat,
+                                       const plan::QueryPlan& plan,
+                                       const Assignment& assignment,
+                                       const VerifyOptions& options) {
+  CISQP_ASSIGN_OR_RETURN(std::vector<Release> releases,
+                         EnumerateReleases(cat, plan, assignment, options));
+  std::ostringstream oss;
+  oss << "| node | from | to | released profile | flow |\n";
+  oss << "|---|---|---|---|---|\n";
+  for (const Release& r : releases) {
+    oss << "| n" << r.node_id << " | " << cat.server(r.from).name << " | "
+        << cat.server(r.to).name << " | `" << r.profile.ToString(cat) << "` | "
+        << r.description << (r.physical ? "" : " *(colocated)*") << " |\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,36 @@
+// Reporting helpers: render a plan with its safe assignment for humans —
+// Graphviz DOT (one node per operator, colored by executing server, dashed
+// edges for data shipments) and a Markdown release table for policy reviews.
+#pragma once
+
+#include <string>
+
+#include "planner/verifier.hpp"
+
+namespace cisqp::planner {
+
+struct DotOptions {
+  /// Graph name in the `digraph <name> { ... }` header.
+  std::string graph_name = "cisqp_plan";
+  /// Include the per-node profile in the label (verbose).
+  bool show_profiles = false;
+};
+
+/// Renders `plan` + `assignment` as Graphviz DOT. Operator nodes are boxes
+/// labelled "n<id> <op> [master, slave]", filled per master server (a stable
+/// palette keyed by server id); child→parent data-flow edges are solid when
+/// colocated and dashed with a "ship" label when the flow crosses servers.
+/// The assignment must be structurally valid for `plan`.
+Result<std::string> ToDot(const catalog::Catalog& cat,
+                          const plan::QueryPlan& plan,
+                          const Assignment& assignment,
+                          const DotOptions& options = {});
+
+/// Renders the releases of an assignment as a Markdown table
+/// (| node | from | to | profile | flow |), for audit documents.
+Result<std::string> ReleasesToMarkdown(const catalog::Catalog& cat,
+                                       const plan::QueryPlan& plan,
+                                       const Assignment& assignment,
+                                       const VerifyOptions& options = {});
+
+}  // namespace cisqp::planner

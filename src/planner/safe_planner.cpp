@@ -1,0 +1,335 @@
+#include "planner/safe_planner.hpp"
+
+#include <algorithm>
+
+namespace cisqp::planner {
+namespace {
+
+/// Mutable per-node working state of one planning run.
+struct NodeState {
+  authz::Profile profile;
+  std::vector<Candidate> candidates;  ///< sorted by count desc, stable
+  std::optional<Candidate> leftslave;
+  std::optional<Candidate> rightslave;
+  std::vector<CandidateRejection> rejections;  ///< failed probes (diagnostics)
+};
+
+/// Keeps candidate lists in the order the paper's GetFirst expects:
+/// decreasing join counter; stable for ties so right-child candidates (added
+/// first at a join, per the Fig. 6 case order) precede left-child ones.
+void SortCandidates(std::vector<Candidate>& candidates) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.count > b.count;
+                   });
+}
+
+class PlannerRun {
+ public:
+  PlannerRun(const catalog::Catalog& cat, const authz::Policy& auths,
+             const SafePlannerOptions& options, const plan::QueryPlan& plan)
+      : cat_(cat), auths_(auths), options_(options), plan_(plan),
+        states_(static_cast<std::size_t>(plan.node_count())) {}
+
+  Result<PlanningReport> Run() {
+    PlanningReport report;
+    if (!FindCandidates(*plan_.root())) {
+      report.feasible = false;
+      report.blocking_node = blocking_node_;
+      report.can_view_calls = can_view_calls_;
+      report.blocking_rejections =
+          states_[static_cast<std::size_t>(blocking_node_)].rejections;
+      return report;
+    }
+
+    Assignment assignment(plan_.node_count());
+    AssignEx(*plan_.root(), std::nullopt, assignment);
+
+    // Requestor extension: the party issuing the query must be allowed to
+    // view the final result unless it computed the result itself.
+    if (options_.requestor) {
+      const catalog::ServerId root_master = assignment.Of(plan_.root()->id).master;
+      if (*options_.requestor != root_master &&
+          !CanView(State(*plan_.root()).profile, *options_.requestor)) {
+        report.feasible = false;
+        report.blocking_node = plan_.root()->id;
+        report.can_view_calls = can_view_calls_;
+        report.blocking_rejections.push_back(CandidateRejection{
+            *options_.requestor, FromChild::kSelf, ExecutionMode::kLocal,
+            "requestor", State(*plan_.root()).profile});
+        return report;
+      }
+    }
+
+    SafePlan safe;
+    safe.assignment = std::move(assignment);
+    safe.profiles.reserve(states_.size());
+    for (const NodeState& state : states_) safe.profiles.push_back(state.profile);
+    safe.trace = std::move(trace_);
+    report.feasible = true;
+    report.plan = std::move(safe);
+    report.can_view_calls = can_view_calls_;
+    return report;
+  }
+
+ private:
+  NodeState& State(const plan::PlanNode& node) {
+    return states_[static_cast<std::size_t>(node.id)];
+  }
+
+  bool CanView(const authz::Profile& profile, catalog::ServerId server) {
+    ++can_view_calls_;
+    return auths_.CanView(profile, server);
+  }
+
+  /// Post-order traversal; returns false when some node has no candidate
+  /// (the paper's exit(n)), recording it in blocking_node_.
+  bool FindCandidates(const plan::PlanNode& node) {
+    if (node.left && !FindCandidates(*node.left)) return false;
+    if (node.right && !FindCandidates(*node.right)) return false;
+
+    NodeState& state = State(node);
+    switch (node.op) {
+      case plan::PlanOp::kRelation: {
+        state.profile = authz::Profile::OfBaseRelation(cat_, node.relation);
+        const catalog::ServerId home = cat_.relation(node.relation).server;
+        state.candidates.push_back(
+            Candidate{home, FromChild::kSelf, 0, ExecutionMode::kLocal,
+                      std::nullopt});
+        break;
+      }
+      case plan::PlanOp::kProject: {
+        const NodeState& child = State(*node.left);
+        IdSet x;
+        for (catalog::AttributeId a : node.projection) x.Insert(a);
+        state.profile = authz::Profile::Project(child.profile, std::move(x));
+        for (const Candidate& c : child.candidates) {
+          state.candidates.push_back(
+              Candidate{c.server, FromChild::kLeft, c.count,
+                        ExecutionMode::kLocal, std::nullopt});
+        }
+        break;
+      }
+      case plan::PlanOp::kSelect: {
+        const NodeState& child = State(*node.left);
+        state.profile = authz::Profile::Select(
+            child.profile, node.predicate.ReferencedAttributes());
+        for (const Candidate& c : child.candidates) {
+          state.candidates.push_back(
+              Candidate{c.server, FromChild::kLeft, c.count,
+                        ExecutionMode::kLocal, std::nullopt});
+        }
+        break;
+      }
+      case plan::PlanOp::kJoin:
+        FindJoinCandidates(node, state);
+        break;
+    }
+
+    SortCandidates(state.candidates);
+    trace_.find_candidates.push_back(NodeTrace{
+        node.id, state.profile, state.candidates,
+        state.leftslave ? std::optional(state.leftslave->server) : std::nullopt,
+        state.rightslave ? std::optional(state.rightslave->server) : std::nullopt});
+    if (state.candidates.empty()) {
+      blocking_node_ = node.id;
+      return false;
+    }
+    return true;
+  }
+
+  void FindJoinCandidates(const plan::PlanNode& node, NodeState& state) {
+    NodeState& l = State(*node.left);
+    NodeState& r = State(*node.right);
+    const JoinModeViews views =
+        ComputeJoinModeViews(l.profile, r.profile, node.join_atoms);
+    state.profile = authz::Profile::Join(l.profile, r.profile, views.condition);
+
+    // CanView probe that records failed attempts for diagnostics.
+    const auto probe = [&](const authz::Profile& view, catalog::ServerId server,
+                           FromChild from, ExecutionMode mode,
+                           const char* role) {
+      if (CanView(view, server)) return true;
+      state.rejections.push_back(CandidateRejection{server, from, mode, role, view});
+      return false;
+    };
+
+    // Case [S_r, NULL] and [S_r, S_l]: a master from the right child, with
+    // the left operand either shipped whole or reduced through a left slave.
+    // The slave search scans left-child candidates in decreasing counter
+    // order and keeps the first two distinct hits: one slave suffices since
+    // slaves are never propagated upward (paper §5), except that Def. 4.1
+    // requires master ≠ slave — when a master candidate coincides with the
+    // primary slave, the runner-up slave restores completeness
+    // (DESIGN.md §2.2).
+    std::optional<Candidate> leftslave2;
+    for (const Candidate& c : l.candidates) {
+      if (!probe(views.left_slave_view, c.server, FromChild::kLeft,
+                 ExecutionMode::kSemiJoin, "slave")) {
+        continue;
+      }
+      if (!state.leftslave) {
+        state.leftslave = c;
+      } else if (c.server != state.leftslave->server) {
+        leftslave2 = c;
+        break;
+      }
+    }
+    const auto slave_for = [](const std::optional<Candidate>& primary,
+                              const std::optional<Candidate>& secondary,
+                              catalog::ServerId master)
+        -> std::optional<catalog::ServerId> {
+      if (primary && primary->server != master) return primary->server;
+      if (secondary && secondary->server != master) return secondary->server;
+      return std::nullopt;
+    };
+    for (const Candidate& c : r.candidates) {
+      const std::optional<catalog::ServerId> slave =
+          slave_for(state.leftslave, leftslave2, c.server);
+      if (slave && probe(views.right_master_view, c.server, FromChild::kRight,
+                         ExecutionMode::kSemiJoin, "master")) {
+        state.candidates.push_back(Candidate{c.server, FromChild::kRight,
+                                             c.count + 1, ExecutionMode::kSemiJoin,
+                                             slave});
+      } else if (probe(views.right_full_view, c.server, FromChild::kRight,
+                       ExecutionMode::kRegularJoin, "master")) {
+        state.candidates.push_back(Candidate{c.server, FromChild::kRight,
+                                             c.count + 1,
+                                             ExecutionMode::kRegularJoin,
+                                             std::nullopt});
+      }
+    }
+
+    // Symmetric case [S_l, NULL] and [S_l, S_r].
+    std::optional<Candidate> rightslave2;
+    for (const Candidate& c : r.candidates) {
+      if (!probe(views.right_slave_view, c.server, FromChild::kRight,
+                 ExecutionMode::kSemiJoin, "slave")) {
+        continue;
+      }
+      if (!state.rightslave) {
+        state.rightslave = c;
+      } else if (c.server != state.rightslave->server) {
+        rightslave2 = c;
+        break;
+      }
+    }
+    for (const Candidate& c : l.candidates) {
+      const std::optional<catalog::ServerId> slave =
+          slave_for(state.rightslave, rightslave2, c.server);
+      if (slave && probe(views.left_master_view, c.server, FromChild::kLeft,
+                         ExecutionMode::kSemiJoin, "master")) {
+        state.candidates.push_back(Candidate{c.server, FromChild::kLeft,
+                                             c.count + 1, ExecutionMode::kSemiJoin,
+                                             slave});
+      } else if (probe(views.left_full_view, c.server, FromChild::kLeft,
+                       ExecutionMode::kRegularJoin, "master")) {
+        state.candidates.push_back(Candidate{c.server, FromChild::kLeft,
+                                             c.count + 1,
+                                             ExecutionMode::kRegularJoin,
+                                             std::nullopt});
+      }
+    }
+
+    // Footnote-3 extension: a third party that may view both operands in
+    // full can execute the join as a proxy master.
+    if (state.candidates.empty() && options_.allow_third_party) {
+      for (catalog::ServerId t = 0; t < cat_.server_count(); ++t) {
+        if (probe(views.right_full_view, t, FromChild::kThird,
+                  ExecutionMode::kRegularJoin, "proxy") &&
+            probe(views.left_full_view, t, FromChild::kThird,
+                  ExecutionMode::kRegularJoin, "proxy")) {
+          state.candidates.push_back(Candidate{
+              t, FromChild::kThird, 1, ExecutionMode::kRegularJoin, std::nullopt});
+        }
+      }
+    }
+  }
+
+  void AssignEx(const plan::PlanNode& node,
+                std::optional<catalog::ServerId> from_parent,
+                Assignment& assignment) {
+    NodeState& state = State(node);
+    const Candidate* chosen = nullptr;
+    if (from_parent) {
+      for (const Candidate& c : state.candidates) {
+        if (c.server == *from_parent) {
+          chosen = &c;
+          break;
+        }
+      }
+      CISQP_CHECK_MSG(chosen != nullptr,
+                      "parent pushed a server that is not a candidate of node n"
+                          << node.id);
+    } else {
+      chosen = &state.candidates.front();
+    }
+
+    Executor ex;
+    ex.master = chosen->server;
+    ex.mode = node.op == plan::PlanOp::kJoin ? chosen->mode : ExecutionMode::kLocal;
+    ex.origin = chosen->from;
+
+    std::optional<catalog::ServerId> to_left;
+    std::optional<catalog::ServerId> to_right;
+    switch (chosen->from) {
+      case FromChild::kSelf:
+        break;
+      case FromChild::kLeft:
+        if (node.op == plan::PlanOp::kJoin &&
+            chosen->mode == ExecutionMode::kSemiJoin) {
+          CISQP_CHECK(chosen->slave.has_value());
+          ex.slave = chosen->slave;
+        }
+        to_left = ex.master;
+        to_right = ex.slave;
+        break;
+      case FromChild::kRight:
+        if (node.op == plan::PlanOp::kJoin &&
+            chosen->mode == ExecutionMode::kSemiJoin) {
+          CISQP_CHECK(chosen->slave.has_value());
+          ex.slave = chosen->slave;
+        }
+        to_left = ex.slave;
+        to_right = ex.master;
+        break;
+      case FromChild::kThird:
+        // Proxy master: children pick their own best candidates.
+        break;
+    }
+
+    assignment.Set(node.id, ex);
+    trace_.assign.push_back(AssignTrace{node.id, ex, from_parent});
+    if (node.left) AssignEx(*node.left, to_left, assignment);
+    if (node.right) AssignEx(*node.right, to_right, assignment);
+  }
+
+  const catalog::Catalog& cat_;
+  const authz::Policy& auths_;
+  const SafePlannerOptions& options_;
+  const plan::QueryPlan& plan_;
+  std::vector<NodeState> states_;
+  PlanningTrace trace_;
+  std::size_t can_view_calls_ = 0;
+  int blocking_node_ = -1;
+};
+
+}  // namespace
+
+Result<PlanningReport> SafePlanner::Analyze(const plan::QueryPlan& plan) const {
+  if (plan.empty()) return InvalidArgumentError("cannot plan an empty query tree");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat_));
+  PlannerRun run(cat_, auths_, options_, plan);
+  return run.Run();
+}
+
+Result<SafePlan> SafePlanner::Plan(const plan::QueryPlan& plan) const {
+  CISQP_ASSIGN_OR_RETURN(PlanningReport report, Analyze(plan));
+  if (!report.feasible) {
+    return InfeasibleError("no safe executor assignment exists; blocked at node n" +
+                           std::to_string(report.blocking_node));
+  }
+  return std::move(*report.plan);
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,80 @@
+// SafePlanner: the paper's two-traversal algorithm (Fig. 6) for Problem 4.1 —
+// given a query tree plan and an authorization set, decide feasibility and
+// produce a safe executor assignment λ_T.
+//
+// Traversal 1, Find_candidates (post-order): computes each node's profile
+// (Fig. 4) and its candidate master servers. For a join it first searches the
+// left child's candidates — in decreasing join-counter order — for one that
+// may act as slave of a right-master semi-join; every right-child candidate
+// is then admitted as master if it can view the semi-join master view (when
+// a slave exists) or, failing that, the full regular-join view. The check is
+// then repeated symmetrically. Candidate counters track in how many joins of
+// the subtree the server participates; see DESIGN.md §2.2-2.3 for the two
+// spots where the printed pseudocode is ambiguous and how this implementation
+// resolves them.
+//
+// Traversal 2, Assign_ex (pre-order): at the root picks the candidate with
+// the highest counter; at inner nodes the server pushed down by the parent.
+// The chosen master is pushed to the child it was inherited from, the
+// recorded slave (if the chosen candidate qualified as a semi-join master)
+// to the other child.
+#pragma once
+
+#include <optional>
+
+#include "authz/authorization.hpp"
+#include "planner/assignment.hpp"
+#include "planner/mode_views.hpp"
+
+namespace cisqp::planner {
+
+struct SafePlannerOptions {
+  /// Footnote-3 extension: when a join node has no candidate from either
+  /// child, admit any federation server that may view BOTH operands in full
+  /// as a regular-join proxy master. Off by default (the paper's algorithm).
+  bool allow_third_party = false;
+
+  /// When set, the plan is feasible only if this server may additionally
+  /// view the root result profile (the party issuing the query).
+  std::optional<catalog::ServerId> requestor;
+};
+
+/// Successful planning output.
+struct SafePlan {
+  Assignment assignment;
+  std::vector<authz::Profile> profiles;  ///< per node id (Fig. 4)
+  PlanningTrace trace;                   ///< Fig. 7 material
+};
+
+/// Outcome of an Analyze call, feasible or not.
+struct PlanningReport {
+  bool feasible = false;
+  int blocking_node = -1;  ///< node at which Find_candidates exited, or -1
+  std::optional<SafePlan> plan;  ///< set iff feasible
+  std::size_t can_view_calls = 0;  ///< CanView probes performed
+  /// When infeasible: every failed CanView probe at the blocking node,
+  /// naming the server, the attempted role, and the denied view profile.
+  std::vector<CandidateRejection> blocking_rejections;
+};
+
+class SafePlanner {
+ public:
+  SafePlanner(const catalog::Catalog& cat, const authz::Policy& auths,
+              SafePlannerOptions options = {})
+      : cat_(cat), auths_(auths), options_(options) {}
+
+  /// Runs both traversals. Never fails on infeasibility — that is reported
+  /// in the PlanningReport; fails only on malformed plans.
+  Result<PlanningReport> Analyze(const plan::QueryPlan& plan) const;
+
+  /// Convenience wrapper: the safe plan, or kInfeasible naming the blocking
+  /// node (Problem 4.1).
+  Result<SafePlan> Plan(const plan::QueryPlan& plan) const;
+
+ private:
+  const catalog::Catalog& cat_;
+  const authz::Policy& auths_;
+  SafePlannerOptions options_;
+};
+
+}  // namespace cisqp::planner

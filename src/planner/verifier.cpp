@@ -1,0 +1,211 @@
+#include "planner/verifier.hpp"
+
+#include <sstream>
+
+namespace cisqp::planner {
+
+std::string Release::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream oss;
+  oss << "n" << node_id << ": " << cat.server(from).name << " -> "
+      << cat.server(to).name << " " << profile.ToString(cat) << " ("
+      << description << (physical ? "" : ", colocated") << ")";
+  return oss.str();
+}
+
+namespace {
+
+class ReleaseWalker {
+ public:
+  ReleaseWalker(const catalog::Catalog& cat, const plan::QueryPlan& plan,
+                const Assignment& assignment)
+      : cat_(cat), assignment_(assignment),
+        profiles_(ComputeNodeProfiles(cat, plan)) {}
+
+  Status Walk(const plan::PlanNode& node) {
+    if (node.left) CISQP_RETURN_IF_ERROR(Walk(*node.left));
+    if (node.right) CISQP_RETURN_IF_ERROR(Walk(*node.right));
+
+    const Executor& ex = assignment_.Of(node.id);
+    if (ex.master >= cat_.server_count()) {
+      return InvalidArgumentError("node n" + std::to_string(node.id) +
+                                  " has no valid master server assigned");
+    }
+    if (ex.slave && *ex.slave >= cat_.server_count()) {
+      return InvalidArgumentError("node n" + std::to_string(node.id) +
+                                  " has an invalid slave server assigned");
+    }
+    switch (node.op) {
+      case plan::PlanOp::kRelation: {
+        const catalog::ServerId home = cat_.relation(node.relation).server;
+        if (ex.master != home) {
+          return InvalidArgumentError(
+              "leaf n" + std::to_string(node.id) + " assigned to '" +
+              cat_.server(ex.master).name + "' but relation lives at '" +
+              cat_.server(home).name + "'");
+        }
+        return Status::Ok();
+      }
+      case plan::PlanOp::kProject:
+      case plan::PlanOp::kSelect: {
+        const Executor& child = assignment_.Of(node.left->id);
+        if (ex.master != child.master) {
+          return InvalidArgumentError(
+              "unary node n" + std::to_string(node.id) +
+              " must execute at its operand's server (Def. 4.1)");
+        }
+        return Status::Ok();
+      }
+      case plan::PlanOp::kJoin:
+        return WalkJoin(node, ex);
+    }
+    return InternalError("unknown plan operator");
+  }
+
+  std::vector<Release>& releases() { return releases_; }
+  const authz::Profile& profile_of(int node_id) const {
+    return profiles_[static_cast<std::size_t>(node_id)];
+  }
+
+ private:
+  Status WalkJoin(const plan::PlanNode& node, const Executor& ex) {
+    const catalog::ServerId lm = assignment_.Of(node.left->id).master;
+    const catalog::ServerId rm = assignment_.Of(node.right->id).master;
+    const authz::Profile& lp = profile_of(node.left->id);
+    const authz::Profile& rp = profile_of(node.right->id);
+    const JoinModeViews views =
+        ComputeJoinModeViews(lp, rp, node.join_atoms);
+
+    switch (ex.mode) {
+      case ExecutionMode::kLocal:
+        return InvalidArgumentError("join node n" + std::to_string(node.id) +
+                                    " cannot have mode 'local'");
+      case ExecutionMode::kRegularJoin: {
+        if (ex.slave) {
+          return InvalidArgumentError("regular join n" + std::to_string(node.id) +
+                                      " must have a NULL slave");
+        }
+        switch (ex.origin) {
+          case FromChild::kLeft:
+            if (ex.master != lm) return OriginMismatch(node);
+            Emit(node.id, rm, ex.master, views.left_full_view,
+                 "regular join: right operand shipped to left master");
+            return Status::Ok();
+          case FromChild::kRight:
+            if (ex.master != rm) return OriginMismatch(node);
+            Emit(node.id, lm, ex.master, views.right_full_view,
+                 "regular join: left operand shipped to right master");
+            return Status::Ok();
+          case FromChild::kThird:
+            Emit(node.id, lm, ex.master, views.right_full_view,
+                 "third-party join: left operand shipped to proxy");
+            Emit(node.id, rm, ex.master, views.left_full_view,
+                 "third-party join: right operand shipped to proxy");
+            return Status::Ok();
+          case FromChild::kSelf:
+            return InvalidArgumentError("join node n" + std::to_string(node.id) +
+                                        " has origin 'self'");
+        }
+        return InternalError("unknown origin");
+      }
+      case ExecutionMode::kSemiJoin: {
+        if (!ex.slave) {
+          return InvalidArgumentError("semi-join n" + std::to_string(node.id) +
+                                      " needs a slave");
+        }
+        if (ex.master == *ex.slave) {
+          return InvalidArgumentError("semi-join n" + std::to_string(node.id) +
+                                      " has master == slave (Def. 4.1)");
+        }
+        if (ex.origin == FromChild::kLeft) {
+          // [S_l, S_r]: master computes the left subtree, slave the right.
+          if (ex.master != lm || *ex.slave != rm) return OriginMismatch(node);
+          Emit(node.id, ex.master, *ex.slave, views.right_slave_view,
+               "semi-join step 2: pi_Jl(left) shipped to slave");
+          Emit(node.id, *ex.slave, ex.master, views.left_master_view,
+               "semi-join step 4: reduced right operand shipped back");
+          return Status::Ok();
+        }
+        if (ex.origin == FromChild::kRight) {
+          // [S_r, S_l]: symmetric.
+          if (ex.master != rm || *ex.slave != lm) return OriginMismatch(node);
+          Emit(node.id, ex.master, *ex.slave, views.left_slave_view,
+               "semi-join step 2: pi_Jr(right) shipped to slave");
+          Emit(node.id, *ex.slave, ex.master, views.right_master_view,
+               "semi-join step 4: reduced left operand shipped back");
+          return Status::Ok();
+        }
+        return InvalidArgumentError("semi-join n" + std::to_string(node.id) +
+                                    " has invalid origin");
+      }
+    }
+    return InternalError("unknown execution mode");
+  }
+
+  Status OriginMismatch(const plan::PlanNode& node) const {
+    return InvalidArgumentError(
+        "executor of join n" + std::to_string(node.id) +
+        " does not match the servers computing its operands");
+  }
+
+  void Emit(int node_id, catalog::ServerId from, catalog::ServerId to,
+            authz::Profile profile, std::string description) {
+    releases_.push_back(Release{node_id, from, to, std::move(profile),
+                                from != to, std::move(description)});
+  }
+
+  const catalog::Catalog& cat_;
+  const Assignment& assignment_;
+  std::vector<authz::Profile> profiles_;
+  std::vector<Release> releases_;
+};
+
+}  // namespace
+
+Result<std::vector<Release>> EnumerateReleases(const catalog::Catalog& cat,
+                                               const plan::QueryPlan& plan,
+                                               const Assignment& assignment,
+                                               const VerifyOptions& options) {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat));
+  if (assignment.size() != static_cast<std::size_t>(plan.node_count())) {
+    return InvalidArgumentError("assignment size does not match plan node count");
+  }
+  ReleaseWalker walker(cat, plan, assignment);
+  CISQP_RETURN_IF_ERROR(walker.Walk(*plan.root()));
+  if (options.requestor) {
+    const int root_id = plan.root()->id;
+    const catalog::ServerId master = assignment.Of(root_id).master;
+    if (*options.requestor != master) {
+      walker.releases().push_back(Release{
+          root_id, master, *options.requestor, walker.profile_of(root_id),
+          true, "final result delivered to requestor"});
+    }
+  }
+  return std::move(walker.releases());
+}
+
+std::vector<Release> FindViolations(const authz::Policy& auths,
+                                    const std::vector<Release>& releases) {
+  std::vector<Release> out;
+  for (const Release& release : releases) {
+    if (!auths.CanView(release.profile, release.to)) out.push_back(release);
+  }
+  return out;
+}
+
+Status VerifyAssignment(const catalog::Catalog& cat,
+                        const authz::Policy& auths,
+                        const plan::QueryPlan& plan,
+                        const Assignment& assignment,
+                        const VerifyOptions& options) {
+  CISQP_ASSIGN_OR_RETURN(std::vector<Release> releases,
+                         EnumerateReleases(cat, plan, assignment, options));
+  const std::vector<Release> violations = FindViolations(auths, releases);
+  if (!violations.empty()) {
+    return UnauthorizedError("unauthorized release: " +
+                             violations.front().ToString(cat));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cisqp::planner

@@ -1,0 +1,64 @@
+// Independent safety verification of an executor assignment.
+//
+// Enumerates every data release the Fig. 5 flows of an assignment entail —
+// whole-relation shipments for regular joins, the two shipments of each
+// semi-join, the final delivery to a requestor — and checks each against the
+// authorization set (Def. 3.3). This is deliberately a separate
+// implementation from the planner's candidate logic: tests use it to confirm
+// that whatever SafePlanner emits is safe, and the execution engine uses the
+// same enumeration for runtime enforcement.
+//
+// To mirror Fig. 6 exactly, a regular join whose operands end up colocated
+// still records the master's view of the other operand as a (non-physical)
+// release: the paper's CanView check does not waive authorization for
+// colocated data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "authz/authorization.hpp"
+#include "planner/assignment.hpp"
+#include "planner/mode_views.hpp"
+
+namespace cisqp::planner {
+
+/// One data release implied by the assignment.
+struct Release {
+  int node_id = -1;
+  catalog::ServerId from = catalog::kInvalidId;
+  catalog::ServerId to = catalog::kInvalidId;
+  authz::Profile profile;       ///< what `to` gets to see
+  bool physical = true;         ///< false when from == to (no wire transfer)
+  std::string description;      ///< e.g. "semi-join step 2: pi_Jl(left)"
+
+  std::string ToString(const catalog::Catalog& cat) const;
+};
+
+struct VerifyOptions {
+  /// When set, the root result is additionally released to this server.
+  std::optional<catalog::ServerId> requestor;
+};
+
+/// All releases of `assignment` over `plan`, in execution order (post-order
+/// over the tree, flow order within a join). Fails on structurally invalid
+/// assignments (leaf not at its home server, unary node moving data, join
+/// master not matching its origin child, semi-join without slave).
+Result<std::vector<Release>> EnumerateReleases(const catalog::Catalog& cat,
+                                               const plan::QueryPlan& plan,
+                                               const Assignment& assignment,
+                                               const VerifyOptions& options = {});
+
+/// Releases of `releases` not covered by any authorization.
+std::vector<Release> FindViolations(const authz::Policy& auths,
+                                    const std::vector<Release>& releases);
+
+/// Convenience: OK iff every release the assignment entails is authorized;
+/// kUnauthorized naming the first violation otherwise.
+Status VerifyAssignment(const catalog::Catalog& cat,
+                        const authz::Policy& auths,
+                        const plan::QueryPlan& plan,
+                        const Assignment& assignment,
+                        const VerifyOptions& options = {});
+
+}  // namespace cisqp::planner

@@ -1,0 +1,60 @@
+#include "planner/what_if.hpp"
+
+#include <algorithm>
+
+namespace cisqp::planner {
+
+Result<std::vector<RepairSuggestion>> SuggestRepairs(
+    const catalog::Catalog& cat, const authz::AuthorizationSet& auths,
+    const plan::QueryPlan& plan, const RepairOptions& options) {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cat));
+
+  {
+    SafePlanner planner(cat, auths, options.planner_options);
+    CISQP_ASSIGN_OR_RETURN(PlanningReport report, planner.Analyze(plan));
+    if (report.feasible) return std::vector<RepairSuggestion>{};
+  }
+
+  std::vector<catalog::ServerId> servers = options.candidate_servers;
+  if (servers.empty()) {
+    for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
+      servers.push_back(s);
+    }
+  }
+
+  const std::vector<authz::Profile> profiles = ComputeNodeProfiles(cat, plan);
+  std::vector<RepairSuggestion> suggestions;
+  for (catalog::ServerId server : servers) {
+    for (const authz::Profile& profile : profiles) {
+      authz::Authorization candidate{profile.VisibleAttributes(), profile.join,
+                                     server};
+      if (candidate.attributes.empty() || auths.Contains(candidate)) continue;
+      authz::AuthorizationSet extended = auths;
+      if (!extended.Add(cat, candidate).ok()) continue;
+      SafePlanner planner(cat, extended, options.planner_options);
+      CISQP_ASSIGN_OR_RETURN(PlanningReport report, planner.Analyze(plan));
+      if (!report.feasible) continue;
+      // Dedup (several nodes can share a profile).
+      const bool duplicate = std::any_of(
+          suggestions.begin(), suggestions.end(),
+          [&](const RepairSuggestion& s) { return s.grant == candidate; });
+      if (duplicate) continue;
+      suggestions.push_back(RepairSuggestion{candidate, plan.JoinCount()});
+    }
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const RepairSuggestion& a, const RepairSuggestion& b) {
+              if (a.grant.attributes.size() != b.grant.attributes.size()) {
+                return a.grant.attributes.size() < b.grant.attributes.size();
+              }
+              return a.grant.server < b.grant.server;
+            });
+  if (options.max_suggestions != 0 &&
+      suggestions.size() > options.max_suggestions) {
+    suggestions.resize(options.max_suggestions);
+  }
+  return suggestions;
+}
+
+}  // namespace cisqp::planner

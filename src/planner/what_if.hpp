@@ -1,0 +1,39 @@
+// What-if analysis: minimal policy changes that make an infeasible query
+// executable.
+//
+// For every (server, node-profile) pair of the plan, tries the single
+// authorization `[profile.π ∪ profile.σ, profile.⋈] → server` and keeps the
+// ones under which the paper's algorithm finds a safe assignment. Candidate
+// grants are drawn from the plan's own profiles because Def. 3.3 matches
+// join paths exactly — grants with other paths cannot affect this plan.
+// Results are ranked by granted attribute count (a proxy for sensitivity;
+// deployments can re-rank with domain knowledge).
+#pragma once
+
+#include "planner/safe_planner.hpp"
+
+namespace cisqp::planner {
+
+struct RepairOptions {
+  /// Keep at most this many suggestions (0 = unlimited).
+  std::size_t max_suggestions = 16;
+  /// Planner options used when re-testing feasibility (third party etc.).
+  SafePlannerOptions planner_options;
+  /// Only consider grants to these servers (empty = all servers).
+  std::vector<catalog::ServerId> candidate_servers;
+};
+
+struct RepairSuggestion {
+  authz::Authorization grant;  ///< the single rule to add
+  /// Join count of the resulting safe plan — cheaper plans first on ties.
+  int joins_enabled = 0;
+};
+
+/// Single-grant repairs for `plan` under `auths`, sorted by ascending
+/// attribute count. Empty when the plan is already feasible or no single
+/// grant suffices.
+Result<std::vector<RepairSuggestion>> SuggestRepairs(
+    const catalog::Catalog& cat, const authz::AuthorizationSet& auths,
+    const plan::QueryPlan& plan, const RepairOptions& options = {});
+
+}  // namespace cisqp::planner

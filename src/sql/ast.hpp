@@ -1,0 +1,49 @@
+// Raw (unresolved) AST for the select-from-where dialect.
+//
+// Names are kept as written (bare or dotted); the binder resolves them
+// against a catalog into a plan::QuerySpec.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "algebra/expr.hpp"
+
+namespace cisqp::sql {
+
+/// `a = b` inside an ON clause (attribute names, possibly dotted).
+struct AstJoinCondition {
+  std::string left;
+  std::string right;
+};
+
+/// `JOIN <relation> ON <cond> AND <cond> ...`.
+struct AstJoin {
+  std::string relation;
+  std::vector<AstJoinCondition> conditions;
+};
+
+/// One WHERE conjunct: `<attr> <op> <literal | attr>`.
+struct AstCondition {
+  std::string lhs;
+  algebra::CompareOp op = algebra::CompareOp::kEq;
+  /// Literal value, or the name of the right-hand attribute.
+  std::variant<storage::Value, std::string> rhs;
+
+  bool rhs_is_name() const noexcept {
+    return std::holds_alternative<std::string>(rhs);
+  }
+};
+
+struct AstQuery {
+  bool distinct = false;                ///< SELECT DISTINCT
+  bool select_star = false;             ///< SELECT *
+  std::vector<std::string> select_list; ///< empty when select_star
+  std::string first_relation;
+  std::vector<AstJoin> joins;
+  std::vector<AstCondition> where;      ///< conjunctive
+};
+
+}  // namespace cisqp::sql

@@ -1,0 +1,113 @@
+#include "sql/binder.hpp"
+
+#include "sql/parser.hpp"
+
+namespace cisqp::sql {
+namespace {
+
+/// Checks a WHERE literal against the column type, coercing int → double.
+Result<storage::Value> CoerceLiteral(const catalog::Catalog& cat,
+                                     catalog::AttributeId attr,
+                                     storage::Value value) {
+  const catalog::ValueType want = cat.attribute(attr).type;
+  if (value.is_null()) return value;
+  if (value.type() == want) return value;
+  if (want == catalog::ValueType::kDouble && value.is_int64()) {
+    return storage::Value(static_cast<double>(value.AsInt64()));
+  }
+  return InvalidArgumentError(
+      "literal " + value.ToString() + " does not match type '" +
+      std::string(catalog::ValueTypeName(want)) + "' of attribute '" +
+      cat.attribute(attr).name + "'");
+}
+
+}  // namespace
+
+Result<plan::QuerySpec> Bind(const catalog::Catalog& cat, const AstQuery& ast) {
+  plan::QuerySpec spec;
+  spec.distinct = ast.distinct;
+
+  CISQP_ASSIGN_OR_RETURN(spec.first_relation, cat.FindRelation(ast.first_relation));
+  IdSet scope = cat.relation(spec.first_relation).attribute_set;
+
+  for (const AstJoin& join : ast.joins) {
+    plan::JoinStep step;
+    CISQP_ASSIGN_OR_RETURN(step.relation, cat.FindRelation(join.relation));
+    const IdSet& new_attrs = cat.relation(step.relation).attribute_set;
+    for (const AstJoinCondition& cond : join.conditions) {
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId a, cat.FindAttribute(cond.left));
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId b, cat.FindAttribute(cond.right));
+      // Orient: the new relation's attribute goes on the right.
+      algebra::EquiJoinAtom atom;
+      if (new_attrs.Contains(b) && scope.Contains(a)) {
+        atom = algebra::EquiJoinAtom{a, b};
+      } else if (new_attrs.Contains(a) && scope.Contains(b)) {
+        atom = algebra::EquiJoinAtom{b, a};
+      } else {
+        return InvalidArgumentError(
+            "ON condition '" + cond.left + " = " + cond.right +
+            "' must link relation '" + join.relation +
+            "' to an earlier FROM entry");
+      }
+      step.atoms.push_back(atom);
+    }
+    scope.UnionWith(new_attrs);
+    spec.joins.push_back(std::move(step));
+  }
+
+  if (ast.select_star) {
+    for (catalog::RelationId rel : spec.Relations()) {
+      const auto& attrs = cat.relation(rel).attributes;
+      spec.select_list.insert(spec.select_list.end(), attrs.begin(), attrs.end());
+    }
+  } else {
+    for (const std::string& name : ast.select_list) {
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId id, cat.FindAttribute(name));
+      if (!scope.Contains(id)) {
+        return InvalidArgumentError("select-list attribute '" + name +
+                                    "' is not produced by the FROM clause");
+      }
+      spec.select_list.push_back(id);
+    }
+  }
+
+  for (const AstCondition& cond : ast.where) {
+    CISQP_ASSIGN_OR_RETURN(catalog::AttributeId lhs, cat.FindAttribute(cond.lhs));
+    if (!scope.Contains(lhs)) {
+      return InvalidArgumentError("WHERE attribute '" + cond.lhs +
+                                  "' is not produced by the FROM clause");
+    }
+    algebra::Comparison cmp;
+    cmp.lhs = lhs;
+    cmp.op = cond.op;
+    if (cond.rhs_is_name()) {
+      const std::string& rhs_name = std::get<std::string>(cond.rhs);
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId rhs, cat.FindAttribute(rhs_name));
+      if (!scope.Contains(rhs)) {
+        return InvalidArgumentError("WHERE attribute '" + rhs_name +
+                                    "' is not produced by the FROM clause");
+      }
+      if (cat.attribute(lhs).type != cat.attribute(rhs).type) {
+        return InvalidArgumentError("WHERE compares attributes of different types: '" +
+                                    cond.lhs + "' and '" + rhs_name + "'");
+      }
+      cmp.rhs = rhs;
+    } else {
+      CISQP_ASSIGN_OR_RETURN(storage::Value literal,
+                             CoerceLiteral(cat, lhs, std::get<storage::Value>(cond.rhs)));
+      cmp.rhs = std::move(literal);
+    }
+    spec.where.And(std::move(cmp));
+  }
+
+  CISQP_RETURN_IF_ERROR(spec.Validate(cat));
+  return spec;
+}
+
+Result<plan::QuerySpec> ParseAndBind(const catalog::Catalog& cat,
+                                     std::string_view text) {
+  CISQP_ASSIGN_OR_RETURN(AstQuery ast, Parse(text));
+  return Bind(cat, ast);
+}
+
+}  // namespace cisqp::sql

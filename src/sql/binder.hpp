@@ -1,0 +1,22 @@
+// Binder: resolves a parsed AST against a catalog into a plan::QuerySpec.
+//
+// Responsibilities: name resolution (bare and dotted attribute names),
+// SELECT * expansion in FROM order, orientation of ON atoms (the new
+// relation's attribute on the right), literal/column type checking, and
+// scope checking (every name must come from the FROM clause).
+#pragma once
+
+#include "catalog/catalog.hpp"
+#include "plan/query_spec.hpp"
+#include "sql/ast.hpp"
+
+namespace cisqp::sql {
+
+/// Binds `ast` against `cat`.
+Result<plan::QuerySpec> Bind(const catalog::Catalog& cat, const AstQuery& ast);
+
+/// Parse + bind in one call.
+Result<plan::QuerySpec> ParseAndBind(const catalog::Catalog& cat,
+                                     std::string_view text);
+
+}  // namespace cisqp::sql

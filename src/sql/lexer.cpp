@@ -1,0 +1,153 @@
+#include "sql/lexer.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace cisqp::sql {
+namespace {
+
+bool IsKeyword(std::string_view upper) {
+  return upper == "SELECT" || upper == "DISTINCT" || upper == "FROM" ||
+         upper == "JOIN" || upper == "ON" || upper == "WHERE" || upper == "AND";
+}
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) ++i;
+      const std::string_view word = text.substr(start, i - start);
+      std::string upper = ToUpperAscii(word);
+      if (IsKeyword(upper)) {
+        out.push_back(Token{TokenKind::kKeyword, std::move(upper), start});
+      } else {
+        out.push_back(Token{TokenKind::kIdentifier, std::string(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i + 1 < n && text[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      out.push_back(Token{is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                          std::string(text.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string literal;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {  // escaped quote ''
+            literal += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        literal += text[i];
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgumentError("unterminated string literal at offset " +
+                                    std::to_string(start));
+      }
+      out.push_back(Token{TokenKind::kString, std::move(literal), start});
+      continue;
+    }
+    const auto push1 = [&](TokenKind kind) {
+      out.push_back(Token{kind, std::string(1, c), start});
+      ++i;
+    };
+    switch (c) {
+      case ',': push1(TokenKind::kComma); break;
+      case '.': push1(TokenKind::kDot); break;
+      case '*': push1(TokenKind::kStar); break;
+      case '(': push1(TokenKind::kLParen); break;
+      case ')': push1(TokenKind::kRParen); break;
+      case '=': push1(TokenKind::kEq); break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          out.push_back(Token{TokenKind::kLe, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          out.push_back(Token{TokenKind::kNe, "<>", start});
+          i += 2;
+        } else {
+          push1(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          out.push_back(Token{TokenKind::kGe, ">=", start});
+          i += 2;
+        } else {
+          push1(TokenKind::kGt);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          out.push_back(Token{TokenKind::kNe, "!=", start});
+          i += 2;
+        } else {
+          return InvalidArgumentError("unexpected '!' at offset " + std::to_string(start));
+        }
+        break;
+      default:
+        return InvalidArgumentError("unexpected character '" + std::string(1, c) +
+                                    "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back(Token{TokenKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace cisqp::sql

@@ -1,0 +1,16 @@
+// Lexer for the select-from-where dialect.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "sql/token.hpp"
+
+namespace cisqp::sql {
+
+/// Tokenizes `text`. The final token is always kEnd. Fails with
+/// kInvalidArgument on unknown characters or unterminated string literals,
+/// with a byte offset in the message.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace cisqp::sql

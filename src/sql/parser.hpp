@@ -1,0 +1,26 @@
+// Recursive-descent parser for the select-from-where dialect:
+//
+//   query   := SELECT [DISTINCT] select FROM table
+//              (JOIN table ON conds)* (WHERE conds)?
+//   select  := '*' | name (',' name)*
+//   table   := identifier
+//   conds   := cond (AND cond)*
+//   cond    := name op (literal | name)          -- WHERE
+//            | name '=' name                     -- ON
+//   name    := identifier ('.' identifier)?
+//   op      := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//
+// This is exactly the paper's §2 query class: equi-joins in FROM,
+// conjunctive selection in WHERE.
+#pragma once
+
+#include "common/status.hpp"
+#include "sql/ast.hpp"
+
+namespace cisqp::sql {
+
+/// Parses `text` into an AST. Fails with kInvalidArgument and a byte offset
+/// on syntax errors.
+Result<AstQuery> Parse(std::string_view text);
+
+}  // namespace cisqp::sql

@@ -1,0 +1,35 @@
+// Token model for the select-from-where dialect (paper §2 query class).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cisqp::sql {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   ///< bare or to-be-dotted name part
+  kInteger,      ///< 64-bit integer literal
+  kFloat,        ///< double literal
+  kString,       ///< single-quoted string literal (quotes stripped)
+  kKeyword,      ///< SELECT FROM JOIN ON WHERE AND (case-insensitive)
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,           ///< =
+  kNe,           ///< <> or !=
+  kLt, kLe, kGt, kGe,
+  kEnd,
+};
+
+std::string_view TokenKindName(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< raw text (uppercased for keywords)
+  std::size_t offset = 0;  ///< byte offset in the input, for diagnostics
+};
+
+}  // namespace cisqp::sql

@@ -1,0 +1,91 @@
+#include "storage/value.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace cisqp::storage {
+
+catalog::ValueType Value::type() const {
+  CISQP_CHECK_MSG(!is_null(), "NULL has no concrete ValueType");
+  if (is_int64()) return catalog::ValueType::kInt64;
+  if (is_double()) return catalog::ValueType::kDouble;
+  return catalog::ValueType::kString;
+}
+
+bool Value::SqlEquals(const Value& other) const noexcept {
+  if (is_null() || other.is_null()) return false;
+  return rep_ == other.rep_;
+}
+
+int Value::CompareTotal(const Value& other) const noexcept {
+  const auto tag = [](const Value& v) -> int {
+    if (v.is_null()) return 0;
+    if (v.is_int64()) return 1;
+    if (v.is_double()) return 2;
+    return 3;
+  };
+  const int ta = tag(*this);
+  const int tb = tag(other);
+  if (ta != tb) return ta < tb ? -1 : 1;
+  switch (ta) {
+    case 0: return 0;
+    case 1: {
+      const auto a = std::get<std::int64_t>(rep_);
+      const auto b = std::get<std::int64_t>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2: {
+      const double a = std::get<double>(rep_);
+      const double b = std::get<double>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      const std::string& a = std::get<std::string>(rep_);
+      const std::string& b = std::get<std::string>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+}
+
+bool Value::SqlLess(const Value& other) const noexcept {
+  if (is_null() || other.is_null()) return false;
+  if (rep_.index() != other.rep_.index()) return false;
+  return CompareTotal(other) < 0;
+}
+
+std::size_t Value::WireSizeBytes() const noexcept {
+  if (is_null()) return 1;
+  if (is_string()) return std::get<std::string>(rep_).size() + 4;
+  return 8;
+}
+
+std::size_t Value::Hash() const noexcept {
+  std::size_t seed = rep_.index();
+  if (is_int64()) HashCombine(seed, std::get<std::int64_t>(rep_));
+  else if (is_double()) HashCombine(seed, std::get<double>(rep_));
+  else if (is_string()) HashCombine(seed, std::get<std::string>(rep_));
+  return seed;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(std::get<std::int64_t>(rep_));
+  if (is_double()) {
+    std::ostringstream oss;
+    oss << std::get<double>(rep_);
+    return oss.str();
+  }
+  return "'" + std::get<std::string>(rep_) + "'";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+std::size_t HashRow(const Row& row) noexcept {
+  std::size_t seed = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : row) HashCombine(seed, v.Hash());
+  return seed;
+}
+
+}  // namespace cisqp::storage

@@ -1,0 +1,84 @@
+// Value: a dynamically typed relational cell.
+//
+// The engine is schema-typed (each column has a declared catalog::ValueType)
+// but cells travel as tagged unions so operators and the network simulator
+// can be written generically. NULL follows SQL semantics where it matters:
+// equality comparisons against NULL never match (joins and selections drop
+// such rows); for deterministic ordering (sorting result sets in tests) NULL
+// sorts before every non-NULL value.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/types.hpp"
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace cisqp::storage {
+
+/// One relational cell.
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+  Value(std::int64_t v) : rep_(v) {}        // NOLINT(google-explicit-constructor)
+  Value(double v) : rep_(v) {}              // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const noexcept { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int64() const noexcept { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_double() const noexcept { return std::holds_alternative<double>(rep_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(rep_); }
+
+  /// The schema type this cell matches; NULL matches any column type, so
+  /// calling this on NULL is a programmer error.
+  catalog::ValueType type() const;
+
+  std::int64_t AsInt64() const { CISQP_CHECK(is_int64()); return std::get<std::int64_t>(rep_); }
+  double AsDouble() const { CISQP_CHECK(is_double()); return std::get<double>(rep_); }
+  const std::string& AsString() const { CISQP_CHECK(is_string()); return std::get<std::string>(rep_); }
+
+  /// SQL equality: false whenever either side is NULL.
+  bool SqlEquals(const Value& other) const noexcept;
+
+  /// Three-way comparison for deterministic total ordering (NULL first,
+  /// then by type tag, then by value). Used for canonical sorting only,
+  /// not for SQL predicate evaluation.
+  int CompareTotal(const Value& other) const noexcept;
+
+  /// SQL `<` for same-typed non-NULL values; NULL operands yield false.
+  bool SqlLess(const Value& other) const noexcept;
+
+  /// Approximate wire size in bytes; drives the communication accounting of
+  /// the execution engine (8 bytes for scalars, length + 4 for strings,
+  /// 1 byte for the NULL tag).
+  std::size_t WireSizeBytes() const noexcept;
+
+  std::size_t Hash() const noexcept;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// One tuple: cells in column order.
+using Row = std::vector<Value>;
+
+/// Order-insensitive row hash input helper: hashes cells in order.
+std::size_t HashRow(const Row& row) noexcept;
+
+}  // namespace cisqp::storage

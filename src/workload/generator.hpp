@@ -1,0 +1,110 @@
+// Synthetic federation, query, authorization, and data generators.
+//
+// The paper's evaluation artifacts are a single worked example; experiments
+// E4-E8 characterize the algorithm across *populations* of federations. All
+// generators are deterministic under an explicit Rng seed.
+//
+// Key properties the generators maintain:
+//  * the relation join graph is connected (a spanning tree plus extra edges),
+//    so connected multi-way queries always exist;
+//  * attributes linked by join edges share a value domain (union-find over
+//    the join graph), so generated joins produce non-empty results;
+//  * every server is authorized for the relations it stores (the paper's §4
+//    baseline assumption), with additional grants controlled by density
+//    knobs — the independent variable of the feasibility experiment E4.
+#pragma once
+
+#include "authz/authorization.hpp"
+#include "authz/open_policy.hpp"
+#include "catalog/catalog.hpp"
+#include "common/rng.hpp"
+#include "exec/cluster.hpp"
+#include "plan/query_spec.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::workload {
+
+struct FederationConfig {
+  std::size_t servers = 4;
+  std::size_t relations = 6;
+  std::size_t min_attributes = 2;
+  std::size_t max_attributes = 4;
+  /// Probability of each additional (non-spanning-tree) relation pair being
+  /// connected by a join edge.
+  double extra_edge_prob = 0.25;
+  /// Value-domain size range per join-attribute group; smaller domains mean
+  /// more matching rows in generated joins.
+  std::int64_t min_domain = 50;
+  std::int64_t max_domain = 500;
+};
+
+/// A generated schema plus the value-domain size of every attribute
+/// (join-connected attributes share domains).
+struct Federation {
+  catalog::Catalog catalog;
+  std::vector<std::int64_t> attribute_domain;  ///< by attribute id
+};
+
+Federation GenerateFederation(const FederationConfig& config, Rng& rng);
+
+struct QueryConfig {
+  std::size_t relations = 3;     ///< relations in FROM (>= 1)
+  std::size_t max_select = 4;    ///< select-list width cap
+  double extra_atom_prob = 0.3;  ///< chance of extra ON atoms when available
+  double where_prob = 0.5;       ///< chance of having a WHERE clause at all
+  std::size_t max_where = 2;     ///< WHERE conjunct cap
+};
+
+/// A random connected select-from-where query over the federation's join
+/// graph. Fails when the schema cannot support `relations` joined relations.
+Result<plan::QuerySpec> GenerateQuery(const catalog::Catalog& cat,
+                                      const QueryConfig& config, Rng& rng);
+
+struct AuthzConfig {
+  /// Grant every server its own base relations in full (paper §4 assumes it).
+  bool grant_own_relations = true;
+  /// Probability a server is granted (a random subset of) a foreign base
+  /// relation with an empty path.
+  double base_grant_prob = 0.3;
+  /// Per-attribute keep probability within any grant.
+  double attribute_keep_prob = 0.85;
+  /// Number of join-path grants attempted per server.
+  std::size_t path_grants_per_server = 3;
+  /// Random-walk length (atoms) of each path grant, 1..max.
+  std::size_t max_path_atoms = 3;
+};
+
+authz::AuthorizationSet GenerateAuthorizations(const catalog::Catalog& cat,
+                                               const AuthzConfig& config,
+                                               Rng& rng);
+
+struct DenialConfig {
+  /// Attribute-pair denials attempted per server (random cross-relation
+  /// associations the server must not see).
+  std::size_t pair_denials_per_server = 2;
+  /// Single-attribute denials attempted per server.
+  std::size_t attribute_denials_per_server = 1;
+  /// Probability a denial carries a one-atom join path.
+  double pathed_prob = 0.3;
+};
+
+/// A random open policy (footnote-1 regime): per server, a handful of
+/// association and attribute denials. Servers never deny their own
+/// relations' attributes (they store the data).
+authz::OpenPolicySet GenerateDenials(const catalog::Catalog& cat,
+                                     const DenialConfig& config, Rng& rng);
+
+struct DataConfig {
+  std::size_t min_rows = 200;
+  std::size_t max_rows = 1000;
+};
+
+/// Fills every relation of the federation with uniform random rows drawing
+/// join-connected columns from shared domains.
+Status PopulateCluster(exec::Cluster& cluster, const Federation& federation,
+                       const DataConfig& config, Rng& rng);
+
+/// Exact statistics scanned from a populated cluster.
+plan::StatsCatalog ComputeStats(const exec::Cluster& cluster);
+
+}  // namespace cisqp::workload

@@ -1,0 +1,66 @@
+// The paper's running example (Figs. 1-3): a four-server medical federation.
+//
+//   S_I : Insurance(Holder*, Plan)
+//   S_H : Hospital(Patient*, Disease, Physician)
+//   S_N : Nat_registry(Citizen*, HealthAid)
+//   S_D : Disease_list(Illness*, Treatment)
+//
+// Joinable pairs (the "lines" of Fig. 1): Holder=Patient, Holder=Citizen,
+// Patient=Citizen, Disease=Illness. BuildAuthorizations installs the fifteen
+// rules of Fig. 3 verbatim; kPaperQuery is the Example 2.2 query whose plan
+// (Fig. 2) the safe planner resolves to the Fig. 7 assignment.
+#pragma once
+
+#include <string_view>
+
+#include "authz/authorization.hpp"
+#include "catalog/catalog.hpp"
+#include "common/rng.hpp"
+#include "exec/cluster.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::workload {
+
+class MedicalScenario {
+ public:
+  /// The Example 2.2 query (paper Fig. 2 plan, Fig. 7 trace).
+  static constexpr std::string_view kPaperQuery =
+      "SELECT Patient, Physician, Plan, HealthAid "
+      "FROM Insurance JOIN Nat_registry ON Holder = Citizen "
+      "JOIN Hospital ON Citizen = Patient";
+
+  /// Builds the Fig. 1 schema: 4 servers, 4 relations, 4 join edges.
+  static catalog::Catalog BuildCatalog();
+
+  /// Installs the 15 authorizations of Fig. 3.
+  static authz::AuthorizationSet BuildAuthorizations(const catalog::Catalog& cat);
+
+  /// Synthesizes consistent instances: `citizens` national-registry rows, a
+  /// subset of them hospitalized and/or insured, every hospital disease
+  /// drawn from the disease list. Deterministic given `rng`.
+  struct DataConfig {
+    std::size_t citizens = 1000;
+    double hospitalized_fraction = 0.3;
+    double insured_fraction = 0.6;
+    std::size_t diseases = 50;
+  };
+  static Status PopulateCluster(exec::Cluster& cluster, const DataConfig& config,
+                                Rng& rng);
+
+  /// Exact statistics scanned from the populated cluster.
+  static plan::StatsCatalog ComputeStats(const exec::Cluster& cluster);
+
+  /// A named query.
+  struct NamedQuery {
+    std::string name;
+    std::string sql;
+  };
+
+  /// A representative workload over the federation: the paper's query plus
+  /// single-server lookups, pairwise joins, the §3.2 denied view, and
+  /// three-way associations — mixing feasible and infeasible requests.
+  /// Drives the E11 workload table and the throughput benchmarks.
+  static std::vector<NamedQuery> WorkloadQueries();
+};
+
+}  // namespace cisqp::workload

@@ -1,0 +1,126 @@
+#include "workload/supply_chain.hpp"
+
+namespace cisqp::workload {
+
+std::string_view SupplyChainScenario::Dsl() {
+  return R"(
+# A four-party supply chain: suppliers, manufacturer, logistics, retailer.
+server S_SUP;
+server S_MFG;
+server S_LOG;
+server S_RET;
+
+relation Suppliers @ S_SUP (PartId int key, SupplierName string, UnitCost int);
+relation Assembly  @ S_MFG (ComponentId int key, Product string, Line string);
+relation Shipments @ S_LOG (ShipPart int key, Carrier string, Destination string);
+relation Sales     @ S_RET (SoldProduct string key, Region string, Revenue int);
+
+joinable PartId = ComponentId;
+joinable PartId = ShipPart;
+joinable ComponentId = ShipPart;
+joinable Product = SoldProduct;
+
+# Everyone owns their relation.
+grant PartId, SupplierName, UnitCost to S_SUP;
+grant ComponentId, Product, Line to S_MFG;
+grant ShipPart, Carrier, Destination to S_LOG;
+grant SoldProduct, Region, Revenue to S_RET;
+
+# The manufacturer sees supplier identities for parts it assembles — never
+# unit costs.
+grant PartId, SupplierName, ComponentId, Product, Line
+  on (PartId, ComponentId) to S_MFG;
+# The manufacturer tracks shipments of its components.
+grant ComponentId, Product, Line, ShipPart, Carrier, Destination
+  on (ComponentId, ShipPart) to S_MFG;
+# The manufacturer sees where its products sell — never revenue.
+grant ComponentId, Product, Line, SoldProduct, Region
+  on (Product, SoldProduct) to S_MFG;
+
+# Logistics may hold the bare part-id list (scheduling input) and sees
+# which components ship.
+grant PartId to S_LOG;
+grant ShipPart, Carrier, Destination, ComponentId, Product
+  on (ShipPart, ComponentId) to S_LOG;
+
+# The retailer sees assembly data of products it sells.
+grant SoldProduct, Region, Revenue, ComponentId, Product, Line
+  on (Product, SoldProduct) to S_RET;
+grant Product to S_RET;
+
+# Suppliers learn which products use their parts.
+grant PartId, SupplierName, UnitCost, Product on (PartId, ComponentId) to S_SUP;
+grant ComponentId to S_SUP;
+grant SoldProduct to S_MFG;
+grant ShipPart to S_MFG;
+)";
+}
+
+Result<dsl::ParsedFederation> SupplyChainScenario::Build() {
+  return dsl::ParseFederation(Dsl());
+}
+
+Status SupplyChainScenario::PopulateCluster(exec::Cluster& cluster,
+                                            const dsl::ParsedFederation& fed,
+                                            const DataConfig& config, Rng& rng) {
+  const catalog::Catalog& cat = fed.catalog;
+  CISQP_ASSIGN_OR_RETURN(catalog::RelationId suppliers, cat.FindRelation("Suppliers"));
+  CISQP_ASSIGN_OR_RETURN(catalog::RelationId assembly, cat.FindRelation("Assembly"));
+  CISQP_ASSIGN_OR_RETURN(catalog::RelationId shipments, cat.FindRelation("Shipments"));
+  CISQP_ASSIGN_OR_RETURN(catalog::RelationId sales, cat.FindRelation("Sales"));
+  static const char* kRegions[] = {"north", "south", "east", "west"};
+
+  for (std::size_t p = 0; p < config.parts; ++p) {
+    const auto part = static_cast<std::int64_t>(p);
+    CISQP_RETURN_IF_ERROR(cluster.InsertRow(
+        suppliers,
+        {storage::Value(part),
+         storage::Value("supplier_" + std::to_string(p % 17)),
+         storage::Value(rng.UniformInt(1, 500))}));
+    const std::string product = "prod_" + std::to_string(p % config.products);
+    CISQP_RETURN_IF_ERROR(cluster.InsertRow(
+        assembly, {storage::Value(part), storage::Value(product),
+                   storage::Value("line_" + std::to_string(rng.UniformIndex(6)))}));
+    if (rng.Chance(config.shipped_fraction)) {
+      CISQP_RETURN_IF_ERROR(cluster.InsertRow(
+          shipments,
+          {storage::Value(part),
+           storage::Value("carrier_" + std::to_string(rng.UniformIndex(5))),
+           storage::Value("dest_" + std::to_string(rng.UniformIndex(12)))}));
+    }
+  }
+  for (std::size_t k = 0; k < config.products; ++k) {
+    if (!rng.Chance(config.sold_fraction)) continue;
+    CISQP_RETURN_IF_ERROR(cluster.InsertRow(
+        sales, {storage::Value("prod_" + std::to_string(k)),
+                storage::Value(std::string(kRegions[rng.UniformIndex(4)])),
+                storage::Value(rng.UniformInt(1000, 100000))}));
+  }
+  return Status::Ok();
+}
+
+std::vector<SupplyChainScenario::NamedQuery>
+SupplyChainScenario::WorkloadQueries() {
+  return {
+      {"parts_per_product",
+       "SELECT Product, SupplierName FROM Suppliers JOIN Assembly "
+       "ON PartId = ComponentId"},
+      {"costs_exposed",  // blocked: UnitCost never leaves S_SUP
+       "SELECT Product, UnitCost FROM Suppliers JOIN Assembly "
+       "ON PartId = ComponentId"},
+      {"shipping_schedule",
+       "SELECT Product, Carrier, Destination FROM Assembly JOIN Shipments "
+       "ON ComponentId = ShipPart"},
+      {"regional_lines",
+       "SELECT Line, Region, Revenue FROM Assembly JOIN Sales "
+       "ON Product = SoldProduct"},
+      {"supplier_to_region",  // blocked: nobody may associate suppliers+regions
+       "SELECT SupplierName, Region FROM Suppliers JOIN Assembly "
+       "ON PartId = ComponentId JOIN Sales ON Product = SoldProduct"},
+      {"part_shipping_bulk",  // feasible only thanks to projection pushdown
+       "SELECT PartId, Carrier FROM Suppliers JOIN Shipments "
+       "ON PartId = ShipPart"},
+  };
+}
+
+}  // namespace cisqp::workload

@@ -1,0 +1,55 @@
+// A second full scenario: a supply-chain federation, defined in the
+// federation DSL (src/dsl) rather than programmatically — both to exercise
+// the DSL end to end and to show the model outside the paper's medical
+// domain.
+//
+//   S_SUP : Suppliers(PartId*, SupplierName, UnitCost)
+//   S_MFG : Assembly(ComponentId*, Product, Line)
+//   S_LOG : Shipments(ShipPart*, Carrier, Destination)
+//   S_RET : Sales(SoldProduct*, Region, Revenue)
+//
+// Policy sketch: the manufacturer may see supplier parts it assembles (not
+// raw costs), logistics sees which parts ship (not who supplies them or at
+// what cost), the retailer sees product/region data joined to assembly lines
+// but never supplier identities; unit costs never leave S_SUP.
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "dsl/federation_dsl.hpp"
+#include "exec/cluster.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::workload {
+
+class SupplyChainScenario {
+ public:
+  /// The scenario's DSL source (schema + policy).
+  static std::string_view Dsl();
+
+  /// Parses Dsl(); the result is cached per call site (parse is cheap).
+  static Result<dsl::ParsedFederation> Build();
+
+  struct DataConfig {
+    std::size_t parts = 400;
+    std::size_t products = 40;
+    double shipped_fraction = 0.7;
+    double sold_fraction = 0.8;
+  };
+
+  /// Synthesizes consistent instances across the four relations.
+  static Status PopulateCluster(exec::Cluster& cluster,
+                                const dsl::ParsedFederation& fed,
+                                const DataConfig& config, Rng& rng);
+
+  struct NamedQuery {
+    std::string name;
+    std::string sql;
+  };
+
+  /// Representative queries, mixing feasible and policy-blocked requests.
+  static std::vector<NamedQuery> WorkloadQueries();
+};
+
+}  // namespace cisqp::workload

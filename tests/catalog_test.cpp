@@ -1,0 +1,143 @@
+// Unit tests for src/catalog: registration, lookup, join graph, validation.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::catalog {
+namespace {
+
+using cisqp::testing::Attr;
+
+Catalog TwoServerSchema() {
+  Catalog cat;
+  const ServerId s0 = cat.AddServer("alpha").value();
+  const ServerId s1 = cat.AddServer("beta").value();
+  CISQP_CHECK(cat.AddRelation("Orders", s0,
+                              {{"OrderId", ValueType::kInt64},
+                               {"Customer", ValueType::kInt64},
+                               {"Total", ValueType::kDouble}},
+                              {"OrderId"})
+                  .ok());
+  CISQP_CHECK(cat.AddRelation("Customers", s1,
+                              {{"CustId", ValueType::kInt64},
+                               {"Name", ValueType::kString}},
+                              {"CustId"})
+                  .ok());
+  return cat;
+}
+
+TEST(CatalogTest, RegistersServersRelationsAttributes) {
+  const Catalog cat = TwoServerSchema();
+  EXPECT_EQ(cat.server_count(), 2u);
+  EXPECT_EQ(cat.relation_count(), 2u);
+  EXPECT_EQ(cat.attribute_count(), 5u);
+  EXPECT_EQ(cat.server(0).name, "alpha");
+  EXPECT_EQ(cat.relation(0).name, "Orders");
+  EXPECT_EQ(cat.relation(0).attributes.size(), 3u);
+  EXPECT_EQ(cat.attribute(0).name, "OrderId");
+  EXPECT_EQ(cat.attribute(0).position, 0u);
+}
+
+TEST(CatalogTest, DuplicateServerRejected) {
+  Catalog cat;
+  ASSERT_OK(cat.AddServer("s").status());
+  EXPECT_EQ(cat.AddServer("s").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateRelationAndAttributeRejected) {
+  Catalog cat = TwoServerSchema();
+  const auto dup_rel = cat.AddRelation("Orders", 0, {{"X", ValueType::kInt64}}, {});
+  EXPECT_EQ(dup_rel.status().code(), StatusCode::kAlreadyExists);
+  // Bare attribute names must be globally unique (the paper's assumption).
+  const auto dup_attr =
+      cat.AddRelation("Other", 0, {{"OrderId", ValueType::kInt64}}, {});
+  EXPECT_EQ(dup_attr.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsMalformedRelations) {
+  Catalog cat;
+  const ServerId s = cat.AddServer("s").value();
+  EXPECT_EQ(cat.AddRelation("R", s, {}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.AddRelation("R", 99, {{"A", ValueType::kInt64}}, {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cat.AddRelation("R", s, {{"A.B", ValueType::kInt64}}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.AddRelation("R", s, {{"A", ValueType::kInt64}}, {"Missing"})
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.AddRelation("R", s,
+                            {{"A", ValueType::kInt64}, {"A", ValueType::kInt64}}, {})
+                .status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, FindAttributeSupportsDottedNames) {
+  const Catalog cat = TwoServerSchema();
+  EXPECT_EQ(cat.FindAttribute("Customer").value(), Attr(cat, "Orders.Customer"));
+  EXPECT_EQ(cat.FindAttribute("Orders.Total").value(), Attr(cat, "Total"));
+  EXPECT_EQ(cat.FindAttribute("Customers.Total").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cat.FindAttribute("Nope.Total").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cat.FindAttribute("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cat.QualifiedName(Attr(cat, "Name")), "Customers.Name");
+}
+
+TEST(CatalogTest, JoinEdgesNormalizeAndValidate) {
+  Catalog cat = TwoServerSchema();
+  ASSERT_OK(cat.AddJoinEdge("Customer", "CustId"));
+  EXPECT_TRUE(cat.Joinable(Attr(cat, "Customer"), Attr(cat, "CustId")));
+  EXPECT_TRUE(cat.Joinable(Attr(cat, "CustId"), Attr(cat, "Customer")));
+  // Duplicates (either orientation) rejected.
+  EXPECT_EQ(cat.AddJoinEdge("CustId", "Customer").code(),
+            StatusCode::kAlreadyExists);
+  // Same relation rejected.
+  EXPECT_EQ(cat.AddJoinEdge("OrderId", "Customer").code(),
+            StatusCode::kInvalidArgument);
+  // Type mismatch rejected.
+  EXPECT_EQ(cat.AddJoinEdge("Total", "CustId").code(),
+            StatusCode::kInvalidArgument);
+  // Self edge rejected.
+  EXPECT_EQ(cat.AddJoinEdge(Attr(cat, "CustId"), Attr(cat, "CustId")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, EdgesOfRelation) {
+  Catalog cat = TwoServerSchema();
+  ASSERT_OK(cat.AddJoinEdge("Customer", "CustId"));
+  EXPECT_EQ(cat.EdgesOfRelation(cisqp::testing::Relation(cat, "Orders")).size(), 1u);
+  EXPECT_EQ(cat.EdgesOfRelation(cisqp::testing::Relation(cat, "Customers")).size(), 1u);
+}
+
+TEST(CatalogTest, ServerOfAndRelationOf) {
+  const Catalog cat = TwoServerSchema();
+  EXPECT_EQ(cat.ServerOf(Attr(cat, "Name")), cisqp::testing::Server(cat, "beta"));
+  EXPECT_EQ(cat.RelationOf(Attr(cat, "Total")),
+            cisqp::testing::Relation(cat, "Orders"));
+}
+
+TEST(CatalogTest, MedicalScenarioShape) {
+  const Catalog cat = workload::MedicalScenario::BuildCatalog();
+  EXPECT_EQ(cat.server_count(), 4u);
+  EXPECT_EQ(cat.relation_count(), 4u);
+  EXPECT_EQ(cat.attribute_count(), 9u);
+  EXPECT_EQ(cat.join_edges().size(), 4u);
+  EXPECT_TRUE(cat.Joinable(Attr(cat, "Holder"), Attr(cat, "Patient")));
+  EXPECT_TRUE(cat.Joinable(Attr(cat, "Disease"), Attr(cat, "Illness")));
+  EXPECT_FALSE(cat.Joinable(Attr(cat, "Plan"), Attr(cat, "HealthAid")));
+  EXPECT_EQ(cat.relation(cisqp::testing::Relation(cat, "Hospital")).server,
+            cisqp::testing::Server(cat, "S_H"));
+}
+
+TEST(CatalogTest, DebugStringMentionsEverything) {
+  const Catalog cat = workload::MedicalScenario::BuildCatalog();
+  const std::string dump = cat.DebugString();
+  EXPECT_NE(dump.find("Insurance"), std::string::npos);
+  EXPECT_NE(dump.find("S_D"), std::string::npos);
+  EXPECT_NE(dump.find("*Holder"), std::string::npos);  // primary key marker
+  EXPECT_NE(dump.find("join"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cisqp::catalog

@@ -1,0 +1,146 @@
+// Tests for the chase closure of implied authorizations (paper §3.2 end).
+#include <gtest/gtest.h>
+
+#include "authz/chase.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::authz {
+namespace {
+
+using cisqp::testing::Attrs;
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Path;
+using cisqp::testing::Server;
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  MedicalFixture fix_;
+};
+
+TEST_F(ChaseTest, PaperExampleSdWithHospitalGrant) {
+  // §3.2: if S_D also held an authorization for Hospital, the denied view
+  // "Disease_list ⋈ Hospital on Illness=Disease" would be implied.
+  AuthorizationSet auths = fix_.auths;
+  ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+
+  const Profile view{Attrs(fix_.cat, {"Illness", "Treatment"}),
+                     Path(fix_.cat, {{"Illness", "Disease"}}), {}};
+  EXPECT_FALSE(auths.CanView(view, Server(fix_.cat, "S_D")));
+
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(fix_.cat, auths));
+  EXPECT_TRUE(closed.CanView(view, Server(fix_.cat, "S_D")));
+}
+
+TEST_F(ChaseTest, ClosureContainsAllInputRules) {
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(fix_.cat, fix_.auths));
+  for (const Authorization& rule : fix_.auths.All()) {
+    EXPECT_TRUE(closed.Contains(rule)) << rule.ToString(fix_.cat);
+  }
+  EXPECT_GE(closed.size(), fix_.auths.size());
+}
+
+TEST_F(ChaseTest, ClosureIsIdempotent) {
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet once, ChaseClosure(fix_.cat, fix_.auths));
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet twice, ChaseClosure(fix_.cat, once));
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST_F(ChaseTest, ClosureNeverShrinksVisibility) {
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(fix_.cat, fix_.auths));
+  // Every view authorized before stays authorized.
+  for (catalog::ServerId s = 0; s < fix_.cat.server_count(); ++s) {
+    for (const Authorization& rule : fix_.auths.ForServer(s)) {
+      EXPECT_TRUE(closed.CanView(Profile{rule.attributes, rule.path, {}}, s));
+    }
+  }
+}
+
+TEST_F(ChaseTest, DerivationRequiresJoinAttributeVisibility) {
+  // A server holding two relations but blind to the join attribute of one of
+  // them cannot chase the joined view.
+  catalog::Catalog cat;
+  const auto s0 = cat.AddServer("s0").value();
+  ASSERT_OK(cat.AddRelation("A", s0, {{"AK", catalog::ValueType::kInt64},
+                                      {"AV", catalog::ValueType::kInt64}},
+                            {"AK"}).status());
+  ASSERT_OK(cat.AddRelation("B", s0, {{"BK", catalog::ValueType::kInt64},
+                                      {"BV", catalog::ValueType::kInt64}},
+                            {"BK"}).status());
+  ASSERT_OK(cat.AddServer("watcher").status());
+  ASSERT_OK(cat.AddJoinEdge("AK", "BK"));
+
+  AuthorizationSet auths;
+  ASSERT_OK(auths.Add(cat, "watcher", {"AK", "AV"}, {}));
+  ASSERT_OK(auths.Add(cat, "watcher", {"BV"}, {}));  // BK not visible
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(cat, auths));
+  const Profile joined{Attrs(cat, {"AV", "BV"}), Path(cat, {{"AK", "BK"}}), {}};
+  EXPECT_FALSE(closed.CanView(joined, cat.FindServer("watcher").value()));
+
+  // Granting BK unlocks the derivation.
+  ASSERT_OK(auths.Add(cat, "watcher", {"BK", "BV"}, {}));
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed2, ChaseClosure(cat, auths));
+  EXPECT_TRUE(closed2.CanView(joined, cat.FindServer("watcher").value()));
+}
+
+TEST_F(ChaseTest, IndirectDerivationsAcrossThreeRelations) {
+  // watcher sees A, B, C fully; A-B and B-C are joinable: the chase must
+  // derive the three-relation view in two rounds.
+  catalog::Catalog cat;
+  const auto s0 = cat.AddServer("s0").value();
+  ASSERT_OK(cat.AddRelation("A", s0, {{"AK", catalog::ValueType::kInt64}}, {"AK"}).status());
+  ASSERT_OK(cat.AddRelation("B", s0, {{"BK", catalog::ValueType::kInt64},
+                                      {"BL", catalog::ValueType::kInt64}}, {"BK"}).status());
+  ASSERT_OK(cat.AddRelation("C", s0, {{"CK", catalog::ValueType::kInt64}}, {"CK"}).status());
+  ASSERT_OK(cat.AddServer("watcher").status());
+  ASSERT_OK(cat.AddJoinEdge("AK", "BK"));
+  ASSERT_OK(cat.AddJoinEdge("BL", "CK"));
+
+  AuthorizationSet auths;
+  ASSERT_OK(auths.Add(cat, "watcher", {"AK"}, {}));
+  ASSERT_OK(auths.Add(cat, "watcher", {"BK", "BL"}, {}));
+  ASSERT_OK(auths.Add(cat, "watcher", {"CK"}, {}));
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(cat, auths));
+
+  const Profile full{Attrs(cat, {"AK", "BK", "BL", "CK"}),
+                     Path(cat, {{"AK", "BK"}, {"BL", "CK"}}), {}};
+  EXPECT_TRUE(closed.CanView(full, cat.FindServer("watcher").value()));
+}
+
+TEST_F(ChaseTest, CapOnDerivedRules) {
+  ChaseOptions options;
+  options.max_derived_rules = 1;
+  AuthorizationSet auths = fix_.auths;
+  ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  const auto result = ChaseClosure(fix_.cat, auths, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ChaseTest, PathLengthCapLimitsDepth) {
+  // The cap bounds *derived* rules only; input rules keep their paths
+  // (Fig. 3 has two-atom paths).
+  ChaseOptions options;
+  options.max_path_atoms = 1;
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed,
+                       ChaseClosure(fix_.cat, fix_.auths, options));
+  for (const Authorization& rule : closed.All()) {
+    if (!fix_.auths.Contains(rule)) {
+      EXPECT_LE(rule.path.size(), 1u) << rule.ToString(fix_.cat);
+    }
+  }
+}
+
+TEST_F(ChaseTest, StatsAreReported) {
+  ChaseStats stats;
+  ASSERT_OK(ChaseClosure(fix_.cat, fix_.auths, {}, &stats).status());
+  EXPECT_GE(stats.iterations, 1u);
+  EXPECT_GT(stats.pairs_considered, 0u);
+}
+
+TEST_F(ChaseTest, EmptyInputYieldsEmptyClosure) {
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed,
+                       ChaseClosure(fix_.cat, AuthorizationSet{}));
+  EXPECT_EQ(closed.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cisqp::authz

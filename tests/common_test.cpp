@@ -1,0 +1,197 @@
+// Unit tests for src/common: Status/Result, IdSet, SymbolTable, strings, Rng.
+#include <gtest/gtest.h>
+
+#include "common/idset.hpp"
+#include "common/interner.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "test_util.hpp"
+
+namespace cisqp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnauthorizedError("x").code(), StatusCode::kUnauthorized);
+  EXPECT_EQ(InfeasibleError("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::Ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW(r.value(), BadStatus);
+}
+
+TEST(ResultTest, ConstructionFromOkStatusThrows) {
+  EXPECT_THROW(Result<int>(Status::Ok()), BadStatus);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(CheckTest, FailingCheckThrowsBadStatus) {
+  EXPECT_THROW(CISQP_CHECK(1 == 2), BadStatus);
+  EXPECT_NO_THROW(CISQP_CHECK(1 == 1));
+}
+
+TEST(IdSetTest, NormalizesOnConstruction) {
+  const IdSet s{3, 1, 2, 3, 1};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s, (IdSet{1, 2, 3}));
+}
+
+TEST(IdSetTest, InsertAndErase) {
+  IdSet s;
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_FALSE(s.Insert(5));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Erase(5));
+  EXPECT_FALSE(s.Erase(5));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IdSetTest, SubsetAndIntersection) {
+  const IdSet a{1, 2, 3};
+  const IdSet b{2, 3};
+  const IdSet c{4};
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(IdSet{}.IsSubsetOf(c));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(IdSet::Intersection(a, b), b);
+}
+
+TEST(IdSetTest, UnionAndDifference) {
+  const IdSet a{1, 3};
+  const IdSet b{2, 3};
+  EXPECT_EQ(IdSet::Union(a, b), (IdSet{1, 2, 3}));
+  EXPECT_EQ(IdSet::Difference(a, b), (IdSet{1}));
+  IdSet c = a;
+  c.UnionWith(b);
+  EXPECT_EQ(c, (IdSet{1, 2, 3}));
+}
+
+TEST(IdSetTest, OrderingIsLexicographic) {
+  EXPECT_LT((IdSet{1, 2}), (IdSet{1, 3}));
+  EXPECT_LT((IdSet{1}), (IdSet{1, 2}));
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  const SymbolId a = table.Intern("alpha");
+  const SymbolId b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.Find("beta"), b);
+  EXPECT_EQ(table.Find("gamma"), kInvalidSymbol);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, SurvivesReallocation) {
+  SymbolTable table;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(table.Intern("symbol_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Find("symbol_" + std::to_string(i)), ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(table.NameOf(ids[static_cast<std::size_t>(i)]),
+              "symbol_" + std::to_string(i));
+  }
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, TrimAndCase) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("selec", "select"));
+  EXPECT_EQ(ToLowerAscii("AbC1"), "abc1");
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndSorted) {
+  Rng rng(3);
+  const auto sample = rng.SampleIndices(50, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i - 1], sample[i]);
+    EXPECT_LT(sample[i], 50u);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace cisqp

@@ -1,0 +1,182 @@
+// Tests for the cost model and the min-cost safe planner (E7 machinery).
+#include <gtest/gtest.h>
+
+#include "planner/cost_planner.hpp"
+#include "planner/exhaustive.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+using cisqp::testing::Attr;
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Relation;
+using cisqp::testing::Server;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan::RelationStats ins{1000.0, {}};
+    ins.distinct[Attr(fix_.cat, "Holder")] = 1000.0;
+    stats_.Set(Relation(fix_.cat, "Insurance"), ins);
+    plan::RelationStats reg{2000.0, {}};
+    reg.distinct[Attr(fix_.cat, "Citizen")] = 2000.0;
+    stats_.Set(Relation(fix_.cat, "Nat_registry"), reg);
+  }
+
+  MedicalFixture fix_;
+  plan::StatsCatalog stats_;
+};
+
+TEST_F(CostModelTest, RowWidthByType) {
+  const CostModel model(fix_.cat, &stats_);
+  // Holder: int64 (8); Plan: string (16).
+  EXPECT_DOUBLE_EQ(
+      model.RowWidthBytes({Attr(fix_.cat, "Holder"), Attr(fix_.cat, "Plan")}),
+      24.0);
+}
+
+TEST_F(CostModelTest, ResultBytesAndDistinct) {
+  const CostModel model(fix_.cat, &stats_);
+  const auto leaf = plan::PlanNode::Relation(Relation(fix_.cat, "Insurance"));
+  plan::QueryPlan plan(leaf->Clone());
+  EXPECT_DOUBLE_EQ(model.EstimateRows(*plan.root()), 1000.0);
+  EXPECT_DOUBLE_EQ(model.EstimateResultBytes(*plan.root()), 1000.0 * 24.0);
+  // Distinct of the key is capped at the row count.
+  IdSet holder;
+  holder.Insert(Attr(fix_.cat, "Holder"));
+  EXPECT_DOUBLE_EQ(model.EstimateDistinct(*plan.root(), holder), 1000.0);
+}
+
+TEST_F(CostModelTest, SemiJoinCheaperOnSelectiveJoins) {
+  // Join result is small (key-key join): the semi-join flow ships far fewer
+  // bytes than the full Nat_registry relation.
+  auto join = plan::PlanNode::Join(
+      plan::PlanNode::Relation(Relation(fix_.cat, "Insurance")),
+      plan::PlanNode::Relation(Relation(fix_.cat, "Nat_registry")),
+      {algebra::EquiJoinAtom{Attr(fix_.cat, "Holder"), Attr(fix_.cat, "Citizen")}});
+  plan::QueryPlan plan(std::move(join));
+  const CostModel model(fix_.cat, &stats_);
+  const plan::PlanNode* root = plan.root();
+  IdSet jl;
+  jl.Insert(Attr(fix_.cat, "Holder"));
+  const double semi = model.SemiJoinBytes(*root, *root->left, *root->right, jl);
+  const double regular = model.RegularJoinBytes(*root->right, false);
+  EXPECT_LT(semi, regular);
+  EXPECT_DOUBLE_EQ(model.RegularJoinBytes(*root->right, true), 0.0);
+}
+
+class MinCostPlannerTest : public ::testing::Test {
+ protected:
+  MedicalFixture fix_;
+};
+
+TEST_F(MinCostPlannerTest, AgreesWithHeuristicOnPaperExample) {
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  MinCostSafePlanner mincost(fix_.cat, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(CostedPlan costed, mincost.Plan(plan));
+  EXPECT_OK(VerifyAssignment(fix_.cat, fix_.auths, plan, costed.assignment));
+  EXPECT_GT(costed.total_bytes, 0.0);
+
+  SafePlanner heuristic(fix_.cat, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(SafePlan sp, heuristic.Plan(plan));
+  ASSERT_OK_AND_ASSIGN(double heuristic_bytes,
+                       mincost.EstimateAssignmentBytes(plan, sp.assignment));
+  EXPECT_LE(costed.total_bytes, heuristic_bytes);
+  // With a single feasible assignment (Fig. 7) both planners must agree.
+  EXPECT_EQ(costed.assignment.Of(1).master, Server(fix_.cat, "S_H"));
+  EXPECT_EQ(costed.assignment.Of(2).master, Server(fix_.cat, "S_N"));
+}
+
+TEST_F(MinCostPlannerTest, InfeasibleWhenNoSafeAssignment) {
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  authz::AuthorizationSet empty;
+  MinCostSafePlanner mincost(fix_.cat, empty);
+  EXPECT_EQ(mincost.Plan(plan).status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(MinCostPlannerTest, PrefersColocatedRegularJoin) {
+  // Both relations at one server with full mutual grants: cheapest safe plan
+  // is the zero-byte colocated regular join.
+  catalog::Catalog cat;
+  const auto s0 = cat.AddServer("s0").value();
+  ASSERT_OK(cat.AddServer("s1").status());
+  ASSERT_OK(cat.AddRelation("L", s0, {{"LK", catalog::ValueType::kInt64}}, {"LK"}).status());
+  ASSERT_OK(cat.AddRelation("R", s0, {{"RK", catalog::ValueType::kInt64}}, {"RK"}).status());
+  ASSERT_OK(cat.AddJoinEdge("LK", "RK"));
+  authz::AuthorizationSet auths;
+  ASSERT_OK(auths.Add(cat, "s0", {"LK"}, {}));
+  ASSERT_OK(auths.Add(cat, "s0", {"RK"}, {}));
+
+  auto join = plan::PlanNode::Join(
+      plan::PlanNode::Relation(cat.FindRelation("L").value()),
+      plan::PlanNode::Relation(cat.FindRelation("R").value()),
+      {algebra::EquiJoinAtom{cat.FindAttribute("LK").value(),
+                             cat.FindAttribute("RK").value()}});
+  plan::QueryPlan plan(std::move(join));
+  MinCostSafePlanner mincost(cat, auths);
+  ASSERT_OK_AND_ASSIGN(CostedPlan costed, mincost.Plan(plan));
+  EXPECT_DOUBLE_EQ(costed.total_bytes, 0.0);
+  EXPECT_EQ(costed.assignment.Of(0).mode, ExecutionMode::kRegularJoin);
+  EXPECT_EQ(costed.assignment.Of(0).master, s0);
+}
+
+TEST_F(MinCostPlannerTest, DpMatchesBruteForceMinimum) {
+  // Over random feasible instances: the DP's optimum must equal the true
+  // minimum of the same cost model over ALL safe assignments (enumerated by
+  // the exhaustive baseline and scored by EstimateAssignmentBytes).
+  Rng rng(8181);
+  int checked = 0;
+  for (int round = 0; round < 12; ++round) {
+    workload::FederationConfig fed_config;
+    fed_config.servers = 4;
+    fed_config.relations = 6;
+    const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+    workload::AuthzConfig authz_config;
+    authz_config.base_grant_prob = 0.7;
+    authz_config.path_grants_per_server = 5;
+    const authz::AuthorizationSet auths =
+        workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+    exec::Cluster cluster(fed.catalog);
+    ASSERT_OK(workload::PopulateCluster(cluster, fed, {}, rng));
+    const plan::StatsCatalog stats = workload::ComputeStats(cluster);
+
+    workload::QueryConfig query_config;
+    query_config.relations = 3;
+    auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+    if (!spec.ok()) continue;
+    auto built = plan::PlanBuilder(fed.catalog, &stats).Build(*spec);
+    if (!built.ok()) continue;
+
+    ASSERT_OK_AND_ASSIGN(ExhaustiveResult exhaustive,
+                         EnumerateSafeAssignments(fed.catalog, auths, *built));
+    if (!exhaustive.feasible()) continue;
+    MinCostSafePlanner mincost(fed.catalog, auths, &stats);
+    ASSERT_OK_AND_ASSIGN(CostedPlan dp, mincost.Plan(*built));
+
+    double brute = std::numeric_limits<double>::infinity();
+    for (const Assignment& assignment : exhaustive.safe_assignments) {
+      ASSERT_OK_AND_ASSIGN(double bytes,
+                           mincost.EstimateAssignmentBytes(*built, assignment));
+      brute = std::min(brute, bytes);
+    }
+    EXPECT_NEAR(dp.total_bytes, brute, 1e-6 * std::max(1.0, brute))
+        << spec->ToString(fed.catalog);
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST_F(MinCostPlannerTest, EstimateAssignmentBytesRejectsBadModes) {
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  MinCostSafePlanner mincost(fix_.cat, fix_.auths);
+  Assignment bad(plan.node_count());  // all local, including joins
+  EXPECT_EQ(mincost.EstimateAssignmentBytes(plan, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cisqp::planner

@@ -1,0 +1,146 @@
+// Tests for the federation DSL: parsing, validation errors, round-tripping,
+// and equivalence with the programmatic medical scenario.
+#include <gtest/gtest.h>
+
+#include "dsl/federation_dsl.hpp"
+#include "planner/safe_planner.hpp"
+#include "sql/binder.hpp"
+#include "plan/builder.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::dsl {
+namespace {
+
+constexpr std::string_view kMedicalDsl = R"(
+# the paper's medical federation (Figs. 1 and 3)
+server S_I;
+server S_H;
+server S_N;
+server S_D;
+
+relation Insurance    @ S_I (Holder int key, Plan string);
+relation Hospital     @ S_H (Patient int key, Disease string, Physician string);
+relation Nat_registry @ S_N (Citizen int key, HealthAid string);
+relation Disease_list @ S_D (Illness string key, Treatment string);
+
+joinable Holder = Patient;
+joinable Holder = Citizen;
+joinable Patient = Citizen;
+joinable Disease = Illness;
+
+grant Holder, Plan to S_I;                                              # 1
+grant Holder, Plan, Patient, Physician on (Holder, Patient) to S_I;    # 2
+grant Holder, Plan, Treatment
+  on (Holder, Patient), (Disease, Illness) to S_I;                     # 3
+grant Patient, Disease, Physician to S_H;                              # 4
+grant Patient, Disease, Physician, Holder, Plan
+  on (Patient, Holder) to S_H;                                         # 5
+grant Patient, Disease, Physician, Citizen, HealthAid
+  on (Patient, Citizen) to S_H;                                        # 6
+grant Patient, Disease, Physician, Holder, Plan, Citizen, HealthAid
+  on (Patient, Citizen), (Citizen, Holder) to S_H;                     # 7
+grant Citizen, HealthAid to S_N;                                       # 8
+grant Holder, Plan to S_N;                                             # 9
+grant Patient, Disease to S_N;                                         # 10
+grant Citizen, HealthAid, Patient, Disease on (Citizen, Patient) to S_N;   # 11
+grant Citizen, HealthAid, Holder, Plan on (Citizen, Holder) to S_N;        # 12
+grant Patient, Disease, Holder, Plan on (Patient, Holder) to S_N;          # 13
+grant Citizen, HealthAid, Patient, Disease, Holder, Plan
+  on (Citizen, Patient), (Citizen, Holder) to S_N;                     # 14
+grant Illness, Treatment to S_D;                                       # 15
+)";
+
+TEST(DslTest, ParsesTheMedicalFederation) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(kMedicalDsl));
+  EXPECT_EQ(fed.catalog.server_count(), 4u);
+  EXPECT_EQ(fed.catalog.relation_count(), 4u);
+  EXPECT_EQ(fed.catalog.join_edges().size(), 4u);
+  EXPECT_EQ(fed.authorizations.size(), 15u);
+  EXPECT_EQ(fed.denials.size(), 0u);
+  // The DSL federation is schema-identical to the programmatic one.
+  const catalog::Catalog reference = workload::MedicalScenario::BuildCatalog();
+  EXPECT_EQ(fed.catalog.DebugString(), reference.DebugString());
+}
+
+TEST(DslTest, DslPolicyBehavesLikeTheProgrammaticOne) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(kMedicalDsl));
+  // The Fig. 7 planning result is identical under the DSL-built policy.
+  auto spec = sql::ParseAndBind(fed.catalog, workload::MedicalScenario::kPaperQuery);
+  ASSERT_OK(spec.status());
+  auto plan = plan::PlanBuilder(fed.catalog).Build(*spec);
+  ASSERT_OK(plan.status());
+  planner::SafePlanner planner(fed.catalog, fed.authorizations);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, planner.Plan(*plan));
+  EXPECT_EQ(sp.assignment.Of(1).ToString(fed.catalog), "[S_H, S_N]");
+  EXPECT_EQ(sp.assignment.Of(2).ToString(fed.catalog), "[S_N, NULL]");
+}
+
+TEST(DslTest, ParsesDenials) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(R"(
+    server s0; server s1;
+    relation L @ s0 (LK int key, LV int);
+    relation R @ s1 (RK int key);
+    joinable LK = RK;
+    deny LV, RK to s1;
+    deny LK on (LK, RK) to s1;
+  )"));
+  EXPECT_EQ(fed.denials.size(), 2u);
+  EXPECT_EQ(fed.authorizations.size(), 0u);
+  const auto s1 = fed.catalog.FindServer("s1").value();
+  authz::Profile assoc;
+  assoc.pi = cisqp::testing::Attrs(fed.catalog, {"LV", "RK"});
+  EXPECT_FALSE(fed.denials.CanView(assoc, s1));
+}
+
+TEST(DslTest, RoundTripIsStable) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(kMedicalDsl));
+  const std::string once =
+      SerializeFederation(fed.catalog, &fed.authorizations, &fed.denials);
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed2, ParseFederation(once));
+  const std::string twice =
+      SerializeFederation(fed2.catalog, &fed2.authorizations, &fed2.denials);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(fed2.authorizations.size(), fed.authorizations.size());
+}
+
+TEST(DslTest, SerializeOmitsNullParts) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(kMedicalDsl));
+  const std::string schema_only = SerializeFederation(fed.catalog, nullptr, nullptr);
+  EXPECT_EQ(schema_only.find("grant"), std::string::npos);
+  EXPECT_NE(schema_only.find("relation Insurance"), std::string::npos);
+}
+
+TEST(DslTest, SyntaxErrorsCarryLineNumbers) {
+  const auto bad = ParseFederation("server a;\nrelation R ! x;");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DslTest, ParserErrorCases) {
+  EXPECT_FALSE(ParseFederation("bogus x;").ok());
+  EXPECT_FALSE(ParseFederation("server s").ok());  // missing ';'
+  EXPECT_FALSE(ParseFederation("relation R @ nowhere (A int);").ok());
+  EXPECT_FALSE(ParseFederation("server s; relation R @ s (A blob);").ok());
+  EXPECT_FALSE(ParseFederation("server s; relation R @ s (A int); joinable A = A;").ok());
+  EXPECT_FALSE(ParseFederation("server s; relation R @ s (A int); grant to s;").ok());
+  EXPECT_FALSE(ParseFederation("server s; relation R @ s (A int); grant A;").ok());
+  EXPECT_FALSE(ParseFederation("server s; relation R @ s (A int); grant A on (A) to s;").ok());
+  // Duplicate names propagate the catalog error.
+  EXPECT_EQ(ParseFederation("server s; server s;").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DslTest, CommentsAndCaseInsensitiveKeywords) {
+  ASSERT_OK_AND_ASSIGN(ParsedFederation fed, ParseFederation(R"(
+    # leading comment
+    SERVER s0;   # trailing comment
+    Relation T @ s0 (A INT KEY, B STRING);
+    GRANT A, B TO s0;
+  )"));
+  EXPECT_EQ(fed.catalog.server_count(), 1u);
+  EXPECT_EQ(fed.authorizations.size(), 1u);
+  EXPECT_EQ(fed.catalog.relation(0).primary_key.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cisqp::dsl

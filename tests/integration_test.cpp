@@ -1,0 +1,145 @@
+// End-to-end integration: SQL text → bound spec → optimized plan → safe
+// executor assignment → distributed execution with runtime enforcement →
+// result equality with centralized evaluation. Swept over random federations
+// (TEST_P) and exercised on the paper's scenario.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Server;
+
+TEST(IntegrationTest, PaperScenarioEndToEnd) {
+  MedicalFixture fix;
+  exec::Cluster cluster(fix.cat);
+  Rng rng(99);
+  ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+      cluster, workload::MedicalScenario::DataConfig{800, 0.35, 0.55, 40}, rng));
+
+  // Step 1 of two-step optimization: a cost-aware plan.
+  const plan::StatsCatalog stats = workload::MedicalScenario::ComputeStats(cluster);
+  ASSERT_OK_AND_ASSIGN(
+      plan::QuerySpec spec,
+      sql::ParseAndBind(fix.cat, workload::MedicalScenario::kPaperQuery));
+  ASSERT_OK_AND_ASSIGN(plan::QueryPlan plan,
+                       plan::PlanBuilder(fix.cat, &stats).Build(spec));
+
+  // Step 2: the paper's safe assignment.
+  planner::SafePlanner planner(fix.cat, fix.auths);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, planner.Plan(plan));
+  ASSERT_OK(planner::VerifyAssignment(fix.cat, fix.auths, plan, sp.assignment));
+
+  // Execute distributed, verify against centralized.
+  exec::DistributedExecutor executor(cluster, fix.auths);
+  ASSERT_OK_AND_ASSIGN(exec::ExecutionResult result,
+                       executor.Execute(plan, sp.assignment));
+  ASSERT_OK_AND_ASSIGN(storage::Table reference,
+                       exec::ExecuteCentralized(cluster, plan));
+  EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, reference));
+  EXPECT_GT(result.table.row_count(), 0u);
+}
+
+TEST(IntegrationTest, SelectionQueriesCarrySigmaThroughPlanning) {
+  MedicalFixture fix;
+  // Selecting on Disease pushes Disease into Rσ; the semi-join shipping the
+  // Hospital side must then expose Disease in its profile. Plan and verify.
+  ASSERT_OK_AND_ASSIGN(
+      plan::QuerySpec spec,
+      sql::ParseAndBind(fix.cat,
+                        "SELECT Patient, Plan FROM Insurance JOIN Hospital "
+                        "ON Holder = Patient WHERE Disease = 'disease_3'"));
+  ASSERT_OK_AND_ASSIGN(plan::QueryPlan plan, plan::PlanBuilder(fix.cat).Build(spec));
+  planner::SafePlanner planner(fix.cat, fix.auths);
+  ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(plan));
+  if (report.feasible) {
+    EXPECT_OK(planner::VerifyAssignment(fix.cat, fix.auths, plan,
+                                        report.plan->assignment));
+  }
+}
+
+struct EndToEndCase {
+  std::uint64_t seed;
+  std::size_t query_relations;
+  double density;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EndToEndSweep, SafePlansExecuteCorrectlyEverywhere) {
+  const EndToEndCase& param = GetParam();
+  Rng rng(param.seed);
+
+  workload::FederationConfig fed_config;
+  fed_config.servers = 4;
+  fed_config.relations = 6;
+  const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+
+  workload::AuthzConfig authz_config;
+  authz_config.base_grant_prob = param.density;
+  authz_config.path_grants_per_server = 4;
+  const authz::AuthorizationSet auths =
+      workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+
+  exec::Cluster cluster(fed.catalog);
+  workload::DataConfig data_config;
+  data_config.min_rows = 30;
+  data_config.max_rows = 120;
+  ASSERT_OK(workload::PopulateCluster(cluster, fed, data_config, rng));
+  const plan::StatsCatalog stats = workload::ComputeStats(cluster);
+
+  int feasible_count = 0;
+  for (int q = 0; q < 10; ++q) {
+    workload::QueryConfig query_config;
+    query_config.relations = param.query_relations;
+    auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+    ASSERT_OK(spec.status());
+    plan::BuildOptions build_options;
+    build_options.join_order = (q % 2 == 0) ? plan::JoinOrderPolicy::kFromClause
+                                            : plan::JoinOrderPolicy::kGreedyCost;
+    auto built = plan::PlanBuilder(fed.catalog, &stats).Build(*spec, build_options);
+    ASSERT_OK(built.status());
+    const plan::QueryPlan& plan = *built;
+
+    planner::SafePlanner planner(fed.catalog, auths);
+    ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(plan));
+    if (!report.feasible) continue;
+    ++feasible_count;
+
+    // Safe plan → runtime enforcement must never fire, and the distributed
+    // result must equal the centralized one.
+    exec::DistributedExecutor executor(cluster, auths);
+    ASSERT_OK_AND_ASSIGN(exec::ExecutionResult result,
+                         executor.Execute(plan, report.plan->assignment));
+    ASSERT_OK_AND_ASSIGN(storage::Table reference,
+                         exec::ExecuteCentralized(cluster, plan));
+    EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, reference))
+        << spec->ToString(fed.catalog);
+  }
+  // With dense grants most queries should be feasible; the assertion guards
+  // against the sweep silently testing nothing.
+  if (param.density >= 0.9) {
+    EXPECT_GT(feasible_count, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFederations, EndToEndSweep,
+    ::testing::Values(EndToEndCase{51, 2, 0.2}, EndToEndCase{52, 2, 0.9},
+                      EndToEndCase{53, 3, 0.3}, EndToEndCase{54, 3, 0.9},
+                      EndToEndCase{55, 4, 0.5}, EndToEndCase{56, 4, 0.9},
+                      EndToEndCase{57, 5, 0.7}, EndToEndCase{58, 5, 0.95},
+                      EndToEndCase{59, 3, 0.05}, EndToEndCase{60, 2, 1.0}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cisqp

@@ -1,0 +1,176 @@
+// Tests for the open-policy variant (paper §3.1 footnote 1): default-visible
+// data restricted by negative rules, usable by every planner and the
+// execution engine through the Policy interface.
+#include <gtest/gtest.h>
+
+#include "authz/open_policy.hpp"
+#include "exec/executor.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::authz {
+namespace {
+
+using cisqp::testing::Attrs;
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Path;
+using cisqp::testing::Relation;
+using cisqp::testing::Server;
+
+class OpenPolicyTest : public ::testing::Test {
+ protected:
+  MedicalFixture fix_;
+
+  Profile MakeProfile(const std::vector<std::string>& pi,
+                      const std::vector<std::pair<std::string, std::string>>& join,
+                      const std::vector<std::string>& sigma) const {
+    return Profile{Attrs(fix_.cat, pi), Path(fix_.cat, join), Attrs(fix_.cat, sigma)};
+  }
+};
+
+TEST_F(OpenPolicyTest, EmptyPolicyAllowsEverything) {
+  OpenPolicySet open;
+  EXPECT_TRUE(open.CanView(MakeProfile({"Holder", "Disease"}, {}, {}),
+                           Server(fix_.cat, "S_D")));
+  EXPECT_EQ(open.size(), 0u);
+}
+
+TEST_F(OpenPolicyTest, DenialFiresOnFullAssociation) {
+  OpenPolicySet open;
+  // S_I must never see who is hospitalized with what: deny the
+  // Holder-Disease association.
+  ASSERT_OK(open.Add(fix_.cat, "S_I", {"Holder", "Disease"}, {}));
+  EXPECT_FALSE(open.CanView(MakeProfile({"Holder", "Disease"}, {}, {}),
+                            Server(fix_.cat, "S_I")));
+  // Supersets are denied too (more information).
+  EXPECT_FALSE(open.CanView(
+      MakeProfile({"Holder", "Disease", "Plan"}, {{"Holder", "Patient"}}, {}),
+      Server(fix_.cat, "S_I")));
+  // Either attribute alone is fine: the *association* is denied.
+  EXPECT_TRUE(open.CanView(MakeProfile({"Holder"}, {}, {}),
+                           Server(fix_.cat, "S_I")));
+  EXPECT_TRUE(open.CanView(MakeProfile({"Disease"}, {}, {}),
+                           Server(fix_.cat, "S_I")));
+  // Other servers are unaffected.
+  EXPECT_TRUE(open.CanView(MakeProfile({"Holder", "Disease"}, {}, {}),
+                           Server(fix_.cat, "S_N")));
+}
+
+TEST_F(OpenPolicyTest, SigmaAttributesCountAsExposed) {
+  OpenPolicySet open;
+  ASSERT_OK(open.Add(fix_.cat, "S_I", {"Holder", "Disease"}, {}));
+  // Disease only appears in a selection — the information still flows.
+  EXPECT_FALSE(open.CanView(MakeProfile({"Holder"}, {}, {"Disease"}),
+                            Server(fix_.cat, "S_I")));
+}
+
+TEST_F(OpenPolicyTest, PathedDenialOnlyFiresOnThatAssociation) {
+  OpenPolicySet open;
+  // Deny S_D the knowledge of which illnesses occur in the hospital: the
+  // Illness attribute joined through Illness=Disease.
+  ASSERT_OK(open.Add(fix_.cat, "S_D", {"Illness"}, {{"Illness", "Disease"}}));
+  EXPECT_FALSE(open.CanView(
+      MakeProfile({"Illness", "Treatment"}, {{"Illness", "Disease"}}, {}),
+      Server(fix_.cat, "S_D")));
+  // A longer path that still contains the denied one is also denied.
+  EXPECT_FALSE(open.CanView(
+      MakeProfile({"Illness"},
+                  {{"Illness", "Disease"}, {"Patient", "Citizen"}}, {}),
+      Server(fix_.cat, "S_D")));
+  // The bare relation (empty path) is allowed — the paper's open default.
+  EXPECT_TRUE(open.CanView(MakeProfile({"Illness", "Treatment"}, {}, {}),
+                           Server(fix_.cat, "S_D")));
+}
+
+TEST_F(OpenPolicyTest, AddValidation) {
+  OpenPolicySet open;
+  EXPECT_EQ(open.Add(fix_.cat, "S_X", {"Holder"}, {}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(open.Add(fix_.cat, "S_I", {}, {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(open.Add(fix_.cat, "S_I", {"Nope"}, {}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(open.Add(fix_.cat, "S_I", {"Holder"}, {{"Holder", "Plan"}}).code(),
+            StatusCode::kInvalidArgument);  // within-relation atom
+  ASSERT_OK(open.Add(fix_.cat, "S_I", {"Holder", "Disease"}, {}));
+  EXPECT_EQ(open.Add(fix_.cat, "S_I", {"Disease", "Holder"}, {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(open.size(), 1u);
+  EXPECT_EQ(open.ForServer(Server(fix_.cat, "S_I")).size(), 1u);
+  EXPECT_NE(open.ToString(fix_.cat).find("-|"), std::string::npos);
+}
+
+TEST_F(OpenPolicyTest, PlannerWorksUnderOpenPolicy) {
+  // Under an empty open policy every plan is feasible; the planner picks a
+  // semi-join (principle i) since every view is allowed.
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  OpenPolicySet open;
+  planner::SafePlanner planner(fix_.cat, open);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, planner.Plan(plan));
+  EXPECT_OK(planner::VerifyAssignment(fix_.cat, open, plan, sp.assignment));
+  EXPECT_EQ(sp.assignment.Of(1).mode, planner::ExecutionMode::kSemiJoin);
+  EXPECT_EQ(sp.assignment.Of(2).mode, planner::ExecutionMode::kSemiJoin);
+}
+
+TEST_F(OpenPolicyTest, DenialsReshapeThePlan) {
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  // Forbid S_I from seeing anything of Nat_registry and S_N from seeing the
+  // Insurance association: pushes the n2 join toward specific executors.
+  OpenPolicySet open;
+  ASSERT_OK(open.Add(fix_.cat, "S_I", {"Citizen"}, {}));
+  ASSERT_OK(open.Add(fix_.cat, "S_I", {"HealthAid"}, {}));
+  planner::SafePlanner planner(fix_.cat, open);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, planner.Plan(plan));
+  // S_I can no longer act as n2's master (it would see Citizen), so the
+  // master must be S_N.
+  EXPECT_EQ(sp.assignment.Of(2).master, Server(fix_.cat, "S_N"));
+  EXPECT_OK(planner::VerifyAssignment(fix_.cat, open, plan, sp.assignment));
+}
+
+TEST_F(OpenPolicyTest, RuntimeEnforcementUnderOpenPolicy) {
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  OpenPolicySet open;
+  // Deny S_N the full Insurance view: the Fig. 7 regular join at n2 becomes
+  // illegal at run time.
+  ASSERT_OK(open.Add(fix_.cat, "S_N", {"Holder", "Plan"}, {}));
+  planner::SafePlanner closed_planner(fix_.cat, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, closed_planner.Plan(plan));
+
+  exec::Cluster cluster(fix_.cat);
+  Rng rng(1);
+  ASSERT_OK(workload::MedicalScenario::PopulateCluster(cluster, {}, rng));
+  exec::DistributedExecutor executor(cluster, open);
+  EXPECT_EQ(executor.Execute(plan, sp.assignment).status().code(),
+            StatusCode::kUnauthorized);
+
+  // Replanning under the open policy routes around the denial.
+  planner::SafePlanner open_planner(fix_.cat, open);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp2, open_planner.Plan(plan));
+  EXPECT_OK(executor.Execute(plan, sp2.assignment).status());
+}
+
+TEST_F(OpenPolicyTest, InfeasibleWhenDenialsBlockEveryMode) {
+  // Two relations on two servers; each server denied any sight of the other
+  // relation's attributes, including the join columns: no safe mode remains.
+  catalog::Catalog cat;
+  const auto s0 = cat.AddServer("s0").value();
+  const auto s1 = cat.AddServer("s1").value();
+  CISQP_CHECK(cat.AddRelation("L", s0, {{"LK", catalog::ValueType::kInt64}}, {"LK"}).ok());
+  CISQP_CHECK(cat.AddRelation("R", s1, {{"RK", catalog::ValueType::kInt64}}, {"RK"}).ok());
+  ASSERT_OK(cat.AddJoinEdge("LK", "RK"));
+  OpenPolicySet open;
+  ASSERT_OK(open.Add(cat, "s0", {"RK"}, {}));
+  ASSERT_OK(open.Add(cat, "s1", {"LK"}, {}));
+  auto join = plan::PlanNode::Join(
+      plan::PlanNode::Relation(cat.FindRelation("L").value()),
+      plan::PlanNode::Relation(cat.FindRelation("R").value()),
+      {algebra::EquiJoinAtom{cat.FindAttribute("LK").value(),
+                             cat.FindAttribute("RK").value()}});
+  plan::QueryPlan plan(std::move(join));
+  planner::SafePlanner planner(cat, open);
+  ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(plan));
+  EXPECT_FALSE(report.feasible);
+  (void)s0;
+  (void)s1;
+}
+
+}  // namespace
+}  // namespace cisqp::authz

@@ -1,0 +1,248 @@
+// Unit tests for src/plan: query tree plans, the builder's pushdown passes,
+// join ordering, and cardinality estimation. Includes the paper's Fig. 2
+// plan-shape check.
+#include <gtest/gtest.h>
+
+#include "plan/builder.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::plan {
+namespace {
+
+using cisqp::testing::Attr;
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Relation;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  MedicalFixture fix_;
+};
+
+TEST_F(PlanTest, PaperPlanHasFig2Shape) {
+  // Fig. 2: n0 = π over n1 = (Insurance ⋈ Nat_registry) ⋈ π(Hospital), with
+  // the Hospital projection pushed down and pre-order ids n0..n6.
+  const QueryPlan plan = fix_.PaperPlan();
+  ASSERT_OK(plan.Validate(fix_.cat));
+  EXPECT_EQ(plan.node_count(), 7);
+  EXPECT_EQ(plan.JoinCount(), 2);
+
+  const PlanNode* n0 = plan.node(0);
+  ASSERT_NE(n0, nullptr);
+  EXPECT_EQ(n0->op, PlanOp::kProject);
+  EXPECT_EQ(n0->projection,
+            (std::vector<catalog::AttributeId>{
+                Attr(fix_.cat, "Patient"), Attr(fix_.cat, "Physician"),
+                Attr(fix_.cat, "Plan"), Attr(fix_.cat, "HealthAid")}));
+
+  const PlanNode* n1 = plan.node(1);
+  EXPECT_EQ(n1->op, PlanOp::kJoin);
+  const PlanNode* n2 = plan.node(2);
+  EXPECT_EQ(n2->op, PlanOp::kJoin);
+  EXPECT_EQ(plan.node(4)->op, PlanOp::kRelation);
+  EXPECT_EQ(plan.node(4)->relation, Relation(fix_.cat, "Insurance"));
+  EXPECT_EQ(plan.node(5)->relation, Relation(fix_.cat, "Nat_registry"));
+
+  // The Hospital side carries the pushed-down projection of Fig. 2.
+  const PlanNode* n3 = plan.node(3);
+  ASSERT_EQ(n3->op, PlanOp::kProject);
+  EXPECT_EQ(n3->projection,
+            (std::vector<catalog::AttributeId>{Attr(fix_.cat, "Patient"),
+                                               Attr(fix_.cat, "Physician")}));
+  EXPECT_EQ(plan.node(6)->op, PlanOp::kRelation);
+  EXPECT_EQ(plan.node(6)->relation, Relation(fix_.cat, "Hospital"));
+}
+
+TEST_F(PlanTest, NoProjectInsertedWhenAllAttributesNeeded) {
+  // Insurance and Nat_registry contribute all their attributes; only
+  // Hospital gets a projection in the paper plan.
+  const QueryPlan plan = fix_.PaperPlan();
+  int projects = 0;
+  plan.ForEachPreOrder([&](const PlanNode& n) {
+    if (n.op == PlanOp::kProject) ++projects;
+  });
+  EXPECT_EQ(projects, 2);  // final π + Hospital π
+}
+
+TEST_F(PlanTest, SelectionPushdownReachesLeaf) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat,
+                        "SELECT Patient, Plan FROM Insurance JOIN Hospital "
+                        "ON Holder = Patient WHERE Plan = 'gold'"));
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, PlanBuilder(fix_.cat).Build(spec));
+  ASSERT_OK(plan.Validate(fix_.cat));
+  // The Plan='gold' conjunct must sit below the join, on the Insurance side.
+  bool select_below_join = false;
+  plan.ForEachPreOrder([&](const PlanNode& n) {
+    if (n.op == PlanOp::kJoin) {
+      const PlanNode* l = n.left.get();
+      while (l != nullptr) {
+        if (l->op == PlanOp::kSelect) select_below_join = true;
+        l = l->left.get();
+      }
+    }
+  });
+  EXPECT_TRUE(select_below_join);
+}
+
+TEST_F(PlanTest, SelectionStaysAtJoinWhenCrossRelation) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat,
+                        "SELECT Plan FROM Insurance JOIN Hospital "
+                        "ON Holder = Patient WHERE Plan = Physician"));
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, PlanBuilder(fix_.cat).Build(spec));
+  ASSERT_OK(plan.Validate(fix_.cat));
+  // Plan (Insurance) vs Physician (Hospital): the conjunct cannot descend
+  // below the join.
+  const PlanNode* root = plan.root();
+  ASSERT_EQ(root->op, PlanOp::kProject);
+  EXPECT_EQ(root->left->op, PlanOp::kSelect);
+  EXPECT_EQ(root->left->left->op, PlanOp::kJoin);
+}
+
+TEST_F(PlanTest, NoPushdownOptionsKeepSelectionAtRoot) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat, "SELECT Patient FROM Hospital WHERE "
+                                  "Physician = 'dr_a'"));
+  BuildOptions options;
+  options.push_selections = false;
+  options.push_projections = false;
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, PlanBuilder(fix_.cat).Build(spec, options));
+  ASSERT_OK(plan.Validate(fix_.cat));
+  ASSERT_EQ(plan.root()->op, PlanOp::kProject);
+  EXPECT_EQ(plan.root()->left->op, PlanOp::kSelect);
+  EXPECT_EQ(plan.root()->left->left->op, PlanOp::kRelation);
+}
+
+TEST_F(PlanTest, SingleRelationQuery) {
+  ASSERT_OK_AND_ASSIGN(QuerySpec spec,
+                       sql::ParseAndBind(fix_.cat, "SELECT Plan FROM Insurance"));
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, PlanBuilder(fix_.cat).Build(spec));
+  EXPECT_EQ(plan.JoinCount(), 0);
+  EXPECT_EQ(plan.root()->op, PlanOp::kProject);
+}
+
+TEST_F(PlanTest, RenumberIsLevelOrder) {
+  // Pre-order traversal of the Fig. 2 tree visits BFS ids 0,1,2,4,5,3,6 —
+  // the paper's numbering (leaves n4/n5 sit under n2; n3 is the projection).
+  QueryPlan plan = fix_.PaperPlan();
+  std::vector<int> ids;
+  plan.ForEachPreOrder([&](const PlanNode& n) { ids.push_back(n.id); });
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 4, 5, 3, 6}));
+  EXPECT_EQ(plan.node(3)->id, 3);
+  EXPECT_EQ(plan.node(99), nullptr);
+  EXPECT_EQ(plan.node(-1), nullptr);
+}
+
+TEST_F(PlanTest, CloneIsDeepAndEqualShaped) {
+  const QueryPlan plan = fix_.PaperPlan();
+  const QueryPlan copy = plan.Clone();
+  EXPECT_EQ(copy.node_count(), plan.node_count());
+  EXPECT_EQ(copy.ToString(fix_.cat), plan.ToString(fix_.cat));
+  EXPECT_NE(copy.root(), plan.root());
+}
+
+TEST_F(PlanTest, ValidateCatchesBrokenTrees) {
+  // Projection of an attribute its child does not produce.
+  auto bad = PlanNode::Project(
+      PlanNode::Relation(Relation(fix_.cat, "Insurance")),
+      {Attr(fix_.cat, "Patient")});
+  const QueryPlan plan(std::move(bad));
+  EXPECT_EQ(plan.Validate(fix_.cat).code(), StatusCode::kInvalidArgument);
+
+  // Join without atoms.
+  auto join = PlanNode::Join(
+      PlanNode::Relation(Relation(fix_.cat, "Insurance")),
+      PlanNode::Relation(Relation(fix_.cat, "Hospital")), {});
+  const QueryPlan plan2(std::move(join));
+  EXPECT_EQ(plan2.Validate(fix_.cat).code(), StatusCode::kInvalidArgument);
+
+  // Join atom oriented the wrong way.
+  auto join2 = PlanNode::Join(
+      PlanNode::Relation(Relation(fix_.cat, "Insurance")),
+      PlanNode::Relation(Relation(fix_.cat, "Hospital")),
+      {algebra::EquiJoinAtom{Attr(fix_.cat, "Patient"), Attr(fix_.cat, "Holder")}});
+  const QueryPlan plan3(std::move(join2));
+  EXPECT_EQ(plan3.Validate(fix_.cat).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, SpecValidateCatchesCrossJoins) {
+  QuerySpec spec;
+  spec.first_relation = Relation(fix_.cat, "Insurance");
+  spec.select_list = {Attr(fix_.cat, "Plan")};
+  spec.joins.push_back(JoinStep{Relation(fix_.cat, "Hospital"), {}});
+  EXPECT_EQ(spec.Validate(fix_.cat).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, GreedyJoinOrderPrefersSmallRelations) {
+  // Give Hospital far fewer rows; greedy should start from it.
+  StatsCatalog stats;
+  stats.Set(Relation(fix_.cat, "Insurance"), RelationStats{100000.0, {}});
+  stats.Set(Relation(fix_.cat, "Nat_registry"), RelationStats{50000.0, {}});
+  stats.Set(Relation(fix_.cat, "Hospital"), RelationStats{10.0, {}});
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat, workload::MedicalScenario::kPaperQuery));
+  BuildOptions options;
+  options.join_order = JoinOrderPolicy::kGreedyCost;
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan,
+                       PlanBuilder(fix_.cat, &stats).Build(spec, options));
+  ASSERT_OK(plan.Validate(fix_.cat));
+  // Leftmost leaf should be Hospital.
+  const PlanNode* leftmost = plan.root();
+  while (leftmost->left) leftmost = leftmost->left.get();
+  EXPECT_EQ(leftmost->relation, Relation(fix_.cat, "Hospital"));
+}
+
+TEST_F(PlanTest, CardinalityEstimates) {
+  StatsCatalog stats;
+  RelationStats ins{1000.0, {}};
+  ins.distinct[Attr(fix_.cat, "Holder")] = 1000.0;
+  stats.Set(Relation(fix_.cat, "Insurance"), ins);
+  RelationStats reg{2000.0, {}};
+  reg.distinct[Attr(fix_.cat, "Citizen")] = 2000.0;
+  stats.Set(Relation(fix_.cat, "Nat_registry"), reg);
+
+  PlanBuilder builder(fix_.cat, &stats);
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat, "SELECT Plan FROM Insurance JOIN "
+                                  "Nat_registry ON Holder = Citizen"));
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, builder.Build(spec));
+  // |I ⋈ N| = 1000 * 2000 / max(1000, 2000) = 1000.
+  const PlanNode* join = plan.root();
+  while (join->op != PlanOp::kJoin) join = join->left.get();
+  EXPECT_DOUBLE_EQ(builder.EstimateCardinality(*join), 1000.0);
+}
+
+TEST_F(PlanTest, SelectionSelectivityEstimates) {
+  StatsCatalog stats;
+  RelationStats ins{1000.0, {}};
+  ins.distinct[Attr(fix_.cat, "Plan")] = 4.0;
+  stats.Set(Relation(fix_.cat, "Insurance"), ins);
+  PlanBuilder builder(fix_.cat, &stats);
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      sql::ParseAndBind(fix_.cat,
+                        "SELECT Holder FROM Insurance WHERE Plan = 'gold'"));
+  ASSERT_OK_AND_ASSIGN(QueryPlan plan, builder.Build(spec));
+  EXPECT_DOUBLE_EQ(builder.EstimateCardinality(*plan.root()), 250.0);
+}
+
+TEST_F(PlanTest, StatsFromTableAreExact) {
+  exec::Cluster cluster(fix_.cat);
+  Rng rng(1);
+  ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+      cluster, workload::MedicalScenario::DataConfig{200, 0.5, 0.5, 10}, rng));
+  const StatsCatalog stats = workload::MedicalScenario::ComputeStats(cluster);
+  const RelationStats& reg = stats.Of(Relation(fix_.cat, "Nat_registry"));
+  EXPECT_DOUBLE_EQ(reg.rows, 200.0);
+  EXPECT_DOUBLE_EQ(reg.DistinctOf(Attr(fix_.cat, "Citizen")), 200.0);
+  EXPECT_LE(reg.DistinctOf(Attr(fix_.cat, "HealthAid")), 3.0);
+}
+
+}  // namespace
+}  // namespace cisqp::plan

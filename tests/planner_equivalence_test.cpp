@@ -1,0 +1,173 @@
+// Property tests validating the paper's algorithm against the exhaustive
+// baseline over populations of random federations (experiment E4's test
+// counterpart):
+//   P1  SafePlanner reports feasible ⇔ the exhaustive enumeration finds at
+//       least one safe assignment (the algorithm solves Problem 4.1);
+//   P2  whatever SafePlanner emits passes the independent release verifier;
+//   P3  the algorithm's root candidate-server set equals the exhaustive set
+//       of feasible root result servers;
+//   P4  the min-cost DP agrees on feasibility and never costs more than the
+//       heuristic under the same cost model.
+#include <gtest/gtest.h>
+
+#include "planner/cost_planner.hpp"
+#include "planner/exhaustive.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "plan/builder.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::size_t servers;
+  std::size_t relations;
+  std::size_t query_relations;
+  double base_grant_prob;
+  double path_grant_share;  ///< scales path_grants_per_server
+};
+
+class EquivalenceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EquivalenceSweep, AlgorithmMatchesExhaustiveBaseline) {
+  const SweepCase& param = GetParam();
+  Rng rng(param.seed);
+
+  workload::FederationConfig fed_config;
+  fed_config.servers = param.servers;
+  fed_config.relations = param.relations;
+  const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+
+  workload::AuthzConfig authz_config;
+  authz_config.base_grant_prob = param.base_grant_prob;
+  authz_config.path_grants_per_server =
+      static_cast<std::size_t>(3.0 * param.path_grant_share);
+  const authz::AuthorizationSet auths =
+      workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+
+  workload::QueryConfig query_config;
+  query_config.relations = param.query_relations;
+  // 8 random queries per federation.
+  for (int q = 0; q < 8; ++q) {
+    auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+    ASSERT_OK(spec.status());
+    auto built = plan::PlanBuilder(fed.catalog).Build(*spec);
+    ASSERT_OK(built.status());
+    const plan::QueryPlan& plan = *built;
+
+    SafePlanner planner(fed.catalog, auths);
+    ASSERT_OK_AND_ASSIGN(PlanningReport report, planner.Analyze(plan));
+
+    ASSERT_OK_AND_ASSIGN(ExhaustiveResult exhaustive,
+                         EnumerateSafeAssignments(fed.catalog, auths, plan));
+
+    // P1: feasibility agreement.
+    ASSERT_EQ(report.feasible, exhaustive.feasible())
+        << "query: " << spec->ToString(fed.catalog) << "\nplan:\n"
+        << plan.ToString(fed.catalog) << "\nauths:\n"
+        << auths.ToString(fed.catalog);
+
+    if (!report.feasible) continue;
+
+    // P2: the emitted assignment is safe by the independent verifier.
+    EXPECT_OK(VerifyAssignment(fed.catalog, auths, plan,
+                               report.plan->assignment));
+
+    // P3: root candidate servers == exhaustive feasible root servers.
+    std::vector<catalog::ServerId> algo_roots;
+    for (const NodeTrace& nt : report.plan->trace.find_candidates) {
+      if (nt.node_id == plan.root()->id) {
+        for (const Candidate& c : nt.candidates) algo_roots.push_back(c.server);
+      }
+    }
+    std::sort(algo_roots.begin(), algo_roots.end());
+    algo_roots.erase(std::unique(algo_roots.begin(), algo_roots.end()),
+                     algo_roots.end());
+    EXPECT_EQ(algo_roots, exhaustive.feasible_root_servers)
+        << "query: " << spec->ToString(fed.catalog);
+
+    // P4: the min-cost DP is feasible too and at most as expensive as the
+    // heuristic assignment under the same model.
+    MinCostSafePlanner mincost(fed.catalog, auths);
+    ASSERT_OK_AND_ASSIGN(CostedPlan costed, mincost.Plan(plan));
+    EXPECT_OK(VerifyAssignment(fed.catalog, auths, plan, costed.assignment));
+    ASSERT_OK_AND_ASSIGN(
+        double heuristic_bytes,
+        mincost.EstimateAssignmentBytes(plan, report.plan->assignment));
+    EXPECT_LE(costed.total_bytes, heuristic_bytes * (1.0 + 1e-9));
+  }
+}
+
+// The same P1/P2 properties under random OPEN policies (footnote-1 regime):
+// the algorithm and the exhaustive release-based enumeration must agree on
+// feasibility, and every emitted assignment must verify.
+class OpenPolicyEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpenPolicyEquivalenceSweep, AlgorithmMatchesExhaustiveUnderDenials) {
+  Rng rng(GetParam());
+  workload::FederationConfig fed_config;
+  fed_config.servers = 4;
+  fed_config.relations = 6;
+  const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+  workload::DenialConfig denial_config;
+  denial_config.pair_denials_per_server = 3;
+  denial_config.attribute_denials_per_server = 1;
+  const authz::OpenPolicySet denials =
+      workload::GenerateDenials(fed.catalog, denial_config, rng);
+
+  workload::QueryConfig query_config;
+  for (int q = 0; q < 8; ++q) {
+    query_config.relations = 2 + static_cast<std::size_t>(q % 3);
+    auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+    ASSERT_OK(spec.status());
+    auto built = plan::PlanBuilder(fed.catalog).Build(*spec);
+    ASSERT_OK(built.status());
+
+    SafePlanner planner(fed.catalog, denials);
+    ASSERT_OK_AND_ASSIGN(PlanningReport report, planner.Analyze(*built));
+    ASSERT_OK_AND_ASSIGN(ExhaustiveResult exhaustive,
+                         EnumerateSafeAssignments(fed.catalog, denials, *built));
+    ASSERT_EQ(report.feasible, exhaustive.feasible())
+        << spec->ToString(fed.catalog) << "\n"
+        << denials.ToString(fed.catalog);
+    if (report.feasible) {
+      EXPECT_OK(VerifyAssignment(fed.catalog, denials, *built,
+                                 report.plan->assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpenPolicyEquivalenceSweep,
+                         ::testing::Values(301u, 302u, 303u, 304u, 305u, 306u));
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 1000;
+  for (const double density : {0.1, 0.3, 0.6, 0.9}) {
+    for (const std::size_t query_rels : {2u, 3u, 4u}) {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        cases.push_back(SweepCase{seed++, 4, 6, query_rels, density, density * 2});
+      }
+    }
+  }
+  // A few larger federations.
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    cases.push_back(SweepCase{seed++, 6, 9, 5, 0.4, 1.0});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFederations, EquivalenceSweep, ::testing::ValuesIn(MakeSweep()),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      const SweepCase& c = param_info.param;
+      return "seed" + std::to_string(c.seed) + "_q" +
+             std::to_string(c.query_relations) + "_d" +
+             std::to_string(static_cast<int>(c.base_grant_prob * 100));
+    });
+
+}  // namespace
+}  // namespace cisqp::planner

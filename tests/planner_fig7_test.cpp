@@ -1,0 +1,208 @@
+// Golden test: the paper's Fig. 7 — the full Find_candidates / Assign_ex
+// trace of the Example 2.2 query (Fig. 2 plan) under the Fig. 3
+// authorizations — reproduced node for node, candidate for candidate.
+#include <gtest/gtest.h>
+
+#include "planner/safe_planner.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Server;
+
+class Fig7Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = fix_.PaperPlan();
+    SafePlanner planner(fix_.cat, fix_.auths);
+    auto report = planner.Analyze(plan_);
+    ASSERT_OK(report.status());
+    ASSERT_TRUE(report->feasible);
+    plan_result_ = std::move(*report->plan);
+    si_ = Server(fix_.cat, "S_I");
+    sh_ = Server(fix_.cat, "S_H");
+    sn_ = Server(fix_.cat, "S_N");
+    sd_ = Server(fix_.cat, "S_D");
+  }
+
+  const NodeTrace& FindTrace(int node_id) const {
+    for (const NodeTrace& nt : plan_result_.trace.find_candidates) {
+      if (nt.node_id == node_id) return nt;
+    }
+    ADD_FAILURE() << "no Find_candidates trace for node " << node_id;
+    static const NodeTrace kEmpty{};
+    return kEmpty;
+  }
+
+  MedicalFixture fix_;
+  plan::QueryPlan plan_;
+  SafePlan plan_result_;
+  catalog::ServerId si_ = 0, sh_ = 0, sn_ = 0, sd_ = 0;
+};
+
+TEST_F(Fig7Test, FindCandidatesVisitsNodesInPaperOrder) {
+  // Fig. 7 left table, top to bottom: n4, n5, n2, n6, n3, n1, n0.
+  std::vector<int> order;
+  for (const NodeTrace& nt : plan_result_.trace.find_candidates) {
+    order.push_back(nt.node_id);
+  }
+  EXPECT_EQ(order, (std::vector<int>{4, 5, 2, 6, 3, 1, 0}));
+}
+
+TEST_F(Fig7Test, LeafCandidatesAreHomeServers) {
+  // n4: [S_I, -, 0]*   n5: [S_N, -, 0]*   n6: [S_H, -, 0]*
+  const NodeTrace& n4 = FindTrace(4);
+  ASSERT_EQ(n4.candidates.size(), 1u);
+  EXPECT_EQ(n4.candidates[0].server, si_);
+  EXPECT_EQ(n4.candidates[0].from, FromChild::kSelf);
+  EXPECT_EQ(n4.candidates[0].count, 0);
+
+  const NodeTrace& n5 = FindTrace(5);
+  ASSERT_EQ(n5.candidates.size(), 1u);
+  EXPECT_EQ(n5.candidates[0].server, sn_);
+
+  const NodeTrace& n6 = FindTrace(6);
+  ASSERT_EQ(n6.candidates.size(), 1u);
+  EXPECT_EQ(n6.candidates[0].server, sh_);
+}
+
+TEST_F(Fig7Test, NodeN2IsRegularJoinAtSn) {
+  // Fig. 7: n2 candidates = [S_N, right, 1]; Example 5.1: "the join ...
+  // needs to be executed as a regular join since the only candidate from the
+  // right child cannot serve as slave".
+  const NodeTrace& n2 = FindTrace(2);
+  ASSERT_EQ(n2.candidates.size(), 1u);
+  EXPECT_EQ(n2.candidates[0].server, sn_);
+  EXPECT_EQ(n2.candidates[0].from, FromChild::kRight);
+  EXPECT_EQ(n2.candidates[0].count, 1);
+  EXPECT_EQ(n2.candidates[0].mode, ExecutionMode::kRegularJoin);
+  // No left slave exists (S_I cannot view the Citizen column of the right).
+  EXPECT_FALSE(n2.leftslave.has_value());
+}
+
+TEST_F(Fig7Test, NodeN3CopiesChildCandidate) {
+  // n3: [S_H, left, 0] — the unary projection inherits Hospital's candidate.
+  const NodeTrace& n3 = FindTrace(3);
+  ASSERT_EQ(n3.candidates.size(), 1u);
+  EXPECT_EQ(n3.candidates[0].server, sh_);
+  EXPECT_EQ(n3.candidates[0].from, FromChild::kLeft);
+  EXPECT_EQ(n3.candidates[0].count, 0);
+}
+
+TEST_F(Fig7Test, NodeN1IsSemiJoinWithSnSlave) {
+  // n1: [S_H, right, 1] with slave S_N (Fig. 7 Slave column).
+  const NodeTrace& n1 = FindTrace(1);
+  ASSERT_EQ(n1.candidates.size(), 1u);
+  EXPECT_EQ(n1.candidates[0].server, sh_);
+  EXPECT_EQ(n1.candidates[0].from, FromChild::kRight);
+  EXPECT_EQ(n1.candidates[0].count, 1);
+  EXPECT_EQ(n1.candidates[0].mode, ExecutionMode::kSemiJoin);
+  ASSERT_TRUE(n1.leftslave.has_value());
+  EXPECT_EQ(*n1.leftslave, sn_);
+}
+
+TEST_F(Fig7Test, NodeN0CopiesJoinCandidate) {
+  // n0: [S_H, left, 1].
+  const NodeTrace& n0 = FindTrace(0);
+  ASSERT_EQ(n0.candidates.size(), 1u);
+  EXPECT_EQ(n0.candidates[0].server, sh_);
+  EXPECT_EQ(n0.candidates[0].from, FromChild::kLeft);
+  EXPECT_EQ(n0.candidates[0].count, 1);
+}
+
+TEST_F(Fig7Test, AssignExVisitsNodesInPaperOrder) {
+  // Fig. 7 right table, top to bottom: n0, n1, n2, n4, n5, n3, n6.
+  std::vector<int> order;
+  for (const AssignTrace& at : plan_result_.trace.assign) {
+    order.push_back(at.node_id);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 5, 3, 6}));
+}
+
+TEST_F(Fig7Test, FinalAssignmentMatchesFig7) {
+  const Assignment& lambda = plan_result_.assignment;
+  // n0: [S_H, NULL]
+  EXPECT_EQ(lambda.Of(0).master, sh_);
+  EXPECT_FALSE(lambda.Of(0).slave.has_value());
+  // n1: [S_H, S_N] — semi-join, master from the right child.
+  EXPECT_EQ(lambda.Of(1).master, sh_);
+  ASSERT_TRUE(lambda.Of(1).slave.has_value());
+  EXPECT_EQ(*lambda.Of(1).slave, sn_);
+  EXPECT_EQ(lambda.Of(1).mode, ExecutionMode::kSemiJoin);
+  // n2: [S_N, NULL] — regular join.
+  EXPECT_EQ(lambda.Of(2).master, sn_);
+  EXPECT_FALSE(lambda.Of(2).slave.has_value());
+  EXPECT_EQ(lambda.Of(2).mode, ExecutionMode::kRegularJoin);
+  // n3: [S_H, NULL]; n4: [S_I, NULL]; n5: [S_N, NULL]; n6: [S_H, NULL].
+  EXPECT_EQ(lambda.Of(3).master, sh_);
+  EXPECT_EQ(lambda.Of(4).master, si_);
+  EXPECT_EQ(lambda.Of(5).master, sn_);
+  EXPECT_EQ(lambda.Of(6).master, sh_);
+}
+
+TEST_F(Fig7Test, PushedServersMatchExampleWalkthrough) {
+  // Example 5.1: S_H pushed to n1; S_N pushed to n2 (the slave side); S_H
+  // pushed to n3; S_N pushed to n5; NULL pushed to n4.
+  std::map<int, std::optional<catalog::ServerId>> pushed;
+  for (const AssignTrace& at : plan_result_.trace.assign) {
+    pushed[at.node_id] = at.pushed_from_parent;
+  }
+  EXPECT_FALSE(pushed[0].has_value());      // root starts with GetFirst
+  EXPECT_EQ(pushed[1], std::optional(sh_));
+  EXPECT_EQ(pushed[2], std::optional(sn_));
+  EXPECT_EQ(pushed[3], std::optional(sh_));
+  EXPECT_FALSE(pushed[4].has_value());      // regular join: NULL to the left
+  EXPECT_EQ(pushed[5], std::optional(sn_));
+  EXPECT_EQ(pushed[6], std::optional(sh_));
+}
+
+TEST_F(Fig7Test, NodeProfilesFollowFig4) {
+  // n2 = Insurance ⋈ Nat_registry on Holder=Citizen.
+  const authz::Profile& n2 = plan_result_.profiles[2];
+  EXPECT_EQ(n2.pi, cisqp::testing::Attrs(
+                       fix_.cat, {"Holder", "Plan", "Citizen", "HealthAid"}));
+  EXPECT_EQ(n2.join, cisqp::testing::Path(fix_.cat, {{"Holder", "Citizen"}}));
+  EXPECT_TRUE(n2.sigma.empty());
+  // Root profile: the four selected attributes over the two-condition path.
+  const authz::Profile& n0 = plan_result_.profiles[0];
+  EXPECT_EQ(n0.pi, cisqp::testing::Attrs(
+                       fix_.cat, {"Patient", "Physician", "Plan", "HealthAid"}));
+  EXPECT_EQ(n0.join, cisqp::testing::Path(
+                         fix_.cat, {{"Holder", "Citizen"}, {"Citizen", "Patient"}}));
+}
+
+TEST_F(Fig7Test, GoldenTraceRendering) {
+  // The complete rendered trace, locked verbatim — a change here means the
+  // algorithm's observable behaviour on the paper example changed.
+  constexpr std::string_view kGolden =
+      "Find_candidates (post-order):\n"
+      "  n4  candidates: [S_I, -, 0]*\n"
+      "  n5  candidates: [S_N, -, 0]*\n"
+      "  n2  candidates: [S_N, right, 1]  rightslave: S_N\n"
+      "  n6  candidates: [S_H, -, 0]*\n"
+      "  n3  candidates: [S_H, left, 0]\n"
+      "  n1  candidates: [S_H, right, 1]  leftslave: S_N\n"
+      "  n0  candidates: [S_H, left, 1]\n"
+      "Assign_ex (pre-order):\n"
+      "  n0  [S_H, NULL]\n"
+      "  n1  [S_H, S_N]  (pushed S_H)\n"
+      "  n2  [S_N, NULL]  (pushed S_N)\n"
+      "  n4  [S_I, NULL]\n"
+      "  n5  [S_N, NULL]  (pushed S_N)\n"
+      "  n3  [S_H, NULL]  (pushed S_H)\n"
+      "  n6  [S_H, NULL]  (pushed S_H)\n";
+  EXPECT_EQ(plan_result_.trace.ToString(fix_.cat), kGolden);
+}
+
+TEST_F(Fig7Test, TraceRendersReadably) {
+  const std::string rendered = plan_result_.trace.ToString(fix_.cat);
+  EXPECT_NE(rendered.find("Find_candidates"), std::string::npos);
+  EXPECT_NE(rendered.find("Assign_ex"), std::string::npos);
+  EXPECT_NE(rendered.find("S_H"), std::string::npos);
+  EXPECT_NE(rendered.find("[S_H, S_N]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cisqp::planner

@@ -1,0 +1,164 @@
+// Tests for relation profiles (paper Def. 3.2, Fig. 4) and join paths
+// (Def. 2.1), including the worked profile examples of §3.2.
+#include <gtest/gtest.h>
+
+#include "authz/profile.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::authz {
+namespace {
+
+using cisqp::testing::Attr;
+using cisqp::testing::Attrs;
+using cisqp::testing::Path;
+using cisqp::testing::Relation;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  catalog::Catalog cat_ = workload::MedicalScenario::BuildCatalog();
+};
+
+TEST_F(ProfileTest, JoinAtomNormalizesOrder) {
+  const auto a = Attr(cat_, "Holder");
+  const auto b = Attr(cat_, "Patient");
+  EXPECT_EQ(JoinAtom::Make(a, b), JoinAtom::Make(b, a));
+  EXPECT_THROW(JoinAtom::Make(a, a), BadStatus);
+}
+
+TEST_F(ProfileTest, JoinPathIsCanonical) {
+  // The paper writes the same condition both ways (Fig. 3 auths 2 and 5);
+  // both spellings are one canonical path.
+  const JoinPath p1 = Path(cat_, {{"Holder", "Patient"}});
+  const JoinPath p2 = Path(cat_, {{"Patient", "Holder"}});
+  EXPECT_EQ(p1, p2);
+
+  // Order and duplicates of atoms do not matter.
+  const JoinPath q1 = Path(cat_, {{"Holder", "Patient"}, {"Disease", "Illness"}});
+  const JoinPath q2 = Path(cat_, {{"Illness", "Disease"}, {"Holder", "Patient"},
+                                  {"Patient", "Holder"}});
+  EXPECT_EQ(q1, q2);
+  EXPECT_EQ(q1.size(), 2u);
+}
+
+TEST_F(ProfileTest, JoinPathSetOperations) {
+  const JoinPath a = Path(cat_, {{"Holder", "Citizen"}});
+  const JoinPath b = Path(cat_, {{"Citizen", "Patient"}});
+  const JoinPath ab = JoinPath::Union(a, b);
+  EXPECT_EQ(ab.size(), 2u);
+  EXPECT_TRUE(a.IsSubsetOf(ab));
+  EXPECT_FALSE(ab.IsSubsetOf(a));
+  EXPECT_TRUE(JoinPath().IsSubsetOf(a));
+  EXPECT_TRUE(ab.Contains(JoinAtom::Make(Attr(cat_, "Citizen"), Attr(cat_, "Holder"))));
+}
+
+TEST_F(ProfileTest, JoinPathAttributesAndRelations) {
+  const JoinPath p = Path(cat_, {{"Holder", "Patient"}, {"Disease", "Illness"}});
+  EXPECT_EQ(p.Attributes(),
+            Attrs(cat_, {"Holder", "Patient", "Disease", "Illness"}));
+  IdSet rels;
+  rels.Insert(Relation(cat_, "Insurance"));
+  rels.Insert(Relation(cat_, "Hospital"));
+  rels.Insert(Relation(cat_, "Disease_list"));
+  EXPECT_EQ(p.Relations(cat_), rels);
+}
+
+TEST_F(ProfileTest, BaseRelationProfile) {
+  // Def. 3.2: base relation profile is [schema, ∅, ∅].
+  const Profile p = Profile::OfBaseRelation(cat_, Relation(cat_, "Hospital"));
+  EXPECT_EQ(p.pi, Attrs(cat_, {"Patient", "Disease", "Physician"}));
+  EXPECT_TRUE(p.join.empty());
+  EXPECT_TRUE(p.sigma.empty());
+}
+
+TEST_F(ProfileTest, ProjectionRule) {
+  // Fig. 4 row 1: π keeps join and sigma, narrows pi.
+  Profile base = Profile::OfBaseRelation(cat_, Relation(cat_, "Hospital"));
+  base.sigma = Attrs(cat_, {"Disease"});
+  const Profile p = Profile::Project(base, Attrs(cat_, {"Patient"}));
+  EXPECT_EQ(p.pi, Attrs(cat_, {"Patient"}));
+  EXPECT_EQ(p.sigma, Attrs(cat_, {"Disease"}));
+  EXPECT_TRUE(p.join.empty());
+}
+
+TEST_F(ProfileTest, SelectionRule) {
+  // Fig. 4 row 2: σ keeps pi and join, widens sigma.
+  const Profile base = Profile::OfBaseRelation(cat_, Relation(cat_, "Hospital"));
+  const Profile p = Profile::Select(base, Attrs(cat_, {"Disease"}));
+  EXPECT_EQ(p.pi, base.pi);
+  EXPECT_EQ(p.sigma, Attrs(cat_, {"Disease"}));
+  const Profile p2 = Profile::Select(p, Attrs(cat_, {"Physician"}));
+  EXPECT_EQ(p2.sigma, Attrs(cat_, {"Disease", "Physician"}));
+}
+
+TEST_F(ProfileTest, JoinRule) {
+  // Fig. 4 row 3: componentwise union plus the new condition.
+  Profile ins = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  ins.sigma = Attrs(cat_, {"Plan"});
+  const Profile reg = Profile::OfBaseRelation(cat_, Relation(cat_, "Nat_registry"));
+  const Profile joined =
+      Profile::Join(ins, reg, Path(cat_, {{"Holder", "Citizen"}}));
+  EXPECT_EQ(joined.pi, Attrs(cat_, {"Holder", "Plan", "Citizen", "HealthAid"}));
+  EXPECT_EQ(joined.join, Path(cat_, {{"Holder", "Citizen"}}));
+  EXPECT_EQ(joined.sigma, Attrs(cat_, {"Plan"}));
+}
+
+TEST_F(ProfileTest, JoinRuleAccumulatesPaths) {
+  const Profile ins = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  const Profile reg = Profile::OfBaseRelation(cat_, Relation(cat_, "Nat_registry"));
+  const Profile hos = Profile::OfBaseRelation(cat_, Relation(cat_, "Hospital"));
+  const Profile step1 = Profile::Join(ins, reg, Path(cat_, {{"Holder", "Citizen"}}));
+  const Profile step2 =
+      Profile::Join(step1, hos, Path(cat_, {{"Citizen", "Patient"}}));
+  EXPECT_EQ(step2.join,
+            Path(cat_, {{"Holder", "Citizen"}, {"Citizen", "Patient"}}));
+}
+
+TEST_F(ProfileTest, Section32ExampleProfile) {
+  // §3.2: "SELECT Illness, Treatment FROM Disease_list JOIN Hospital ON
+  // Illness = Disease" has profile [{Illness, Treatment}, {(Illness,
+  // Disease)}, ∅].
+  const Profile dis = Profile::OfBaseRelation(cat_, Relation(cat_, "Disease_list"));
+  const Profile hos = Profile::OfBaseRelation(cat_, Relation(cat_, "Hospital"));
+  const Profile joined =
+      Profile::Join(dis, hos, Path(cat_, {{"Illness", "Disease"}}));
+  const Profile result =
+      Profile::Project(joined, Attrs(cat_, {"Illness", "Treatment"}));
+  EXPECT_EQ(result.pi, Attrs(cat_, {"Illness", "Treatment"}));
+  EXPECT_EQ(result.join, Path(cat_, {{"Illness", "Disease"}}));
+  EXPECT_TRUE(result.sigma.empty());
+}
+
+TEST_F(ProfileTest, VisibleAttributesUnionsPiAndSigma) {
+  Profile p = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  p = Profile::Project(p, Attrs(cat_, {"Plan"}));
+  p.sigma = Attrs(cat_, {"Holder"});
+  EXPECT_EQ(p.VisibleAttributes(), Attrs(cat_, {"Holder", "Plan"}));
+}
+
+TEST_F(ProfileTest, ProjectOutsideSchemaIsProgrammerError) {
+  const Profile base = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  EXPECT_THROW(Profile::Project(base, Attrs(cat_, {"Citizen"})), BadStatus);
+  EXPECT_THROW(Profile::Select(base, Attrs(cat_, {"Citizen"})), BadStatus);
+}
+
+TEST_F(ProfileTest, ToStringShowsAllComponents) {
+  Profile p = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  p.join = Path(cat_, {{"Holder", "Citizen"}});
+  p.sigma = Attrs(cat_, {"Plan"});
+  const std::string s = p.ToString(cat_);
+  EXPECT_NE(s.find("Holder"), std::string::npos);
+  EXPECT_NE(s.find("Citizen"), std::string::npos);
+  EXPECT_NE(s.find("Plan"), std::string::npos);
+  EXPECT_EQ(Profile().ToString(cat_), "[∅, ∅, ∅]");
+}
+
+TEST_F(ProfileTest, EqualityIsComponentwise) {
+  const Profile a = Profile::OfBaseRelation(cat_, Relation(cat_, "Insurance"));
+  Profile b = a;
+  EXPECT_EQ(a, b);
+  b.sigma = Attrs(cat_, {"Plan"});
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace cisqp::authz

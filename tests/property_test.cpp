@@ -1,0 +1,332 @@
+// Cross-cutting property and robustness tests:
+//   * the §3.1 input-relation pattern (instance-based restrictions via an
+//     explicitly provided input, "providing the patients' SSN the hospital
+//     can retrieve the plan");
+//   * composite (multi-attribute) join conditions end to end;
+//   * agreement between the static verifier and runtime enforcement on
+//     random assignments;
+//   * chase monotonicity: closing the policy never makes a feasible plan
+//     infeasible;
+//   * parser robustness: hostile inputs produce statuses, never crashes.
+#include <gtest/gtest.h>
+
+#include "authz/chase.hpp"
+#include "dsl/federation_dsl.hpp"
+#include "exec/executor.hpp"
+#include "planner/exhaustive.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+
+// ---------------------------------------------------------------------------
+// §3.1 input-relation pattern.
+// ---------------------------------------------------------------------------
+
+TEST(InputRelationPattern, SsnLookupOnlyThroughProvidedInput) {
+  // The paper (§3.1, instance-based restrictions): "providing the patients'
+  // SSN, the hospital can retrieve the plan" — the input is a relation to be
+  // joined. Model: a Lookup relation living at S_H holding the SSNs the
+  // hospital supplies; S_H is granted Insurance attributes only on the path
+  // through that input.
+  catalog::Catalog cat;
+  const auto si = cat.AddServer("S_I").value();
+  const auto sh = cat.AddServer("S_H").value();
+  CISQP_CHECK(cat.AddRelation("Insurance", si,
+                              {{"Holder", catalog::ValueType::kInt64},
+                               {"Plan", catalog::ValueType::kString}},
+                              {"Holder"}).ok());
+  CISQP_CHECK(cat.AddRelation("Lookup", sh,
+                              {{"SSN", catalog::ValueType::kInt64}}, {"SSN"}).ok());
+  ASSERT_OK(cat.AddJoinEdge("Holder", "SSN"));
+
+  authz::AuthorizationSet auths;
+  ASSERT_OK(auths.Add(cat, "S_I", {"Holder", "Plan"}, {}));
+  ASSERT_OK(auths.Add(cat, "S_H", {"SSN"}, {}));
+  // The input itself may flow to the insurer (the hospital explicitly
+  // provides the SSNs)...
+  ASSERT_OK(auths.Add(cat, "S_I", {"SSN"}, {}));
+  // ...and the instance-based grant: plans only for the provided SSNs.
+  ASSERT_OK(auths.Add(cat, "S_H", {"SSN", "Holder", "Plan"}, {{"Holder", "SSN"}}));
+
+  // Bulk export is infeasible...
+  auto bulk = sql::ParseAndBind(cat, "SELECT Holder, Plan FROM Insurance");
+  ASSERT_OK(bulk.status());
+  auto bulk_plan = plan::PlanBuilder(cat).Build(*bulk);
+  ASSERT_OK(bulk_plan.status());
+  planner::SafePlannerOptions to_sh;
+  to_sh.requestor = sh;
+  planner::SafePlanner planner(cat, auths, to_sh);
+  ASSERT_OK_AND_ASSIGN(planner::PlanningReport bulk_report,
+                       planner.Analyze(*bulk_plan));
+  EXPECT_FALSE(bulk_report.feasible);
+
+  // ...while the lookup through the provided input is feasible, and the
+  // hospital receives exactly the matching tuples.
+  auto lookup = sql::ParseAndBind(
+      cat, "SELECT Holder, Plan FROM Lookup JOIN Insurance ON SSN = Holder");
+  ASSERT_OK(lookup.status());
+  auto lookup_plan = plan::PlanBuilder(cat).Build(*lookup);
+  ASSERT_OK(lookup_plan.status());
+  ASSERT_OK_AND_ASSIGN(planner::PlanningReport lookup_report,
+                       planner.Analyze(*lookup_plan));
+  ASSERT_TRUE(lookup_report.feasible);
+
+  exec::Cluster cluster(cat);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(cluster.InsertRow(cat.FindRelation("Insurance").value(),
+                                {storage::Value(i), storage::Value("plan")}));
+  }
+  ASSERT_OK(cluster.InsertRow(cat.FindRelation("Lookup").value(),
+                              {storage::Value(std::int64_t{7})}));
+  ASSERT_OK(cluster.InsertRow(cat.FindRelation("Lookup").value(),
+                              {storage::Value(std::int64_t{42})}));
+  exec::DistributedExecutor executor(cluster, auths);
+  exec::ExecutionOptions options;
+  options.requestor = sh;
+  ASSERT_OK_AND_ASSIGN(
+      exec::ExecutionResult result,
+      executor.Execute(*lookup_plan, lookup_report.plan->assignment, options));
+  EXPECT_EQ(result.table.row_count(), 2u);
+  EXPECT_EQ(result.result_server, sh);
+}
+
+// ---------------------------------------------------------------------------
+// Composite join conditions.
+// ---------------------------------------------------------------------------
+
+class CompositeJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fed = dsl::ParseFederation(R"(
+      server s0; server s1;
+      relation Orders  @ s0 (OCust int key, ODay int key, OTotal int);
+      relation Visits  @ s1 (VCust int key, VDay int key, VChannel string);
+      joinable OCust = VCust;
+      joinable ODay = VDay;
+      grant OCust, ODay, OTotal to s0;
+      grant VCust, VDay, VChannel to s1;
+      grant OCust, ODay, OTotal, VCust, VDay, VChannel
+        on (OCust, VCust), (ODay, VDay) to s1;
+      grant VCust, VDay to s0;
+    )");
+    CISQP_CHECK_MSG(fed.ok(), fed.status().ToString());
+    fed_ = std::make_unique<dsl::ParsedFederation>(std::move(*fed));
+  }
+
+  std::unique_ptr<dsl::ParsedFederation> fed_;
+};
+
+TEST_F(CompositeJoinTest, TwoAtomJoinPlansAndExecutes) {
+  // Both atoms in one ON clause: the condition is the conjunction, and the
+  // profile carries both atoms in one canonical path.
+  auto spec = sql::ParseAndBind(
+      fed_->catalog,
+      "SELECT OTotal, VChannel FROM Orders JOIN Visits "
+      "ON OCust = VCust AND ODay = VDay");
+  ASSERT_OK(spec.status());
+  ASSERT_EQ(spec->joins[0].atoms.size(), 2u);
+  auto plan = plan::PlanBuilder(fed_->catalog).Build(*spec);
+  ASSERT_OK(plan.status());
+
+  planner::SafePlanner planner(fed_->catalog, fed_->authorizations);
+  ASSERT_OK_AND_ASSIGN(planner::SafePlan sp, planner.Plan(*plan));
+  // Only s1 holds the two-atom-path grant; it must be the join master, and
+  // since s0 may see the (OCust, ODay) projection, a semi-join works.
+  int join_id = -1;
+  plan->ForEachPreOrder([&](const plan::PlanNode& n) {
+    if (n.op == plan::PlanOp::kJoin) join_id = n.id;
+  });
+  EXPECT_EQ(sp.assignment.Of(join_id).master,
+            fed_->catalog.FindServer("s1").value());
+
+  // Execution over data where only (cust AND day) match jointly.
+  exec::Cluster cluster(fed_->catalog);
+  const auto orders = fed_->catalog.FindRelation("Orders").value();
+  const auto visits = fed_->catalog.FindRelation("Visits").value();
+  ASSERT_OK(cluster.InsertRow(orders, {storage::Value(std::int64_t{1}),
+                                       storage::Value(std::int64_t{10}),
+                                       storage::Value(std::int64_t{100})}));
+  ASSERT_OK(cluster.InsertRow(orders, {storage::Value(std::int64_t{1}),
+                                       storage::Value(std::int64_t{11}),
+                                       storage::Value(std::int64_t{200})}));
+  ASSERT_OK(cluster.InsertRow(visits, {storage::Value(std::int64_t{1}),
+                                       storage::Value(std::int64_t{10}),
+                                       storage::Value("web")}));
+  ASSERT_OK(cluster.InsertRow(visits, {storage::Value(std::int64_t{2}),
+                                       storage::Value(std::int64_t{11}),
+                                       storage::Value("store")}));
+  exec::DistributedExecutor executor(cluster, fed_->authorizations);
+  ASSERT_OK_AND_ASSIGN(exec::ExecutionResult result,
+                       executor.Execute(*plan, sp.assignment));
+  ASSERT_EQ(result.table.row_count(), 1u);  // only (1, 10) matches both atoms
+  EXPECT_EQ(result.table.row(0)[0], storage::Value(std::int64_t{100}));
+}
+
+TEST_F(CompositeJoinTest, SingleAtomPathIsNotTheTwoAtomPath) {
+  // A grant on the two-atom path does not authorize the one-atom join
+  // (fewer conditions release MORE tuples) — Def. 3.3 exact equality.
+  auto spec = sql::ParseAndBind(
+      fed_->catalog, "SELECT OTotal, VChannel FROM Orders JOIN Visits "
+                     "ON OCust = VCust");
+  ASSERT_OK(spec.status());
+  auto plan = plan::PlanBuilder(fed_->catalog).Build(*spec);
+  ASSERT_OK(plan.status());
+  planner::SafePlanner planner(fed_->catalog, fed_->authorizations);
+  ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(*plan));
+  EXPECT_FALSE(report.feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Static verifier ↔ runtime enforcement agreement.
+// ---------------------------------------------------------------------------
+
+TEST(EnforcementAgreement, RuntimeFiresExactlyOnPhysicalViolations) {
+  // Enumerate ALL Def. 4.1 assignments of the paper plan (safe and unsafe);
+  // for each, the executor under enforcement must fail exactly when the
+  // static verifier reports a violation on a *physical* release.
+  MedicalFixture fix;
+  const plan::QueryPlan plan = fix.PaperPlan();
+  exec::Cluster cluster(fix.cat);
+  Rng rng(5);
+  ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+      cluster, workload::MedicalScenario::DataConfig{100, 0.5, 0.5, 10}, rng));
+  exec::DistributedExecutor executor(cluster, fix.auths);
+
+  // Collect every structurally valid assignment via the exhaustive machinery
+  // with an empty policy filter (everything "safe" under open default):
+  authz::OpenPolicySet allow_all;
+  ASSERT_OK_AND_ASSIGN(
+      planner::ExhaustiveResult all,
+      planner::EnumerateSafeAssignments(fix.cat, allow_all, plan));
+  ASSERT_GT(all.safe_assignments.size(), 4u);
+
+  int runtime_failures = 0;
+  for (const planner::Assignment& assignment : all.safe_assignments) {
+    ASSERT_OK_AND_ASSIGN(std::vector<planner::Release> releases,
+                         planner::EnumerateReleases(fix.cat, plan, assignment));
+    bool physical_violation = false;
+    for (const planner::Release& r :
+         planner::FindViolations(fix.auths, releases)) {
+      if (r.physical) physical_violation = true;
+    }
+    const auto run = executor.Execute(plan, assignment);
+    if (physical_violation) {
+      EXPECT_EQ(run.status().code(), StatusCode::kUnauthorized)
+          << assignment.ToString(fix.cat, plan);
+      ++runtime_failures;
+    } else {
+      EXPECT_OK(run.status());
+    }
+  }
+  EXPECT_GT(runtime_failures, 0);  // the sweep saw unsafe assignments
+}
+
+// ---------------------------------------------------------------------------
+// Chase monotonicity for planning.
+// ---------------------------------------------------------------------------
+
+TEST(ChaseMonotonicity, ClosingThePolicyNeverBreaksFeasiblePlans) {
+  Rng rng(31);
+  for (int round = 0; round < 6; ++round) {
+    workload::FederationConfig fed_config;
+    fed_config.servers = 4;
+    fed_config.relations = 5;
+    const workload::Federation fed = workload::GenerateFederation(fed_config, rng);
+    workload::AuthzConfig authz_config;
+    authz_config.base_grant_prob = 0.4;
+    authz_config.path_grants_per_server = 2;
+    const authz::AuthorizationSet auths =
+        workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+    authz::ChaseOptions chase_options;
+    chase_options.max_path_atoms = 4;
+    auto closed = authz::ChaseClosure(fed.catalog, auths, chase_options);
+    if (!closed.ok()) continue;  // capped on a pathological instance
+
+    for (int q = 0; q < 6; ++q) {
+      workload::QueryConfig query_config;
+      query_config.relations = 3;
+      auto spec = workload::GenerateQuery(fed.catalog, query_config, rng);
+      if (!spec.ok()) continue;
+      auto built = plan::PlanBuilder(fed.catalog).Build(*spec);
+      if (!built.ok()) continue;
+      planner::SafePlanner raw(fed.catalog, auths);
+      planner::SafePlanner chased(fed.catalog, *closed);
+      ASSERT_OK_AND_ASSIGN(planner::PlanningReport raw_report, raw.Analyze(*built));
+      ASSERT_OK_AND_ASSIGN(planner::PlanningReport chased_report,
+                           chased.Analyze(*built));
+      if (raw_report.feasible) {
+        EXPECT_TRUE(chased_report.feasible)
+            << spec->ToString(fed.catalog);
+      }
+      if (chased_report.feasible) {
+        EXPECT_OK(planner::VerifyAssignment(fed.catalog, *closed, *built,
+                                            chased_report.plan->assignment));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser robustness.
+// ---------------------------------------------------------------------------
+
+TEST(ParserRobustness, RandomBytesNeverCrashTheSqlParser) {
+  MedicalFixture fix;
+  Rng rng(12345);
+  const std::string alphabet =
+      "SELECTFROMJOINWHEREANDabcxyz_0123456789 .,*()=<>'\"!\n\t";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const std::size_t len = rng.UniformIndex(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      input += alphabet[rng.UniformIndex(alphabet.size())];
+    }
+    // Must return a Status, never throw or crash.
+    const auto result = sql::ParseAndBind(fix.cat, input);
+    (void)result;
+  }
+}
+
+TEST(ParserRobustness, MutatedValidQueriesNeverCrash) {
+  MedicalFixture fix;
+  Rng rng(999);
+  const std::string base(workload::MedicalScenario::kPaperQuery);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const std::size_t edits = 1 + rng.UniformIndex(4);
+    for (std::size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      const std::size_t pos = rng.UniformIndex(mutated.size());
+      switch (rng.UniformIndex(3)) {
+        case 0: mutated.erase(pos, 1); break;
+        case 1: mutated.insert(pos, 1, static_cast<char>('!' + rng.UniformIndex(90))); break;
+        default: mutated[pos] = static_cast<char>('!' + rng.UniformIndex(90)); break;
+      }
+    }
+    const auto result = sql::ParseAndBind(fix.cat, mutated);
+    (void)result;
+  }
+}
+
+TEST(ParserRobustness, RandomBytesNeverCrashTheDslParser) {
+  Rng rng(777);
+  const std::string alphabet = "serverlationgrandenyjoinable@(),;=#intdouble \n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const std::size_t len = rng.UniformIndex(80);
+    for (std::size_t j = 0; j < len; ++j) {
+      input += alphabet[rng.UniformIndex(alphabet.size())];
+    }
+    const auto result = dsl::ParseFederation(input);
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace cisqp

@@ -1,0 +1,144 @@
+// Unit tests for src/storage: Value semantics and Table behavior.
+#include <gtest/gtest.h>
+
+#include "storage/table.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::storage {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(std::int64_t{1}).is_int64());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_EQ(Value(std::int64_t{1}).type(), catalog::ValueType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), catalog::ValueType::kDouble);
+  EXPECT_EQ(Value("x").type(), catalog::ValueType::kString);
+  EXPECT_THROW(Value().type(), BadStatus);
+}
+
+TEST(ValueTest, SqlEqualityNeverMatchesNull) {
+  EXPECT_FALSE(Value().SqlEquals(Value()));
+  EXPECT_FALSE(Value().SqlEquals(Value(std::int64_t{1})));
+  EXPECT_TRUE(Value(std::int64_t{1}).SqlEquals(Value(std::int64_t{1})));
+  EXPECT_FALSE(Value(std::int64_t{1}).SqlEquals(Value(std::int64_t{2})));
+  EXPECT_TRUE(Value("a").SqlEquals(Value("a")));
+  // Cross-type equality is false, not an error.
+  EXPECT_FALSE(Value(std::int64_t{1}).SqlEquals(Value(1.0)));
+}
+
+TEST(ValueTest, SqlLess) {
+  EXPECT_TRUE(Value(std::int64_t{1}).SqlLess(Value(std::int64_t{2})));
+  EXPECT_FALSE(Value(std::int64_t{2}).SqlLess(Value(std::int64_t{2})));
+  EXPECT_TRUE(Value("abc").SqlLess(Value("abd")));
+  EXPECT_FALSE(Value().SqlLess(Value(std::int64_t{1})));
+  EXPECT_FALSE(Value(std::int64_t{1}).SqlLess(Value()));
+}
+
+TEST(ValueTest, TotalOrderPutsNullFirst) {
+  EXPECT_LT(Value().CompareTotal(Value(std::int64_t{0})), 0);
+  EXPECT_EQ(Value().CompareTotal(Value()), 0);
+  EXPECT_GT(Value("z").CompareTotal(Value(std::int64_t{5})), 0);  // string tag > int tag
+  EXPECT_LT(Value(std::int64_t{1}).CompareTotal(Value(std::int64_t{2})), 0);
+}
+
+TEST(ValueTest, WireSize) {
+  EXPECT_EQ(Value().WireSizeBytes(), 1u);
+  EXPECT_EQ(Value(std::int64_t{7}).WireSizeBytes(), 8u);
+  EXPECT_EQ(Value(1.0).WireSizeBytes(), 8u);
+  EXPECT_EQ(Value("abcd").WireSizeBytes(), 8u);  // 4 + 4
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(std::int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  EXPECT_NE(Value(std::int64_t{1}).Hash(), Value(std::int64_t{2}).Hash());
+  EXPECT_NE(Value(std::int64_t{1}).Hash(), Value("1").Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  catalog::Catalog cat_ = workload::MedicalScenario::BuildCatalog();
+};
+
+TEST_F(TableTest, ForRelationMatchesSchema) {
+  const Table t = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Hospital"));
+  ASSERT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.columns()[0].attribute, cisqp::testing::Attr(cat_, "Patient"));
+  EXPECT_EQ(t.columns()[1].type, catalog::ValueType::kString);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST_F(TableTest, AppendRowValidatesArityAndTypes) {
+  Table t = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  ASSERT_OK(t.AppendRow({Value(std::int64_t{1}), Value("gold")}));
+  EXPECT_EQ(t.AppendRow({Value(std::int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.AppendRow({Value("oops"), Value("gold")}).code(),
+            StatusCode::kInvalidArgument);
+  // NULL fits any column.
+  ASSERT_OK(t.AppendRow({Value(), Value()}));
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST_F(TableTest, ColumnIndexAndAttributeSet) {
+  const Table t = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Hospital"));
+  EXPECT_EQ(t.ColumnIndex(cisqp::testing::Attr(cat_, "Disease")), 1u);
+  EXPECT_FALSE(t.ColumnIndex(cisqp::testing::Attr(cat_, "Plan")).has_value());
+  EXPECT_EQ(t.AttributeSet(),
+            cisqp::testing::Attrs(cat_, {"Patient", "Disease", "Physician"}));
+}
+
+TEST_F(TableTest, WireSizeSumsCells) {
+  Table t = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  ASSERT_OK(t.AppendRow({Value(std::int64_t{1}), Value("gold")}));  // 8 + (4+4)
+  EXPECT_EQ(t.WireSizeBytes(), 16u);
+}
+
+TEST_F(TableTest, MultisetEqualityIgnoresRowOrder) {
+  Table a = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  Table b = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  ASSERT_OK(a.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  ASSERT_OK(a.AppendRow({Value(std::int64_t{2}), Value("y")}));
+  ASSERT_OK(b.AppendRow({Value(std::int64_t{2}), Value("y")}));
+  ASSERT_OK(b.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  EXPECT_TRUE(Table::SameRowMultiset(a, b));
+  ASSERT_OK(b.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  EXPECT_FALSE(Table::SameRowMultiset(a, b));
+}
+
+TEST_F(TableTest, MultisetEqualityRespectsMultiplicity) {
+  Table a = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  Table b = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  ASSERT_OK(a.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  ASSERT_OK(a.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  ASSERT_OK(b.AppendRow({Value(std::int64_t{1}), Value("x")}));
+  ASSERT_OK(b.AppendRow({Value(std::int64_t{2}), Value("x")}));
+  EXPECT_FALSE(Table::SameRowMultiset(a, b));
+}
+
+TEST_F(TableTest, DifferentHeadersNeverEqual) {
+  const Table a = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  const Table b = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Hospital"));
+  EXPECT_FALSE(Table::SameRowMultiset(a, b));
+}
+
+TEST_F(TableTest, DisplayStringTruncates) {
+  Table t = Table::ForRelation(cat_, cisqp::testing::Relation(cat_, "Insurance"));
+  for (std::int64_t i = 0; i < 30; ++i) {
+    ASSERT_OK(t.AppendRow({Value(i), Value("p")}));
+  }
+  const std::string shown = t.ToDisplayString(cat_, 5);
+  EXPECT_NE(shown.find("Holder"), std::string::npos);
+  EXPECT_NE(shown.find("(25 more rows)"), std::string::npos);
+  EXPECT_NE(shown.find("30 row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cisqp::storage

@@ -1,0 +1,132 @@
+// Tests for the supply-chain scenario: the DSL parses, the policy induces
+// the designed feasibility pattern, and feasible queries execute correctly.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "plan/builder.hpp"
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+#include "workload/supply_chain.hpp"
+
+namespace cisqp::workload {
+namespace {
+
+class SupplyChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fed = SupplyChainScenario::Build();
+    ASSERT_OK(fed.status());
+    fed_ = std::make_unique<dsl::ParsedFederation>(std::move(*fed));
+  }
+
+  planner::PlanningReport Analyze(std::string_view sql_text) {
+    auto spec = sql::ParseAndBind(fed_->catalog, sql_text);
+    CISQP_CHECK_MSG(spec.ok(), spec.status().ToString());
+    auto plan = plan::PlanBuilder(fed_->catalog).Build(*spec);
+    CISQP_CHECK_MSG(plan.ok(), plan.status().ToString());
+    planner::SafePlanner planner(fed_->catalog, fed_->authorizations);
+    auto report = planner.Analyze(*plan);
+    CISQP_CHECK_MSG(report.ok(), report.status().ToString());
+    return std::move(*report);
+  }
+
+  std::unique_ptr<dsl::ParsedFederation> fed_;
+};
+
+TEST_F(SupplyChainTest, ScenarioShape) {
+  EXPECT_EQ(fed_->catalog.server_count(), 4u);
+  EXPECT_EQ(fed_->catalog.relation_count(), 4u);
+  EXPECT_EQ(fed_->catalog.join_edges().size(), 4u);
+  EXPECT_GT(fed_->authorizations.size(), 10u);
+  EXPECT_EQ(fed_->denials.size(), 0u);
+}
+
+TEST_F(SupplyChainTest, FeasibilityPatternMatchesTheDesign) {
+  // Names mirror WorkloadQueries(); the pattern documents the policy intent.
+  const std::map<std::string, bool> expected = {
+      {"parts_per_product", true},
+      {"costs_exposed", false},       // unit costs never leave S_SUP
+      {"shipping_schedule", true},
+      {"regional_lines", true},
+      {"supplier_to_region", false},  // supplier↔region association denied
+      {"part_shipping_bulk", true},   // feasible thanks to projection pushdown
+  };
+  for (const auto& q : SupplyChainScenario::WorkloadQueries()) {
+    const auto it = expected.find(q.name);
+    ASSERT_NE(it, expected.end()) << "untracked workload query " << q.name;
+    EXPECT_EQ(Analyze(q.sql).feasible, it->second) << q.name;
+  }
+}
+
+TEST_F(SupplyChainTest, UnitCostNeverAppearsInAnyRelease) {
+  // Defense-in-depth check on the whole feasible workload: no release of any
+  // safe assignment may expose UnitCost to a server other than S_SUP.
+  const auto unit_cost = fed_->catalog.FindAttribute("UnitCost").value();
+  const auto s_sup = fed_->catalog.FindServer("S_SUP").value();
+  for (const auto& q : SupplyChainScenario::WorkloadQueries()) {
+    auto spec = sql::ParseAndBind(fed_->catalog, q.sql);
+    ASSERT_OK(spec.status());
+    auto plan = plan::PlanBuilder(fed_->catalog).Build(*spec);
+    ASSERT_OK(plan.status());
+    planner::SafePlanner planner(fed_->catalog, fed_->authorizations);
+    ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(*plan));
+    if (!report.feasible) continue;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<planner::Release> releases,
+        planner::EnumerateReleases(fed_->catalog, *plan,
+                                   report.plan->assignment));
+    for (const planner::Release& r : releases) {
+      if (r.to == s_sup) continue;
+      EXPECT_FALSE(r.profile.VisibleAttributes().Contains(unit_cost))
+          << q.name << ": " << r.ToString(fed_->catalog);
+    }
+  }
+}
+
+TEST_F(SupplyChainTest, FeasibleWorkloadExecutesCorrectly) {
+  exec::Cluster cluster(fed_->catalog);
+  Rng rng(99);
+  ASSERT_OK(SupplyChainScenario::PopulateCluster(cluster, *fed_, {}, rng));
+  planner::SafePlanner planner(fed_->catalog, fed_->authorizations);
+  exec::DistributedExecutor executor(cluster, fed_->authorizations);
+  int executed = 0;
+  for (const auto& q : SupplyChainScenario::WorkloadQueries()) {
+    auto spec = sql::ParseAndBind(fed_->catalog, q.sql);
+    ASSERT_OK(spec.status());
+    auto plan = plan::PlanBuilder(fed_->catalog).Build(*spec);
+    ASSERT_OK(plan.status());
+    ASSERT_OK_AND_ASSIGN(planner::PlanningReport report, planner.Analyze(*plan));
+    if (!report.feasible) continue;
+    ASSERT_OK_AND_ASSIGN(exec::ExecutionResult result,
+                         executor.Execute(*plan, report.plan->assignment));
+    ASSERT_OK_AND_ASSIGN(storage::Table reference,
+                         exec::ExecuteCentralized(cluster, *plan));
+    EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, reference))
+        << q.name;
+    EXPECT_GT(result.table.row_count(), 0u) << q.name;
+    ++executed;
+  }
+  EXPECT_EQ(executed, 4);
+}
+
+TEST_F(SupplyChainTest, DataGeneratorIsConsistent) {
+  exec::Cluster cluster(fed_->catalog);
+  Rng rng(1);
+  SupplyChainScenario::DataConfig config;
+  config.parts = 100;
+  config.products = 10;
+  ASSERT_OK(SupplyChainScenario::PopulateCluster(cluster, *fed_, config, rng));
+  EXPECT_EQ(cluster.TableOf(fed_->catalog.FindRelation("Suppliers").value()).row_count(),
+            100u);
+  EXPECT_EQ(cluster.TableOf(fed_->catalog.FindRelation("Assembly").value()).row_count(),
+            100u);
+  const auto& shipments =
+      cluster.TableOf(fed_->catalog.FindRelation("Shipments").value());
+  EXPECT_GT(shipments.row_count(), 30u);
+  EXPECT_LT(shipments.row_count(), 100u);
+}
+
+}  // namespace
+}  // namespace cisqp::workload

@@ -1,0 +1,184 @@
+// Tests for the independent release enumerator / safety verifier.
+#include <gtest/gtest.h>
+
+#include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Server;
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = fix_.PaperPlan();
+    SafePlanner planner(fix_.cat, fix_.auths);
+    auto sp = planner.Plan(plan_);
+    ASSERT_OK(sp.status());
+    assignment_ = sp->assignment;
+  }
+
+  MedicalFixture fix_;
+  plan::QueryPlan plan_;
+  Assignment assignment_;
+};
+
+TEST_F(VerifierTest, PaperPlanReleases) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, assignment_));
+  // n2 regular join: Insurance → S_N (1 release);
+  // n1 semi-join: S_H → S_N (step 2) and S_N → S_H (step 4).
+  ASSERT_EQ(releases.size(), 3u);
+  EXPECT_EQ(releases[0].node_id, 2);
+  EXPECT_EQ(releases[0].from, Server(fix_.cat, "S_I"));
+  EXPECT_EQ(releases[0].to, Server(fix_.cat, "S_N"));
+  EXPECT_TRUE(releases[0].physical);
+  EXPECT_EQ(releases[1].node_id, 1);
+  EXPECT_EQ(releases[1].from, Server(fix_.cat, "S_H"));
+  EXPECT_EQ(releases[1].to, Server(fix_.cat, "S_N"));
+  EXPECT_EQ(releases[2].node_id, 1);
+  EXPECT_EQ(releases[2].from, Server(fix_.cat, "S_N"));
+  EXPECT_EQ(releases[2].to, Server(fix_.cat, "S_H"));
+
+  // Every release of the safe assignment is authorized.
+  EXPECT_TRUE(FindViolations(fix_.auths, releases).empty());
+  EXPECT_OK(VerifyAssignment(fix_.cat, fix_.auths, plan_, assignment_));
+}
+
+TEST_F(VerifierTest, ReleaseProfilesMatchFig5) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, assignment_));
+  // Step 2 of the n1 semi-join ships π_{Patient}(Hospital-projection):
+  // profile [{Patient}, ∅, ∅] (S_H is the master from the right child, so
+  // the shipped column is Jr = Patient).
+  EXPECT_EQ(releases[1].profile.pi, cisqp::testing::Attrs(fix_.cat, {"Patient"}));
+  EXPECT_TRUE(releases[1].profile.join.empty());
+  // Step 4 ships the reduced left operand joined back: all of n2's
+  // attributes plus Patient over the two-atom path.
+  EXPECT_EQ(releases[2].profile.pi,
+            cisqp::testing::Attrs(
+                fix_.cat, {"Holder", "Plan", "Citizen", "HealthAid", "Patient"}));
+  EXPECT_EQ(releases[2].profile.join,
+            cisqp::testing::Path(fix_.cat,
+                                 {{"Holder", "Citizen"}, {"Citizen", "Patient"}}));
+}
+
+TEST_F(VerifierTest, ViolationsDetectedUnderEmptyPolicy) {
+  authz::AuthorizationSet empty;
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, assignment_));
+  EXPECT_EQ(FindViolations(empty, releases).size(), releases.size());
+  EXPECT_EQ(VerifyAssignment(fix_.cat, empty, plan_, assignment_).code(),
+            StatusCode::kUnauthorized);
+}
+
+TEST_F(VerifierTest, RequestorReleaseAppended) {
+  VerifyOptions options;
+  options.requestor = Server(fix_.cat, "S_I");
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, assignment_, options));
+  ASSERT_EQ(releases.size(), 4u);
+  EXPECT_EQ(releases.back().to, Server(fix_.cat, "S_I"));
+  EXPECT_EQ(releases.back().node_id, 0);
+  // S_I may not view the result profile → violation.
+  EXPECT_EQ(VerifyAssignment(fix_.cat, fix_.auths, plan_, assignment_, options).code(),
+            StatusCode::kUnauthorized);
+  // The root master as requestor adds no release.
+  VerifyOptions options2;
+  options2.requestor = Server(fix_.cat, "S_H");
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases2,
+                       EnumerateReleases(fix_.cat, plan_, assignment_, options2));
+  EXPECT_EQ(releases2.size(), 3u);
+}
+
+TEST_F(VerifierTest, RejectsStructurallyInvalidAssignments) {
+  // Leaf moved off its home server.
+  Assignment bad = assignment_;
+  bad.Set(4, Executor{Server(fix_.cat, "S_H"), std::nullopt,
+                      ExecutionMode::kLocal, FromChild::kSelf});
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Unary node at a different server than its child.
+  Assignment bad2 = assignment_;
+  bad2.Set(0, Executor{Server(fix_.cat, "S_I"), std::nullopt,
+                       ExecutionMode::kLocal, FromChild::kLeft});
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, bad2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Join with mode local.
+  Assignment bad3 = assignment_;
+  bad3.Set(2, Executor{Server(fix_.cat, "S_N"), std::nullopt,
+                       ExecutionMode::kLocal, FromChild::kRight});
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, bad3).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Semi-join whose master does not match the origin child's server.
+  Assignment bad4 = assignment_;
+  bad4.Set(1, Executor{Server(fix_.cat, "S_I"), Server(fix_.cat, "S_N"),
+                       ExecutionMode::kSemiJoin, FromChild::kRight});
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, bad4).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Semi-join with master == slave.
+  Assignment bad5 = assignment_;
+  bad5.Set(1, Executor{Server(fix_.cat, "S_H"), Server(fix_.cat, "S_H"),
+                       ExecutionMode::kSemiJoin, FromChild::kRight});
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, bad5).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Wrong-sized assignment.
+  EXPECT_EQ(EnumerateReleases(fix_.cat, plan_, Assignment(3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, UnsafeRegularJoinFlaggedWithUnauthorizedProfile) {
+  // Force n2 to run as a regular join at S_I: Nat_registry would ship to
+  // S_I, which has no authorization for it.
+  Assignment unsafe = assignment_;
+  unsafe.Set(2, Executor{Server(fix_.cat, "S_I"), std::nullopt,
+                         ExecutionMode::kRegularJoin, FromChild::kLeft});
+  // n1 then consumes the left result at S_I; keep its executor consistent:
+  // master from right child (S_H) with slave S_I.
+  unsafe.Set(1, Executor{Server(fix_.cat, "S_H"), Server(fix_.cat, "S_I"),
+                         ExecutionMode::kSemiJoin, FromChild::kRight});
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, unsafe));
+  const std::vector<Release> violations = FindViolations(fix_.auths, releases);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().to, Server(fix_.cat, "S_I"));
+  const std::string rendered = violations.front().ToString(fix_.cat);
+  EXPECT_NE(rendered.find("S_I"), std::string::npos);
+}
+
+TEST_F(VerifierTest, ColocatedRegularJoinStillChecked) {
+  // Two relations at one server joined there: no physical transfer, but the
+  // Fig. 6 CanView obligation is still recorded as a non-physical release.
+  catalog::Catalog cat;
+  const auto s0 = cat.AddServer("s0").value();
+  ASSERT_OK(cat.AddRelation("L", s0, {{"LK", catalog::ValueType::kInt64}}, {"LK"}).status());
+  ASSERT_OK(cat.AddRelation("R", s0, {{"RK", catalog::ValueType::kInt64}}, {"RK"}).status());
+  ASSERT_OK(cat.AddJoinEdge("LK", "RK"));
+  auto join = plan::PlanNode::Join(
+      plan::PlanNode::Relation(cat.FindRelation("L").value()),
+      plan::PlanNode::Relation(cat.FindRelation("R").value()),
+      {algebra::EquiJoinAtom{cat.FindAttribute("LK").value(),
+                             cat.FindAttribute("RK").value()}});
+  plan::QueryPlan plan(std::move(join));
+  Assignment assignment(plan.node_count());
+  assignment.Set(1, Executor{s0, std::nullopt, ExecutionMode::kLocal, FromChild::kSelf});
+  assignment.Set(2, Executor{s0, std::nullopt, ExecutionMode::kLocal, FromChild::kSelf});
+  assignment.Set(0, Executor{s0, std::nullopt, ExecutionMode::kRegularJoin,
+                             FromChild::kLeft});
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(cat, plan, assignment));
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_FALSE(releases[0].physical);
+  EXPECT_EQ(releases[0].from, releases[0].to);
+}
+
+}  // namespace
+}  // namespace cisqp::planner

@@ -1,0 +1,129 @@
+// Tests for the what-if repair search, plus end-to-end coverage of the
+// third-party execution flow it can recommend enabling.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "plan/builder.hpp"
+#include "planner/verifier.hpp"
+#include "planner/what_if.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::planner {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Server;
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  plan::QueryPlan PlanFor(std::string_view query) const {
+    auto spec = sql::ParseAndBind(fix_.cat, query);
+    CISQP_CHECK_MSG(spec.ok(), spec.status().ToString());
+    auto built = plan::PlanBuilder(fix_.cat).Build(*spec);
+    CISQP_CHECK_MSG(built.ok(), built.status().ToString());
+    return std::move(*built);
+  }
+
+  MedicalFixture fix_;
+};
+
+TEST_F(WhatIfTest, FeasiblePlansNeedNoRepair) {
+  ASSERT_OK_AND_ASSIGN(std::vector<RepairSuggestion> repairs,
+                       SuggestRepairs(fix_.cat, fix_.auths, fix_.PaperPlan()));
+  EXPECT_TRUE(repairs.empty());
+}
+
+TEST_F(WhatIfTest, RepairsTheDeniedJoinAndTheyActuallyWork) {
+  const plan::QueryPlan denied = PlanFor(
+      "SELECT Illness, Treatment FROM Disease_list JOIN Hospital "
+      "ON Illness = Disease");
+  ASSERT_OK_AND_ASSIGN(std::vector<RepairSuggestion> repairs,
+                       SuggestRepairs(fix_.cat, fix_.auths, denied));
+  ASSERT_FALSE(repairs.empty());
+  // Sorted by granted attribute count.
+  for (std::size_t i = 1; i < repairs.size(); ++i) {
+    EXPECT_GE(repairs[i].grant.attributes.size(),
+              repairs[i - 1].grant.attributes.size());
+  }
+  // Every suggestion, once applied, really makes the plan feasible and the
+  // resulting assignment verifies.
+  for (const RepairSuggestion& repair : repairs) {
+    authz::AuthorizationSet extended = fix_.auths;
+    ASSERT_OK(extended.Add(fix_.cat, repair.grant));
+    SafePlanner planner(fix_.cat, extended);
+    ASSERT_OK_AND_ASSIGN(SafePlan sp, planner.Plan(denied));
+    EXPECT_OK(VerifyAssignment(fix_.cat, extended, denied, sp.assignment));
+  }
+}
+
+TEST_F(WhatIfTest, ServerFilterRestrictsSuggestions) {
+  const plan::QueryPlan denied = PlanFor(
+      "SELECT Illness, Treatment FROM Disease_list JOIN Hospital "
+      "ON Illness = Disease");
+  RepairOptions options;
+  options.candidate_servers = {Server(fix_.cat, "S_D")};
+  ASSERT_OK_AND_ASSIGN(std::vector<RepairSuggestion> repairs,
+                       SuggestRepairs(fix_.cat, fix_.auths, denied, options));
+  for (const RepairSuggestion& repair : repairs) {
+    EXPECT_EQ(repair.grant.server, Server(fix_.cat, "S_D"));
+  }
+  ASSERT_FALSE(repairs.empty());
+}
+
+TEST_F(WhatIfTest, MaxSuggestionsCaps) {
+  const plan::QueryPlan denied = PlanFor(
+      "SELECT Illness, Treatment FROM Disease_list JOIN Hospital "
+      "ON Illness = Disease");
+  RepairOptions options;
+  options.max_suggestions = 1;
+  ASSERT_OK_AND_ASSIGN(std::vector<RepairSuggestion> repairs,
+                       SuggestRepairs(fix_.cat, fix_.auths, denied, options));
+  EXPECT_EQ(repairs.size(), 1u);
+}
+
+TEST_F(WhatIfTest, ThirdPartyAssignmentExecutesEndToEnd) {
+  // insured_patients is infeasible two-party but feasible with the
+  // footnote-3 extension (S_N proxies). Run that execution for real: both
+  // operands ship to S_N, enforcement passes, results match centralized.
+  const plan::QueryPlan plan = PlanFor(
+      "SELECT Patient, Plan FROM Insurance JOIN Hospital ON Holder = Patient");
+  SafePlannerOptions tp;
+  tp.allow_third_party = true;
+  SafePlanner planner(fix_.cat, fix_.auths, tp);
+  ASSERT_OK_AND_ASSIGN(SafePlan sp, planner.Plan(plan));
+  int join_id = -1;
+  plan.ForEachPreOrder([&](const plan::PlanNode& n) {
+    if (n.op == plan::PlanOp::kJoin) join_id = n.id;
+  });
+  ASSERT_EQ(sp.assignment.Of(join_id).origin, FromChild::kThird);
+  ASSERT_EQ(sp.assignment.Of(join_id).master, Server(fix_.cat, "S_N"));
+  EXPECT_OK(VerifyAssignment(fix_.cat, fix_.auths, plan, sp.assignment));
+
+  exec::Cluster cluster(fix_.cat);
+  Rng rng(404);
+  ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+      cluster, workload::MedicalScenario::DataConfig{300, 0.5, 0.5, 15}, rng));
+  exec::DistributedExecutor executor(cluster, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(exec::ExecutionResult result,
+                       executor.Execute(plan, sp.assignment));
+  ASSERT_OK_AND_ASSIGN(storage::Table reference,
+                       exec::ExecuteCentralized(cluster, plan));
+  EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, reference));
+  EXPECT_GT(result.table.row_count(), 0u);
+  // Both operands shipped to the proxy: two transfers into S_N.
+  std::size_t to_proxy = 0;
+  for (const exec::TransferRecord& t : result.network.transfers()) {
+    if (t.to == Server(fix_.cat, "S_N")) ++to_proxy;
+  }
+  EXPECT_EQ(to_proxy, 2u);
+  EXPECT_EQ(result.result_server, Server(fix_.cat, "S_N"));
+}
+
+TEST_F(WhatIfTest, RejectsMalformedInput) {
+  EXPECT_EQ(SuggestRepairs(fix_.cat, fix_.auths, plan::QueryPlan{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cisqp::planner

@@ -1,0 +1,158 @@
+// Tests for the workload generators: structural validity, determinism, and
+// the knobs the experiments sweep.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::workload {
+namespace {
+
+TEST(MedicalScenarioTest, PopulatedDataIsConsistent) {
+  const catalog::Catalog cat = MedicalScenario::BuildCatalog();
+  exec::Cluster cluster(cat);
+  Rng rng(7);
+  ASSERT_OK(MedicalScenario::PopulateCluster(
+      cluster, MedicalScenario::DataConfig{300, 0.5, 0.5, 20}, rng));
+  EXPECT_EQ(cluster.TableOf(cat.FindRelation("Nat_registry").value()).row_count(), 300u);
+  EXPECT_EQ(cluster.TableOf(cat.FindRelation("Disease_list").value()).row_count(), 20u);
+  const auto& hospital = cluster.TableOf(cat.FindRelation("Hospital").value());
+  EXPECT_GT(hospital.row_count(), 50u);
+  EXPECT_LT(hospital.row_count(), 250u);
+}
+
+TEST(MedicalScenarioTest, DataIsDeterministicUnderSeed) {
+  const catalog::Catalog cat = MedicalScenario::BuildCatalog();
+  exec::Cluster a(cat);
+  exec::Cluster b(cat);
+  Rng ra(11);
+  Rng rb(11);
+  ASSERT_OK(MedicalScenario::PopulateCluster(a, {}, ra));
+  ASSERT_OK(MedicalScenario::PopulateCluster(b, {}, rb));
+  for (catalog::RelationId r = 0; r < cat.relation_count(); ++r) {
+    EXPECT_TRUE(storage::Table::SameRowMultiset(a.TableOf(r), b.TableOf(r)));
+  }
+}
+
+TEST(GeneratorTest, FederationHasRequestedShape) {
+  Rng rng(1);
+  FederationConfig config;
+  config.servers = 5;
+  config.relations = 8;
+  const Federation fed = GenerateFederation(config, rng);
+  EXPECT_EQ(fed.catalog.server_count(), 5u);
+  EXPECT_EQ(fed.catalog.relation_count(), 8u);
+  // Spanning tree ⇒ at least relations-1 edges.
+  EXPECT_GE(fed.catalog.join_edges().size(), 7u);
+  EXPECT_EQ(fed.attribute_domain.size(), fed.catalog.attribute_count());
+}
+
+TEST(GeneratorTest, JoinConnectedAttributesShareDomains) {
+  Rng rng(2);
+  const Federation fed = GenerateFederation({}, rng);
+  for (const catalog::JoinEdge& e : fed.catalog.join_edges()) {
+    EXPECT_EQ(fed.attribute_domain[e.left], fed.attribute_domain[e.right]);
+  }
+}
+
+TEST(GeneratorTest, FederationIsDeterministic) {
+  Rng ra(33);
+  Rng rb(33);
+  const Federation a = GenerateFederation({}, ra);
+  const Federation b = GenerateFederation({}, rb);
+  EXPECT_EQ(a.catalog.DebugString(), b.catalog.DebugString());
+  EXPECT_EQ(a.attribute_domain, b.attribute_domain);
+}
+
+TEST(GeneratorTest, QueriesValidateAndConnect) {
+  Rng rng(3);
+  const Federation fed = GenerateFederation({}, rng);
+  for (int i = 0; i < 50; ++i) {
+    QueryConfig config;
+    config.relations = 1 + rng.UniformIndex(4);
+    auto spec = GenerateQuery(fed.catalog, config, rng);
+    ASSERT_OK(spec.status());
+    ASSERT_OK(spec->Validate(fed.catalog));
+    EXPECT_EQ(spec->Relations().size(), config.relations);
+    // Built plans validate too.
+    auto plan = plan::PlanBuilder(fed.catalog).Build(*spec);
+    ASSERT_OK(plan.status());
+  }
+}
+
+TEST(GeneratorTest, QueryTooLargeFails) {
+  Rng rng(4);
+  const Federation fed = GenerateFederation({}, rng);
+  QueryConfig config;
+  config.relations = 99;
+  EXPECT_EQ(GenerateQuery(fed.catalog, config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, AuthorizationsValidateAndIncludeOwnGrants) {
+  Rng rng(5);
+  const Federation fed = GenerateFederation({}, rng);
+  const authz::AuthorizationSet auths =
+      GenerateAuthorizations(fed.catalog, {}, rng);
+  EXPECT_GT(auths.size(), 0u);
+  // Own-relation grants present: every server can view its own relations.
+  for (catalog::RelationId r = 0; r < fed.catalog.relation_count(); ++r) {
+    EXPECT_TRUE(auths.CanView(
+        authz::Profile::OfBaseRelation(fed.catalog, r),
+        fed.catalog.relation(r).server));
+  }
+}
+
+TEST(GeneratorTest, DensityKnobMonotonicallyAddsGrants) {
+  Rng r1(6);
+  Rng r2(6);
+  AuthzConfig sparse;
+  sparse.base_grant_prob = 0.0;
+  sparse.path_grants_per_server = 0;
+  AuthzConfig dense;
+  dense.base_grant_prob = 1.0;
+  dense.path_grants_per_server = 5;
+  Rng fed_rng(7);
+  const Federation fed = GenerateFederation({}, fed_rng);
+  const auto a = GenerateAuthorizations(fed.catalog, sparse, r1);
+  const auto b = GenerateAuthorizations(fed.catalog, dense, r2);
+  EXPECT_LT(a.size(), b.size());
+}
+
+TEST(GeneratorTest, PopulatedClustersExecuteEndToEnd) {
+  Rng rng(8);
+  const Federation fed = GenerateFederation({}, rng);
+  exec::Cluster cluster(fed.catalog);
+  DataConfig data;
+  data.min_rows = 50;
+  data.max_rows = 100;
+  ASSERT_OK(PopulateCluster(cluster, fed, data, rng));
+  for (catalog::RelationId r = 0; r < fed.catalog.relation_count(); ++r) {
+    EXPECT_GE(cluster.TableOf(r).row_count(), 50u);
+    EXPECT_LE(cluster.TableOf(r).row_count(), 100u);
+  }
+  // A generated join query over generated data runs centralized.
+  QueryConfig qc;
+  qc.relations = 2;
+  auto spec = GenerateQuery(fed.catalog, qc, rng);
+  ASSERT_OK(spec.status());
+  auto plan = plan::PlanBuilder(fed.catalog).Build(*spec);
+  ASSERT_OK(plan.status());
+  EXPECT_OK(exec::ExecuteCentralized(cluster, *plan).status());
+}
+
+TEST(GeneratorTest, StatsMatchData) {
+  Rng rng(9);
+  const Federation fed = GenerateFederation({}, rng);
+  exec::Cluster cluster(fed.catalog);
+  ASSERT_OK(PopulateCluster(cluster, fed, {}, rng));
+  const plan::StatsCatalog stats = ComputeStats(cluster);
+  for (catalog::RelationId r = 0; r < fed.catalog.relation_count(); ++r) {
+    EXPECT_DOUBLE_EQ(stats.Of(r).rows,
+                     static_cast<double>(cluster.TableOf(r).row_count()));
+  }
+}
+
+}  // namespace
+}  // namespace cisqp::workload
