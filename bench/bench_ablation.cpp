@@ -23,6 +23,8 @@ void PrintAblation() {
   PrintHeader("E7 / §5 planning principles (ablation)",
               "estimated bytes shipped: paper heuristic vs min-cost safe "
               "assignment, over random feasible instances");
+  Artifact artifact("ablation", "E7 / §5 planning principles (ablation)",
+                    "estimated bytes: paper heuristic vs min-cost assignment");
   std::printf("%-10s %-10s %-16s %-16s %-12s %-14s\n", "q.rels", "instances",
               "heuristic_B", "optimal_B", "overhead", "hit_optimum");
   for (const std::size_t query_relations : {2u, 3u, 4u, 5u}) {
@@ -70,7 +72,14 @@ void PrintAblation() {
                 row.optimal_bytes > 0.0 ? row.heuristic_bytes / row.optimal_bytes
                                         : 1.0,
                 row.heuristic_optimal, row.instances);
+    artifact.Row()
+        .Value("query_relations", query_relations)
+        .Value("instances", row.instances)
+        .Value("heuristic_bytes", row.heuristic_bytes)
+        .Value("optimal_bytes", row.optimal_bytes)
+        .Value("heuristic_optimal", row.heuristic_optimal);
   }
+  artifact.Write();
   std::printf("\n(overhead = heuristic bytes / optimal bytes; 1.0 = the paper\n"
               "heuristic matches the communication optimum)\n\n");
 }

@@ -41,6 +41,8 @@ void PrintDecisionTable() {
   auth3.join.Insert(authz::JoinAtom::Make(attr("Disease"), attr("Illness")));
   cases.push_back({"auth3 Holder,Plan,Treatment | 2-atom path", auth3});
 
+  Artifact artifact("canview", "E2 / paper Fig. 3 + Def. 3.3",
+                    "per-server decisions for canonical views");
   std::printf("%-46s", "view");
   for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
     std::printf("%6s", cat.server(s).name.c_str());
@@ -49,11 +51,17 @@ void PrintDecisionTable() {
   for (const Case& c : cases) {
     std::printf("%-46s", c.label.c_str());
     for (catalog::ServerId s = 0; s < cat.server_count(); ++s) {
-      std::printf("%6s", auths.CanView(c.profile, s) ? "yes" : "-");
+      const bool allowed = auths.CanView(c.profile, s);
+      std::printf("%6s", allowed ? "yes" : "-");
+      artifact.Row()
+          .Value("view", c.label)
+          .Value("server", cat.server(s).name)
+          .Value("allowed", allowed);
     }
     std::printf("\n");
   }
   std::printf("\n");
+  artifact.Write();
 }
 
 void BM_CanViewMedical(benchmark::State& state) {

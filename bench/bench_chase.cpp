@@ -14,6 +14,8 @@ void PrintChaseTable() {
   PrintHeader("E8 / §3.2 chase closure",
               "closure growth: input rules -> derived rules, fixpoint rounds "
               "and combination work, as grants per server increase");
+  Artifact artifact("chase", "E8 / §3.2 chase closure",
+                    "closure growth vs grants per server");
   std::printf("%-14s %-12s %-12s %-12s %-14s\n", "grants/server", "input",
               "closed", "rounds", "pairs_tried");
   for (const std::size_t grants : {0u, 1u, 2u, 4u, 8u}) {
@@ -36,7 +38,14 @@ void PrintChaseTable() {
         Unwrap(authz::ChaseClosure(fed.catalog, auths, options, &stats), "chase");
     std::printf("%-14zu %-12zu %-12zu %-12zu %-14zu\n", grants, auths.size(),
                 closed.size(), stats.iterations, stats.pairs_considered);
+    artifact.Row()
+        .Value("grants_per_server", grants)
+        .Value("input_rules", auths.size())
+        .Value("closed_rules", closed.size())
+        .Value("rounds", stats.iterations)
+        .Value("pairs_tried", stats.pairs_considered);
   }
+  artifact.Write();
 
   // The paper's own scenario.
   const catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();

@@ -71,6 +71,8 @@ void PrintSeries() {
               "join selectivity; the regular execution is additionally "
               "UNAUTHORIZED under Fig. 3 — run here with enforcement off "
               "purely for measurement");
+  Artifact artifact("communication", "E6 / §4 semi-join claim",
+                    "bytes shipped by join n1, semi vs regular, per selectivity");
   std::printf("%-14s %-12s %-14s %-14s %-8s\n", "hospitalized", "result_rows",
               "semi_bytes", "regular_bytes", "ratio");
   for (const double f : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
@@ -79,7 +81,13 @@ void PrintSeries() {
                 m.semi, m.regular,
                 m.semi ? static_cast<double>(m.regular) / static_cast<double>(m.semi)
                        : 0.0);
+    artifact.Row()
+        .Value("hospitalized", f)
+        .Value("result_rows", m.result_rows)
+        .Value("semi_bytes", m.semi)
+        .Value("regular_bytes", m.regular);
   }
+  artifact.Write();
   std::printf("\n");
 }
 

@@ -22,6 +22,8 @@ void PrintFeasibilityTable() {
               "feasibility rate vs authorization density; algorithm vs "
               "exhaustive-baseline agreement on every instance");
 
+  Artifact artifact("feasibility", "E4 / §5 claim (Problem 4.1)",
+                    "feasibility rate vs authorization density");
   std::printf("%-10s %-9s %-10s %-12s %-10s\n", "density", "queries",
               "feasible", "feas.rate", "agreement");
   for (const double density : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
@@ -60,7 +62,13 @@ void PrintFeasibilityTable() {
                 row.feasible,
                 row.queries ? static_cast<double>(row.feasible) / row.queries : 0.0,
                 row.agreed, row.queries);
+    artifact.Row()
+        .Value("density", row.density)
+        .Value("queries", row.queries)
+        .Value("feasible", row.feasible)
+        .Value("agreed", row.agreed);
   }
+  artifact.Write();
   std::printf("\n");
 }
 

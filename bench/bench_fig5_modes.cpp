@@ -25,19 +25,32 @@ void PrintModeViews() {
   });
 
   std::printf("\nper-join mode views (Fig. 5):\n");
+  Artifact artifact("fig5_modes", "E3 / paper Figs. 4-5",
+                    "six per-mode view obligations of each join");
   plan.ForEachPreOrder([&](const plan::PlanNode& n) {
     if (n.op != plan::PlanOp::kJoin) return;
     const planner::JoinModeViews v = planner::ComputeJoinModeViews(
         profiles[static_cast<std::size_t>(n.left->id)],
         profiles[static_cast<std::size_t>(n.right->id)], n.join_atoms);
     std::printf("  n%d:\n", n.id);
-    std::printf("    [Sl,NULL] master sees  %s\n", v.left_full_view.ToString(cat).c_str());
-    std::printf("    [Sr,NULL] master sees  %s\n", v.right_full_view.ToString(cat).c_str());
-    std::printf("    [Sl,Sr]   slave sees   %s\n", v.right_slave_view.ToString(cat).c_str());
-    std::printf("    [Sl,Sr]   master sees  %s\n", v.left_master_view.ToString(cat).c_str());
-    std::printf("    [Sr,Sl]   slave sees   %s\n", v.left_slave_view.ToString(cat).c_str());
-    std::printf("    [Sr,Sl]   master sees  %s\n", v.right_master_view.ToString(cat).c_str());
+    const auto emit = [&](const char* mode, const char* role,
+                          const authz::Profile& view) {
+      std::printf("    %-9s %-6s sees  %s\n", mode, role,
+                  view.ToString(cat).c_str());
+      artifact.Row()
+          .Value("node", n.id)
+          .Value("mode", mode)
+          .Value("role", role)
+          .Value("view", view.ToString(cat));
+    };
+    emit("[Sl,NULL]", "master", v.left_full_view);
+    emit("[Sr,NULL]", "master", v.right_full_view);
+    emit("[Sl,Sr]", "slave", v.right_slave_view);
+    emit("[Sl,Sr]", "master", v.left_master_view);
+    emit("[Sr,Sl]", "slave", v.left_slave_view);
+    emit("[Sr,Sl]", "master", v.right_master_view);
   });
+  artifact.Write();
   std::printf("\n");
 }
 

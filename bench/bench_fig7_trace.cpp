@@ -30,9 +30,27 @@ void PrintFig7() {
   const auto releases = Unwrap(
       planner::EnumerateReleases(cat, plan, sp.assignment), "releases");
   std::printf("releases entailed by the assignment:\n");
+  Artifact artifact("fig7_trace", "E1 / paper Fig. 7",
+                    "executor assignment and releases of the Fig. 2 plan");
+  for (int n = 0; n < plan.node_count(); ++n) {
+    const planner::Executor& ex = sp.assignment.Of(n);
+    artifact.Row()
+        .Value("kind", "assignment")
+        .Value("node", n)
+        .Value("master", cat.server(ex.master).name)
+        .Value("slave", ex.slave ? cat.server(*ex.slave).name : std::string("-"));
+  }
   for (const planner::Release& r : releases) {
     std::printf("  %s\n", r.ToString(cat).c_str());
+    artifact.Row()
+        .Value("kind", "release")
+        .Value("node", r.node_id)
+        .Value("from", cat.server(r.from).name)
+        .Value("to", cat.server(r.to).name)
+        .Value("physical", r.physical)
+        .Value("description", r.description);
   }
+  artifact.Write();
   std::printf("\n");
 }
 

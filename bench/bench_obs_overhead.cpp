@@ -1,0 +1,164 @@
+// E13 (extension) — observability overhead guard: the obs layer (tracing,
+// metrics, audit log) must be effectively free when disabled. Times the full
+// parse->plan->execute pipeline on the paper's scenario with obs fully
+// disabled vs fully enabled and reports the delta; the disabled-path cost is
+// a runtime bool check per site, so the disabled column is the regression
+// guard for the uninstrumented baseline (<3% budget).
+#include "bench_util.hpp"
+
+#include "exec/executor.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+struct Pipeline {
+  catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+  exec::Cluster cluster{cat};
+  plan::QueryPlan plan = PaperPlan(cat);
+  planner::SafePlanner planner{cat, auths};
+  exec::DistributedExecutor executor{cluster, auths};
+
+  Pipeline() {
+    Rng rng(2008);
+    workload::MedicalScenario::DataConfig data;
+    data.citizens = 500;
+    UnwrapStatus(workload::MedicalScenario::PopulateCluster(cluster, data, rng),
+                 "populate");
+  }
+
+  // One end-to-end unit of work: safe planning plus distributed execution.
+  void RunOnce() {
+    const auto report = Unwrap(planner.Analyze(plan), "analyze");
+    benchmark::DoNotOptimize(
+        executor.Execute(plan, report.plan->assignment));
+  }
+};
+
+void DisableObs() {
+  obs::Tracer::Get().Disable();
+  obs::MetricsRegistry::Get().Disable();
+  obs::AuthzAuditLog::Get().Disable();
+}
+
+void EnableObs() {
+  obs::Tracer::Get().Enable();
+  obs::MetricsRegistry::Get().Enable();
+  obs::AuthzAuditLog::Get().Enable();
+}
+
+void ClearObs() {
+  obs::Tracer::Get().Clear();
+  obs::MetricsRegistry::Get().Reset();
+  obs::AuthzAuditLog::Get().Clear();
+}
+
+// Best-of-repeats timing of `iters` pipeline runs, in microseconds.
+std::int64_t TimeBest(Pipeline& pipeline, int iters, int repeats) {
+  std::int64_t best = -1;
+  for (int r = 0; r < repeats; ++r) {
+    ClearObs();
+    const std::int64_t start = obs::NowMicros();
+    for (int i = 0; i < iters; ++i) pipeline.RunOnce();
+    const std::int64_t elapsed = obs::NowMicros() - start;
+    if (best < 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+void PrintOverheadTable() {
+  PrintHeader("E13 / observability overhead guard (extension)",
+              "obs disabled must cost <3% vs baseline; enabled delta is the "
+              "price of full tracing+metrics+audit");
+  Artifact artifact("obs_overhead",
+                    "E13 / observability overhead guard (extension)",
+                    "pipeline time with obs disabled vs enabled");
+  Pipeline pipeline;
+  const int kIters = 30;
+  const int kRepeats = 5;
+
+  DisableObs();
+  pipeline.RunOnce();  // warm-up
+  const std::int64_t off_us = TimeBest(pipeline, kIters, kRepeats);
+
+  EnableObs();
+  pipeline.RunOnce();  // warm-up
+  const std::int64_t on_us = TimeBest(pipeline, kIters, kRepeats);
+  DisableObs();
+  ClearObs();
+
+  const double overhead_pct =
+      off_us > 0 ? 100.0 * (static_cast<double>(on_us) /
+                                static_cast<double>(off_us) -
+                            1.0)
+                 : 0.0;
+  std::printf("%-14s %-10s %-12s\n", "config", "iters", "best_us");
+  std::printf("%-14s %-10d %-12lld\n", "obs_disabled", kIters,
+              static_cast<long long>(off_us));
+  std::printf("%-14s %-10d %-12lld\n", "obs_enabled", kIters,
+              static_cast<long long>(on_us));
+  std::printf("\nenabled-vs-disabled overhead: %.2f%% (disabled path is one "
+              "branch per site; budget for the disabled build is <3%%)\n",
+              overhead_pct);
+  artifact.Row()
+      .Value("config", "obs_disabled")
+      .Value("iterations", kIters)
+      .Value("best_us", off_us);
+  artifact.Row()
+      .Value("config", "obs_enabled")
+      .Value("iterations", kIters)
+      .Value("best_us", on_us)
+      .Value("overhead_pct", overhead_pct);
+  artifact.Write();
+  std::printf("\n");
+}
+
+void BM_PipelineObsDisabled(benchmark::State& state) {
+  Pipeline pipeline;
+  DisableObs();
+  for (auto _ : state) pipeline.RunOnce();
+}
+BENCHMARK(BM_PipelineObsDisabled);
+
+void BM_PipelineObsEnabled(benchmark::State& state) {
+  Pipeline pipeline;
+  EnableObs();
+  for (auto _ : state) {
+    pipeline.RunOnce();
+    // Keep the trace buffer from growing unboundedly across iterations.
+    obs::Tracer::Get().Clear();
+  }
+  DisableObs();
+  ClearObs();
+}
+BENCHMARK(BM_PipelineObsEnabled);
+
+void BM_MetricIncDisabled(benchmark::State& state) {
+  obs::MetricsRegistry::Get().Disable();
+  for (auto _ : state) {
+    CISQP_METRIC_INC("bench.noop");
+  }
+}
+BENCHMARK(BM_MetricIncDisabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer::Get().Disable();
+  for (auto _ : state) {
+    CISQP_TRACE_SPAN(span, "bench.noop");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintOverheadTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -19,6 +19,8 @@ void PrintRescueTable() {
   PrintHeader("E9 / §5 two-step integration (extension)",
               "queries whose FROM-order plan is infeasible but a reordered "
               "plan is safe (rescue), by authorization density");
+  Artifact artifact("plan_search", "E9 / §5 two-step integration (extension)",
+                    "join-order rescue rate by authorization density");
   std::printf("%-10s %-9s %-14s %-14s %-10s %-12s\n", "density", "queries",
               "from_feasible", "from_blocked", "rescued", "rescue_rate");
   for (const double density : {0.2, 0.35, 0.5, 0.7}) {
@@ -59,7 +61,14 @@ void PrintRescueTable() {
     std::printf("%-10.2f %-9d %-14d %-14d %-10d %-12.3f\n", density, queries,
                 from_feasible, from_blocked, rescued,
                 from_blocked ? static_cast<double>(rescued) / from_blocked : 0.0);
+    artifact.Row()
+        .Value("density", density)
+        .Value("queries", queries)
+        .Value("from_feasible", from_feasible)
+        .Value("from_blocked", from_blocked)
+        .Value("rescued", rescued);
   }
+  artifact.Write();
   std::printf("\n(rescued = FROM-order infeasible but another join order of the\n"
               "same query has a safe assignment found by FeasiblePlanSearch)\n\n");
 }

@@ -95,6 +95,8 @@ void PrintScaleTable() {
   PrintHeader("E5 / §5 two-traversal algorithm",
               "planning work (CanView probes) vs query size under a "
               "full-visibility policy (worst-case candidate sets)");
+  Artifact artifact("planning_scale", "E5 / §5 two-traversal algorithm",
+                    "CanView probes vs query size under full visibility");
   std::printf("%-8s %-8s %-10s %-14s %-12s\n", "joins", "nodes", "servers",
               "canview", "feasible");
   for (const std::size_t joins : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
@@ -104,7 +106,14 @@ void PrintScaleTable() {
     std::printf("%-8zu %-8d %-10zu %-14zu %s\n", joins, w.plan.node_count(),
                 w.fed.catalog.server_count(), report.can_view_calls,
                 report.feasible ? "yes" : "no");
+    artifact.Row()
+        .Value("joins", joins)
+        .Value("nodes", w.plan.node_count())
+        .Value("servers", w.fed.catalog.server_count())
+        .Value("canview_calls", report.can_view_calls)
+        .Value("feasible", report.feasible);
   }
+  artifact.Write();
   std::printf("\n");
 }
 

@@ -22,6 +22,8 @@ void PrintWorkloadTable() {
   PrintHeader("E12 / second-domain scenario (extension)",
               "supply-chain federation (DSL-defined): per-query feasibility, "
               "modes, and communication");
+  Artifact artifact("supply_chain", "E12 / second-domain scenario (extension)",
+                    "supply-chain per-query feasibility, modes, communication");
   std::printf("%-22s %-10s %-18s %-8s %-10s %-8s\n", "query", "feasible",
               "join modes", "xfers", "bytes", "rows");
 
@@ -37,6 +39,9 @@ void PrintWorkloadTable() {
     if (!report.feasible) {
       const bool rescued = search.Search(*spec).ok();
       std::printf("%-22s %-10s\n", q.name.c_str(), rescued ? "reorder" : "NO");
+      artifact.Row()
+          .Value("query", q.name)
+          .Value("feasible", rescued ? "reorder" : "no");
       continue;
     }
     std::string modes;
@@ -54,7 +59,16 @@ void PrintWorkloadTable() {
     std::printf("%-22s %-10s %-18s %-8zu %-10zu %-8zu\n", q.name.c_str(), "yes",
                 modes.c_str(), run.network.total_messages(),
                 run.network.total_bytes(), run.table.row_count());
+    artifact.Row()
+        .Value("query", q.name)
+        .Value("feasible", "yes")
+        .Value("modes", modes)
+        .Value("transfers", run.network.total_messages())
+        .Value("bytes", run.network.total_bytes())
+        .Value("rows", run.table.row_count())
+        .Value("duration_us", run.duration_us);
   }
+  artifact.Write();
   std::printf("\n");
 }
 

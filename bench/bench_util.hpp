@@ -2,14 +2,22 @@
 //
 // Every bench binary regenerates one experiment of EXPERIMENTS.md: it first
 // prints the experiment's table/series to stdout (the artifact), then runs
-// google-benchmark timings for the operations involved.
+// google-benchmark timings for the operations involved. Alongside the
+// printed table each experiment also records its series into an `Artifact`,
+// which lands as machine-readable BENCH_<name>.json (in $CISQP_BENCH_OUT_DIR
+// when set, else the working directory) — scripts/run_experiments.sh
+// collects these for downstream plotting.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "plan/builder.hpp"
 #include "planner/safe_planner.hpp"
 #include "sql/binder.hpp"
@@ -51,5 +59,94 @@ inline void PrintHeader(const std::string& experiment,
   std::printf("paper artifact/claim: %s\n", claim.c_str());
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable experiment artifact. Rows of key/value cells accumulate
+/// via Row()/Value() chains and Write() renders them as
+/// BENCH_<name>.json: {"experiment","claim","rows":[{...},...]}.
+class Artifact {
+ public:
+  Artifact(std::string name, std::string experiment, std::string claim)
+      : name_(std::move(name)), experiment_(std::move(experiment)),
+        claim_(std::move(claim)) {}
+
+  /// Starts a new row; subsequent Value() calls fill it.
+  Artifact& Row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Artifact& Value(std::string_view key, std::string_view v) {
+    return Cell(key, "\"" + obs::JsonEscape(v) + "\"");
+  }
+  Artifact& Value(std::string_view key, const char* v) {
+    return Value(key, std::string_view(v));
+  }
+  Artifact& Value(std::string_view key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return Cell(key, buf);
+  }
+  Artifact& Value(std::string_view key, std::int64_t v) {
+    return Cell(key, std::to_string(v));
+  }
+  Artifact& Value(std::string_view key, std::size_t v) {
+    return Cell(key, std::to_string(v));
+  }
+  Artifact& Value(std::string_view key, int v) {
+    return Cell(key, std::to_string(v));
+  }
+  Artifact& Value(std::string_view key, bool v) {
+    return Cell(key, v ? "true" : "false");
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"experiment\":\"" + obs::JsonEscape(experiment_) +
+                      "\",\"claim\":\"" + obs::JsonEscape(claim_) +
+                      "\",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r != 0) out += ',';
+      out += '{';
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c != 0) out += ',';
+        out += "\"" + obs::JsonEscape(rows_[r][c].first) +
+               "\":" + rows_[r][c].second;
+      }
+      out += '}';
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into $CISQP_BENCH_OUT_DIR (or the working
+  /// directory) and reports the path on stdout.
+  void Write() const {
+    const char* dir = std::getenv("CISQP_BENCH_OUT_DIR");
+    const std::string path = (dir != nullptr && *dir != '\0')
+                                 ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("artifact: %s (%zu row(s))\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  Artifact& Cell(std::string_view key, std::string rendered) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(std::string(key), std::move(rendered));
+    return *this;
+  }
+
+  std::string name_;
+  std::string experiment_;
+  std::string claim_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace cisqp::bench

@@ -9,7 +9,11 @@
 //   \schema           the catalog
 //   \policy           the authorizations
 //   \plan SQL         the query tree plan (Fig. 2 style)
-//   \trace SQL        the Find_candidates / Assign_ex trace (Fig. 7 style)
+//   \trace SQL        execute with span tracing, print the span tree
+//   \tracejson SQL    execute with span tracing, print Chrome trace JSON
+//   \plantrace SQL    the Find_candidates / Assign_ex trace (Fig. 7 style)
+//   \metrics          process metrics snapshot (counters/gauges/histograms)
+//   \audit            the authorization-decision audit log
 //   \releases SQL     the data releases a safe execution entails
 //   \search SQL       feasibility-aware join-order search
 //   \requestor NAME   deliver results to this server ('none' to reset)
@@ -25,6 +29,9 @@
 #include "common/strings.hpp"
 #include "dsl/federation_dsl.hpp"
 #include "exec/executor.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "plan/builder.hpp"
 #include "planner/plan_search.hpp"
 #include "planner/report.hpp"
@@ -42,6 +49,10 @@ class Shell {
   Shell(catalog::Catalog cat, authz::AuthorizationSet auths)
       : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_) {
     PopulateData();
+    // Metrics and the audit log accumulate across the whole session;
+    // \metrics and \audit read them back. Span tracing is per-\trace.
+    obs::MetricsRegistry::Get().Enable();
+    obs::AuthzAuditLog::Get().Enable();
   }
 
   int Run() {
@@ -111,9 +122,25 @@ class Shell {
         std::printf("%s", plan.ToString(cat_).c_str());
       });
     } else if (cmd == "\\trace") {
+      obs::Tracer::Get().Enable();
+      ExecuteSql(arg);
+      obs::Tracer::Get().Disable();
+      std::printf("%s", obs::Tracer::Get().TextTree().c_str());
+    } else if (cmd == "\\tracejson") {
+      obs::Tracer::Get().Enable();
+      ExecuteSql(arg);
+      obs::Tracer::Get().Disable();
+      std::printf("%s\n", obs::Tracer::Get().ChromeTraceJson().c_str());
+    } else if (cmd == "\\plantrace") {
       WithSafePlan(arg, [&](const plan::QueryPlan&, const planner::SafePlan& sp) {
         std::printf("%s", sp.trace.ToString(cat_).c_str());
       });
+    } else if (cmd == "\\metrics") {
+      std::printf("%s", obs::MetricsRegistry::Get().ToText().c_str());
+    } else if (cmd == "\\audit") {
+      const obs::AuthzAuditLog& log = obs::AuthzAuditLog::Get();
+      std::printf("%s%zu allowed, %zu denied\n", log.ToText().c_str(),
+                  log.allowed_count(), log.denied_count());
     } else if (cmd == "\\dot") {
       WithSafePlan(arg, [&](const plan::QueryPlan& plan, const planner::SafePlan& sp) {
         auto dot = planner::ToDot(cat_, plan, sp.assignment);
@@ -241,7 +268,11 @@ class Shell {
       "  \\policy            show the authorizations\n"
       "  \\matrix            base-visibility matrix (who sees what)\n"
       "  \\plan SQL          show the query tree plan\n"
-      "  \\trace SQL         show the planning trace (Fig. 7 style)\n"
+      "  \\trace SQL         execute with tracing, show the span tree\n"
+      "  \\tracejson SQL     execute with tracing, emit Chrome trace JSON\n"
+      "  \\plantrace SQL     show the planning trace (Fig. 7 style)\n"
+      "  \\metrics           show the session metrics snapshot\n"
+      "  \\audit             show the authorization-decision audit log\n"
       "  \\releases SQL      show the releases of the safe assignment\n"
       "  \\dot SQL           Graphviz DOT of the assigned plan\n"
       "  \\search SQL        feasibility-aware join-order search\n"

@@ -1,18 +1,22 @@
 // Policy audit: what does a policy *really* authorize, and what is missing?
 //
-// Three audit tools built on the library:
+// Four audit tools built on the library:
 //   1. chase inspection — the implied rules a policy owner may not realize
 //      they granted (§3.2);
 //   2. release preview — every view a query's safe execution would expose,
 //      before running anything;
 //   3. grant repair — for an infeasible query, search the smallest single
-//      additional authorization that makes it feasible.
+//      additional authorization that makes it feasible;
+//   4. decision log — the obs::AuthzAuditLog record of every individual
+//      CanView verdict behind the answers above, with the covering rule or
+//      the first failed condition per decision.
 //
 // Build & run:  ./build/examples/policy_audit
 #include <cstdio>
 
 #include "authz/analysis.hpp"
 #include "authz/chase.hpp"
+#include "obs/audit.hpp"
 #include "plan/builder.hpp"
 #include "planner/safe_planner.hpp"
 #include "planner/verifier.hpp"
@@ -119,5 +123,19 @@ int main() {
   } else {
     std::printf("query is feasible under the current policy\n");
   }
+
+  // 4. Decision log: replay the verifier's per-release checks on the safe
+  // plan and the planner's probes on the denied query with the audit log
+  // recording, then read the log back.
+  std::printf("\n=== 4. authorization-decision audit log ===\n");
+  obs::AuthzAuditLog& log = obs::AuthzAuditLog::Get();
+  log.Enable();
+  CISQP_CHECK(planner::VerifyAssignment(cat, auths, paper_plan, sp->assignment)
+                  .ok());
+  CISQP_CHECK(planner.Analyze(denied).ok());
+  log.Disable();
+  std::printf("%s", log.ToText().c_str());
+  std::printf("%zu decision(s): %zu allowed, %zu denied\n",
+              log.entries().size(), log.allowed_count(), log.denied_count());
   return 0;
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Rebuilds the project, runs the full test suite, and regenerates every
-# experiment (E1..E11), tee-ing the artifacts next to the repository root.
+# experiment (E1..E13), tee-ing the artifacts next to the repository root.
+# Each bench binary also writes a machine-readable BENCH_<name>.json into
+# artifacts/ (via CISQP_BENCH_OUT_DIR) for downstream plotting.
 #
 #   scripts/run_experiments.sh [build-dir]
 set -euo pipefail
@@ -13,6 +15,10 @@ cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 
+ARTIFACT_DIR="$ROOT/artifacts"
+mkdir -p "$ARTIFACT_DIR"
+export CISQP_BENCH_OUT_DIR="$ARTIFACT_DIR"
+
 : > bench_output.txt
 for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] || continue
@@ -21,4 +27,6 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   echo | tee -a bench_output.txt
 done
 
-echo "done: test_output.txt, bench_output.txt"
+echo "collected artifacts:"
+ls -1 "$ARTIFACT_DIR"/BENCH_*.json 2>/dev/null || echo "  (none)"
+echo "done: test_output.txt, bench_output.txt, artifacts/BENCH_*.json"

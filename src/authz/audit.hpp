@@ -1,0 +1,27 @@
+// Bridge between the abstract Policy decision and the process audit log.
+//
+// `AuditedCanView` is the one call every authorization check site (planner
+// probe, verifier release check, executor runtime enforcement) routes
+// through. When the audit log is disabled it is exactly `policy.CanView` —
+// one extra bool check. When enabled, it asks the policy to *explain* its
+// verdict and appends a fully rendered `obs::AuditEntry` naming the check
+// site, the plan node, the candidate server, the view profile, and the
+// covering rule or the first failed condition.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "authz/policy.hpp"
+#include "obs/audit.hpp"
+
+namespace cisqp::authz {
+
+/// CanView with audit recording. `node_id` is the plan node the check
+/// belongs to (-1 when none); `detail` names the role or flow being checked
+/// ("semi-join step 2: ...", "master candidate", ...).
+bool AuditedCanView(const catalog::Catalog& cat, const Policy& policy,
+                    const Profile& profile, catalog::ServerId server,
+                    obs::AuditSite site, int node_id, std::string_view detail);
+
+}  // namespace cisqp::authz

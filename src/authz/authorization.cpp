@@ -95,6 +95,40 @@ bool AuthorizationSet::CanView(const Profile& profile,
                      [&](const IdSet& grant) { return visible.IsSubsetOf(grant); });
 }
 
+CanViewExplanation AuthorizationSet::ExplainCanView(
+    const Profile& profile, catalog::ServerId server) const {
+  CanViewExplanation explanation;
+  if (server >= by_server_.size() || by_server_[server].empty()) {
+    explanation.reason = DenyReason::kNoRulesForServer;
+    return explanation;
+  }
+  const PathIndex& index = by_server_[server];
+  const auto it = index.find(profile.join);
+  if (it == index.end()) {
+    explanation.reason = DenyReason::kJoinPathMismatch;
+    return explanation;
+  }
+  const IdSet visible = profile.VisibleAttributes();
+  std::optional<IdSet> best_missing;
+  for (const IdSet& grant : it->second) {
+    if (visible.IsSubsetOf(grant)) {
+      explanation.allowed = true;
+      explanation.matched_attributes = grant;
+      return explanation;
+    }
+    IdSet missing;
+    for (IdSet::value_type a : visible) {
+      if (!grant.Contains(a)) missing.Insert(a);
+    }
+    if (!best_missing || missing.size() < best_missing->size()) {
+      best_missing = std::move(missing);
+    }
+  }
+  explanation.reason = DenyReason::kAttributeCoverage;
+  if (best_missing) explanation.missing_attributes = std::move(*best_missing);
+  return explanation;
+}
+
 std::vector<Authorization> AuthorizationSet::ForServer(
     catalog::ServerId server) const {
   std::vector<Authorization> out;

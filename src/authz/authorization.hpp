@@ -59,6 +59,12 @@ class AuthorizationSet : public Policy {
   bool CanView(const Profile& profile,
                catalog::ServerId server) const override;
 
+  /// Def. 3.3 with evidence: the covering grant on allow; on deny, whether
+  /// the failure was the join-path equality or the attribute coverage, and
+  /// in the latter case the closest rule's uncovered attributes.
+  CanViewExplanation ExplainCanView(const Profile& profile,
+                                    catalog::ServerId server) const override;
+
   /// Number of rules across all servers.
   std::size_t size() const noexcept { return total_; }
 

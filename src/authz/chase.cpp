@@ -3,6 +3,9 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::authz {
 namespace {
 
@@ -34,6 +37,8 @@ Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
                                       const AuthorizationSet& auths,
                                       const ChaseOptions& options,
                                       ChaseStats* stats) {
+  CISQP_TRACE_SPAN(chase_span, "authz.chase");
+  chase_span.AddAttribute("input_rules", auths.size());
   ChaseStats local_stats;
   AuthorizationSet closed;
 
@@ -50,6 +55,10 @@ Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
     while (changed) {
       changed = false;
       ++local_stats.iterations;
+      CISQP_METRIC_INC("chase.iterations");
+      CISQP_TRACE_SPAN(round_span, "authz.chase.iteration");
+      round_span.AddAttribute("server", cat.server(server).name);
+      const std::size_t round_start_rules = local_stats.derived_rules;
       const std::size_t frozen_size = pool.rules().size();
       for (std::size_t i = 0; i < frozen_size; ++i) {
         for (std::size_t j = 0; j < frozen_size; ++j) {
@@ -83,6 +92,8 @@ Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
           }
         }
       }
+      round_span.AddAttribute("rules_fired",
+                              local_stats.derived_rules - round_start_rules);
     }
 
     for (const auto& [attrs, path] : pool.rules()) {
@@ -97,6 +108,10 @@ Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
     }
   }
 
+  CISQP_METRIC_ADD("chase.derived_rules", local_stats.derived_rules);
+  CISQP_METRIC_ADD("chase.pairs_considered", local_stats.pairs_considered);
+  chase_span.AddAttribute("derived_rules", local_stats.derived_rules);
+  chase_span.AddAttribute("iterations", local_stats.iterations);
   if (stats != nullptr) *stats = local_stats;
   return closed;
 }

@@ -73,6 +73,22 @@ bool OpenPolicySet::CanView(const Profile& profile,
                       [&](const Denial& d) { return d.Fires(profile); });
 }
 
+CanViewExplanation OpenPolicySet::ExplainCanView(
+    const Profile& profile, catalog::ServerId server) const {
+  CanViewExplanation explanation;
+  if (server < by_server_.size()) {
+    for (const Denial& d : by_server_[server]) {
+      if (d.Fires(profile)) {
+        explanation.reason = DenyReason::kDenialFired;
+        explanation.matched_attributes = d.attributes;
+        return explanation;
+      }
+    }
+  }
+  explanation.allowed = true;
+  return explanation;
+}
+
 std::vector<Denial> OpenPolicySet::ForServer(catalog::ServerId server) const {
   if (server >= by_server_.size()) return {};
   return by_server_[server];

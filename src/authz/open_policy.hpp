@@ -62,6 +62,11 @@ class OpenPolicySet : public Policy {
   bool CanView(const Profile& profile,
                catalog::ServerId server) const override;
 
+  /// On deny, reports kDenialFired with the firing denial's attribute set
+  /// as the "matched" rule (the association the server must not see).
+  CanViewExplanation ExplainCanView(const Profile& profile,
+                                    catalog::ServerId server) const override;
+
   std::size_t size() const noexcept { return total_; }
 
   std::vector<Denial> ForServer(catalog::ServerId server) const;

@@ -1,0 +1,38 @@
+#include "authz/policy.hpp"
+
+#include <sstream>
+
+namespace cisqp::authz {
+
+std::string_view DenyReasonName(DenyReason reason) noexcept {
+  switch (reason) {
+    case DenyReason::kNone: return "none";
+    case DenyReason::kNoRulesForServer: return "no rules for server";
+    case DenyReason::kJoinPathMismatch: return "join-path mismatch";
+    case DenyReason::kAttributeCoverage: return "attribute coverage";
+    case DenyReason::kDenialFired: return "denial fired";
+    case DenyReason::kNotCovered: return "not covered";
+  }
+  return "unknown";
+}
+
+std::string CanViewExplanation::DescribeDenial(
+    const catalog::Catalog& cat) const {
+  if (allowed) return "";
+  std::ostringstream oss;
+  oss << DenyReasonName(reason);
+  switch (reason) {
+    case DenyReason::kJoinPathMismatch:
+      oss << ": no rule with the profile's exact join path";
+      break;
+    case DenyReason::kAttributeCoverage:
+      oss << ": closest path-matching rule misses "
+          << AttributeSetToString(cat, missing_attributes);
+      break;
+    default:
+      break;
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::authz

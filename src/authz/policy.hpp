@@ -9,9 +9,40 @@
 // under either regime.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
 #include "authz/profile.hpp"
 
 namespace cisqp::authz {
+
+/// Why a CanView check failed, ordered by how early the check gave up.
+enum class DenyReason : std::uint8_t {
+  kNone,              ///< the check did not fail
+  kNoRulesForServer,  ///< the server holds no rule at all
+  kJoinPathMismatch,  ///< no rule's join path equals the profile's (Def. 3.3)
+  kAttributeCoverage, ///< a path-matching rule exists but misses attributes
+  kDenialFired,       ///< open policy: a negative rule forbids the view
+  kNotCovered,        ///< generic: policy gave no finer-grained explanation
+};
+
+std::string_view DenyReasonName(DenyReason reason) noexcept;
+
+/// A CanView verdict with enough structure to explain it: on allow, the
+/// attribute grant (and implicitly the profile's own join path) that covered
+/// the view; on deny, the first failed Def. 3.3 condition and — for
+/// attribute-coverage failures — the closest rule's uncovered remainder.
+struct CanViewExplanation {
+  bool allowed = false;
+  DenyReason reason = DenyReason::kNone;
+  std::optional<IdSet> matched_attributes;  ///< allow: the covering grant
+  IdSet missing_attributes;  ///< kAttributeCoverage: smallest uncovered rest
+
+  /// Human-readable failure condition ("" when allowed).
+  std::string DescribeDenial(const catalog::Catalog& cat) const;
+};
 
 /// Decides whether a server may view a relation with a given profile.
 class Policy {
@@ -21,6 +52,17 @@ class Policy {
   /// True iff `server` is authorized to view a relation with `profile`.
   virtual bool CanView(const Profile& profile,
                        catalog::ServerId server) const = 0;
+
+  /// CanView plus the evidence for the verdict (audit-log material).
+  /// Policies that cannot do better inherit this generic fallback.
+  virtual CanViewExplanation ExplainCanView(const Profile& profile,
+                                            catalog::ServerId server) const {
+    CanViewExplanation explanation;
+    explanation.allowed = CanView(profile, server);
+    explanation.reason =
+        explanation.allowed ? DenyReason::kNone : DenyReason::kNotCovered;
+    return explanation;
+  }
 };
 
 }  // namespace cisqp::authz

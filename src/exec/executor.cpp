@@ -1,6 +1,9 @@
 #include "exec/executor.hpp"
 
 #include "algebra/operators.hpp"
+#include "authz/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cisqp::exec {
 namespace {
@@ -21,11 +24,15 @@ class Run {
         profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {}
 
   Result<ExecutionResult> Execute(const plan::PlanNode& root) {
+    CISQP_TRACE_SPAN(span, "exec.execute");
+    CISQP_METRIC_INC("exec.executions");
+    const std::int64_t start_us = obs::NowMicros();
     CISQP_ASSIGN_OR_RETURN(Located located, Exec(root));
     if (options_.requestor && *options_.requestor != located.server) {
       CISQP_RETURN_IF_ERROR(Ship(root.id, located.server, *options_.requestor,
                                  located.table, ProfileOf(root.id),
-                                 "final result delivered to requestor"));
+                                 "final result delivered to requestor",
+                                 obs::AuditSite::kRequestor));
       located.server = *options_.requestor;
     }
     ExecutionResult result;
@@ -33,6 +40,12 @@ class Run {
     result.result_server = located.server;
     result.network = std::move(network_);
     result.load = std::move(load_);
+    result.duration_us = obs::NowMicros() - start_us;
+    if (span.active()) {
+      span.AddAttribute("result_rows", result.table.row_count());
+      span.AddAttribute("transfers", result.network.total_messages());
+      span.AddAttribute("bytes_shipped", result.network.total_bytes());
+    }
     return result;
   }
 
@@ -43,20 +56,38 @@ class Run {
     return profiles_[static_cast<std::size_t>(node_id)];
   }
 
-  /// Accounts one operator invocation producing `rows` at `server`.
-  void Account(catalog::ServerId server, std::size_t rows) {
+  /// Accounts one operator invocation producing `rows` at `server` after
+  /// `busy_us` microseconds of operator wall-clock time.
+  void Account(catalog::ServerId server, std::size_t rows,
+               std::int64_t busy_us = 0) {
     ServerLoad& load = load_[server];
     ++load.operations;
     load.rows_produced += rows;
+    load.busy_us += busy_us;
+    CISQP_METRIC_OBSERVE("exec.operator_rows", static_cast<double>(rows));
   }
 
   /// Moves `table` from one server to another: accounts the transfer and,
-  /// under enforcement, checks that the receiver may view `profile`.
+  /// under enforcement, checks (and audits) that the receiver may view
+  /// `profile`.
   Status Ship(int node_id, catalog::ServerId from, catalog::ServerId to,
               const storage::Table& table, const authz::Profile& profile,
-              std::string description) {
+              std::string description,
+              obs::AuditSite site = obs::AuditSite::kExecutor) {
     CISQP_CHECK_MSG(from != to, "Ship called for a colocated transfer");
-    if (options_.enforce_releases && !auths_.CanView(profile, to)) {
+    CISQP_TRACE_SPAN(span, "exec.ship");
+    if (span.active()) {
+      span.AddAttribute("node", node_id);
+      span.AddAttribute("from", cat().server(from).name);
+      span.AddAttribute("to", cat().server(to).name);
+      span.AddAttribute("rows", table.row_count());
+      span.AddAttribute("bytes", table.WireSizeBytes());
+      span.AddAttribute("what", description);
+    }
+    if (options_.enforce_releases &&
+        !authz::AuditedCanView(cat(), auths_, profile, to, site, node_id,
+                               description)) {
+      CISQP_METRIC_INC("exec.enforcement_denials");
       return UnauthorizedError(
           "runtime enforcement: server '" + cat().server(to).name +
           "' is not authorized to view " + profile.ToString(cat()) +
@@ -68,6 +99,13 @@ class Run {
   }
 
   Result<Located> Exec(const plan::PlanNode& node) {
+    CISQP_TRACE_SPAN(span, "exec.node");
+    if (span.active()) {
+      span.AddAttribute("node", node.id);
+      span.AddAttribute("op", plan::PlanOpName(node.op));
+      span.AddAttribute("master",
+                        cat().server(assignment_.Of(node.id).master).name);
+    }
     const planner::Executor& ex = assignment_.Of(node.id);
     switch (node.op) {
       case plan::PlanOp::kRelation: {
@@ -84,10 +122,11 @@ class Run {
           return InvalidArgumentError("unary node n" + std::to_string(node.id) +
                                       " must run at its operand's server");
         }
+        const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table out,
             algebra::Project(child.table, node.projection, node.distinct));
-        Account(child.server, out.row_count());
+        Account(child.server, out.row_count(), obs::NowMicros() - t0);
         return Located{std::move(out), child.server};
       }
       case plan::PlanOp::kSelect: {
@@ -96,9 +135,10 @@ class Run {
           return InvalidArgumentError("unary node n" + std::to_string(node.id) +
                                       " must run at its operand's server");
         }
+        const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
                                algebra::Select(child.table, node.predicate));
-        Account(child.server, out.row_count());
+        Account(child.server, out.row_count(), obs::NowMicros() - t0);
         return Located{std::move(out), child.server};
       }
       case plan::PlanOp::kJoin:
@@ -133,10 +173,11 @@ class Run {
                                      right.table, rp,
                                      "regular join: right operand"));
         }
+        const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
                                algebra::HashJoin(left.table, right.table,
                                                  node.join_atoms));
-        Account(ex.master, out.row_count());
+        Account(ex.master, out.row_count(), obs::NowMicros() - t0);
         return Located{std::move(out), ex.master};
       }
       case planner::ExecutionMode::kSemiJoin: {
@@ -157,10 +198,11 @@ class Run {
         std::vector<catalog::AttributeId> master_join_cols(
             master_is_left ? views.left_join_attrs.begin() : views.right_join_attrs.begin(),
             master_is_left ? views.left_join_attrs.end() : views.right_join_attrs.end());
+        const std::int64_t t1 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table projected,
             algebra::Project(master_op.table, master_join_cols, /*distinct=*/true));
-        Account(ex.master, projected.row_count());
+        Account(ex.master, projected.row_count(), obs::NowMicros() - t1);
 
         // Step 2: ship it to the slave.
         CISQP_RETURN_IF_ERROR(Ship(
@@ -175,9 +217,10 @@ class Run {
           // here the shipped projection carries the *right* child's attrs.
           for (algebra::EquiJoinAtom& atom : atoms) std::swap(atom.left, atom.right);
         }
+        const std::int64_t t3 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table reduced,
                                algebra::HashJoin(projected, slave_op.table, atoms));
-        Account(*ex.slave, reduced.row_count());
+        Account(*ex.slave, reduced.row_count(), obs::NowMicros() - t3);
 
         // Step 4: ship the reduced operand back to the master.
         CISQP_RETURN_IF_ERROR(Ship(
@@ -186,6 +229,7 @@ class Run {
             "semi-join step 4: reduced slave operand"));
 
         // Step 5: the master completes the join on the shared join columns.
+        const std::int64_t t5 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table joined,
             algebra::NaturalJoinOnShared(master_op.table, reduced));
@@ -198,7 +242,7 @@ class Run {
         out_cols.insert(out_cols.end(), right_cols.begin(), right_cols.end());
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
                                algebra::Project(joined, out_cols));
-        Account(ex.master, out.row_count());
+        Account(ex.master, out.row_count(), obs::NowMicros() - t5);
         return Located{std::move(out), ex.master};
       }
     }

@@ -10,6 +10,8 @@
 // assignment is stopped at the first unauthorized transfer.
 #pragma once
 
+#include <cstdint>
+
 #include "authz/authorization.hpp"
 #include "exec/cluster.hpp"
 #include "exec/network.hpp"
@@ -26,12 +28,14 @@ struct ExecutionOptions {
   std::optional<catalog::ServerId> requestor;
 };
 
-/// Compute performed at one server during a query (operator invocations and
-/// the rows they produced) — the load-distribution side of the accounting,
-/// complementing NetworkStats' communication side.
+/// Compute performed at one server during a query (operator invocations, the
+/// rows they produced, and the wall-clock time spent producing them) — the
+/// load-distribution side of the accounting, complementing NetworkStats'
+/// communication side.
 struct ServerLoad {
   std::size_t operations = 0;
   std::size_t rows_produced = 0;
+  std::int64_t busy_us = 0;  ///< wall-clock microseconds in operator code
 };
 
 struct ExecutionResult {
@@ -39,6 +43,7 @@ struct ExecutionResult {
   catalog::ServerId result_server = catalog::kInvalidId;
   NetworkStats network;
   std::map<catalog::ServerId, ServerLoad> load;  ///< per executing server
+  std::int64_t duration_us = 0;  ///< total wall-clock execution time
 };
 
 class DistributedExecutor {

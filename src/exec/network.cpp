@@ -2,12 +2,20 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace cisqp::exec {
 
 void NetworkStats::Record(TransferRecord record) {
   total_bytes_ += record.bytes;
   total_rows_ += record.rows;
-  link_bytes_[{record.from, record.to}] += record.bytes;
+  LinkStats& link = links_[{record.from, record.to}];
+  ++link.messages;
+  link.rows += record.rows;
+  link.bytes += record.bytes;
+  CISQP_METRIC_INC("exec.transfers");
+  CISQP_METRIC_ADD("exec.rows_shipped", record.rows);
+  CISQP_METRIC_ADD("exec.bytes_shipped", record.bytes);
   transfers_.push_back(std::move(record));
 }
 
@@ -15,9 +23,11 @@ std::string NetworkStats::Summary(const catalog::Catalog& cat) const {
   std::ostringstream oss;
   oss << total_messages() << " transfer(s), " << total_rows_ << " row(s), "
       << total_bytes_ << " byte(s)\n";
-  for (const auto& [link, bytes] : link_bytes_) {
+  for (const auto& [link, stats] : links_) {
     oss << "  " << cat.server(link.first).name << " -> "
-        << cat.server(link.second).name << ": " << bytes << " byte(s)\n";
+        << cat.server(link.second).name << ": " << stats.messages
+        << " message(s), " << stats.rows << " row(s), " << stats.bytes
+        << " byte(s)\n";
   }
   for (const TransferRecord& t : transfers_) {
     oss << "  n" << t.node_id << " " << cat.server(t.from).name << " -> "

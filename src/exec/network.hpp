@@ -4,7 +4,10 @@
 // simulates them in-process (DESIGN.md §2.7). What the experiments need from
 // the network is its *accounting*: which server shipped how many rows and
 // bytes to which other server on behalf of which plan node. NetworkStats
-// records every transfer and aggregates per-link and global totals.
+// records every transfer and aggregates per-link and global totals; each
+// Record also feeds the process-wide obs metrics (exec.transfers,
+// exec.rows_shipped, exec.bytes_shipped), making NetworkStats the metrics
+// backend for all transfer counters.
 #pragma once
 
 #include <map>
@@ -25,6 +28,13 @@ struct TransferRecord {
   std::string description;
 };
 
+/// Per-directed-link aggregate over all transfers on that link.
+struct LinkStats {
+  std::size_t messages = 0;
+  std::size_t rows = 0;
+  std::size_t bytes = 0;
+};
+
 /// Append-only transfer log with aggregation helpers.
 class NetworkStats {
  public:
@@ -35,10 +45,10 @@ class NetworkStats {
   std::size_t total_bytes() const noexcept { return total_bytes_; }
   std::size_t total_rows() const noexcept { return total_rows_; }
 
-  /// Bytes shipped per directed (from, to) link.
-  const std::map<std::pair<catalog::ServerId, catalog::ServerId>, std::size_t>&
-  link_bytes() const noexcept {
-    return link_bytes_;
+  /// Message/row/byte aggregates per directed (from, to) link.
+  const std::map<std::pair<catalog::ServerId, catalog::ServerId>, LinkStats>&
+  links() const noexcept {
+    return links_;
   }
 
   /// Multi-line human-readable report.
@@ -48,7 +58,7 @@ class NetworkStats {
   std::vector<TransferRecord> transfers_;
   std::size_t total_bytes_ = 0;
   std::size_t total_rows_ = 0;
-  std::map<std::pair<catalog::ServerId, catalog::ServerId>, std::size_t> link_bytes_;
+  std::map<std::pair<catalog::ServerId, catalog::ServerId>, LinkStats> links_;
 };
 
 }  // namespace cisqp::exec

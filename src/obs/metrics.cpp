@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cisqp::obs {
+namespace {
+
+/// Bucket index for `value`: 0 for v < 1 (and negatives), else
+/// 1 + floor(log2(v)), clamped to the last bucket.
+std::size_t BucketOf(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const int exponent = std::ilogb(value);
+  const std::size_t index = static_cast<std::size_t>(exponent) + 1;
+  return index >= HistogramData::kBuckets ? HistogramData::kBuckets - 1 : index;
+}
+
+/// Renders a double without trailing noise ("3", "3.5", "0.25").
+std::string Compact(double value) {
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::AddSlow(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetSlow(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::ObserveSlow(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), HistogramData{}).first;
+  }
+  HistogramData& h = it->second;
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[BucketOf(value)];
+}
+
+std::uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramData MetricsRegistry::Histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramData{} : it->second;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream oss;
+  for (const auto& [name, value] : counters_) {
+    oss << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    oss << name << " " << Compact(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    oss << name << " count=" << h.count << " sum=" << Compact(h.sum)
+        << " min=" << Compact(h.min) << " max=" << Compact(h.max)
+        << " mean=" << Compact(h.mean()) << "\n";
+  }
+  return oss.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":" << Compact(value);
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << Compact(h.sum) << ",\"min\":" << Compact(h.min)
+        << ",\"max\":" << Compact(h.max) << ",\"mean\":" << Compact(h.mean())
+        << "}";
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+}  // namespace cisqp::obs

@@ -1,0 +1,112 @@
+// Metrics: a process-wide registry of named counters, gauges and histograms.
+//
+// Names are dotted strings ("exec.bytes_shipped", "chase.iterations");
+// instrumented code records blindly and the registry materializes series on
+// demand as text or JSON snapshots. Like the tracer, the registry is
+// disabled by default and every recording call is a single bool check when
+// disabled (and folds away entirely under -DCISQP_OBS_DISABLED).
+//
+// Histograms keep count/sum/min/max plus power-of-two buckets — enough to
+// read tail behaviour of transfer sizes and planning latencies without a
+// full quantile sketch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace cisqp::obs {
+
+/// Aggregated observations of one histogram series.
+struct HistogramData {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// bucket[i] counts observations v with 2^(i-1) <= v < 2^i (bucket[0]:
+  /// v < 1). Negative observations clamp into bucket 0.
+  std::uint64_t buckets[kBuckets] = {};
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Process-wide metrics store. `Get()` returns the singleton; recording is a
+/// no-op until `Enable()`.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  void Enable() noexcept { enabled_ = true; }
+  void Disable() noexcept { enabled_ = false; }
+  bool enabled() const noexcept { return enabled_; }
+  void Reset();
+
+  /// Adds `delta` to counter `name` (created at zero on first use).
+  void Add(std::string_view name, std::uint64_t delta = 1) {
+    if constexpr (kObsCompiledIn) {
+      if (enabled_) AddSlow(name, delta);
+    }
+  }
+
+  /// Sets gauge `name` to `value`.
+  void Set(std::string_view name, double value) {
+    if constexpr (kObsCompiledIn) {
+      if (enabled_) SetSlow(name, value);
+    }
+  }
+
+  /// Records one observation into histogram `name`.
+  void Observe(std::string_view name, double value) {
+    if constexpr (kObsCompiledIn) {
+      if (enabled_) ObserveSlow(name, value);
+    }
+  }
+
+  /// Current counter value; 0 when the counter was never touched.
+  std::uint64_t Counter(std::string_view name) const;
+  /// Current gauge value; 0.0 when never set.
+  double Gauge(std::string_view name) const;
+  /// Histogram aggregate; zeroed data when never observed.
+  HistogramData Histogram(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, HistogramData, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Multi-line "name value" snapshot, sections per kind, sorted by name.
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+ private:
+  void AddSlow(std::string_view name, std::uint64_t delta);
+  void SetSlow(std::string_view name, double value);
+  void ObserveSlow(std::string_view name, double value);
+
+  bool enabled_ = false;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+/// Instrumentation shorthands, uniform with CISQP_TRACE_SPAN.
+#define CISQP_METRIC_ADD(name, delta) \
+  ::cisqp::obs::MetricsRegistry::Get().Add((name), (delta))
+#define CISQP_METRIC_INC(name) ::cisqp::obs::MetricsRegistry::Get().Add((name), 1)
+#define CISQP_METRIC_SET(name, value) \
+  ::cisqp::obs::MetricsRegistry::Get().Set((name), (value))
+#define CISQP_METRIC_OBSERVE(name, value) \
+  ::cisqp::obs::MetricsRegistry::Get().Observe((name), (value))
+
+}  // namespace cisqp::obs

@@ -1,0 +1,386 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace cisqp::obs {
+
+std::int64_t NowMicros() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+Tracer& Tracer::Get() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable() {
+  Clear();
+  enabled_ = true;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+int Tracer::BeginSpan(std::string_view name) {
+  const int index = static_cast<int>(spans_.size());
+  SpanRecord record;
+  record.name = std::string(name);
+  record.start_us = NowMicros();
+  record.depth = static_cast<int>(stack_.size());
+  record.parent = stack_.empty() ? -1 : stack_.back();
+  spans_.push_back(std::move(record));
+  stack_.push_back(index);
+  return index;
+}
+
+void Tracer::EndSpan(int index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= spans_.size()) return;
+  SpanRecord& record = spans_[static_cast<std::size_t>(index)];
+  if (record.duration_us < 0) record.duration_us = NowMicros() - record.start_us;
+  // RAII guarantees LIFO closure; stay robust anyway if Enable() was called
+  // while spans were open by popping through any stale entries.
+  while (!stack_.empty()) {
+    const int top = stack_.back();
+    stack_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void Tracer::AddAttribute(int index, std::string_view key, std::string value) {
+  if (index < 0 || static_cast<std::size_t>(index) >= spans_.size()) return;
+  spans_[static_cast<std::size_t>(index)]
+      .attributes.emplace_back(std::string(key), std::move(value));
+}
+
+std::string Tracer::ChromeTraceJson() const { return ToChromeTraceJson(spans_); }
+
+std::string Tracer::TextTree() const { return ToTextTree(spans_); }
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"name\":\"" << JsonEscape(span.name) << "\",\"ph\":\"X\","
+        << "\"ts\":" << span.start_us << ",\"dur\":"
+        << (span.duration_us < 0 ? 0 : span.duration_us)
+        << ",\"pid\":1,\"tid\":1";
+    if (!span.attributes.empty()) {
+      oss << ",\"args\":{";
+      bool first_attr = true;
+      for (const auto& [key, value] : span.attributes) {
+        if (!first_attr) oss << ",";
+        first_attr = false;
+        oss << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+      }
+      oss << "}";
+    }
+    oss << "}";
+  }
+  oss << "],\"displayTimeUnit\":\"ms\"}";
+  return oss.str();
+}
+
+std::string ToTextTree(const std::vector<SpanRecord>& spans) {
+  std::ostringstream oss;
+  for (const SpanRecord& span : spans) {
+    for (int i = 0; i < span.depth; ++i) oss << "  ";
+    oss << span.name << " ";
+    if (span.duration_us < 0) {
+      oss << "(open)";
+    } else {
+      oss << span.duration_us << "us";
+    }
+    for (const auto& [key, value] : span.attributes) {
+      oss << " " << key << "=" << value;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON reader used only to *validate* exported
+/// traces (the library never needs to consume JSON). Values are surfaced
+/// just enough for the schema check: kind plus object member spans.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    std::string value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        if (out != nullptr) *out = std::move(value);
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'b': value += '\b'; break;
+          case 'f': value += '\f'; break;
+          case 'n': value += '\n'; break;
+          case 'r': value += '\r'; break;
+          case 't': value += '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= text_.size() ||
+                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+                return Fail("bad \\u escape");
+              }
+              ++pos_;
+            }
+            value += '?';  // code point irrelevant for validation
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        value += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("expected a number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool ParseLiteral(std::string_view literal) {
+    SkipWs();
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("bad literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  /// Parses any value. When `event_check` is true the value must be a trace
+  /// event object and its members are schema-checked.
+  bool ParseValue(bool event_check = false);
+
+  bool ParseEventObject();
+
+  bool ParseTopLevel();
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool JsonValidator::ParseValue(bool event_check) {
+  switch (Peek()) {
+    case '{': {
+      if (event_check) return ParseEventObject();
+      Consume('{');
+      if (Consume('}')) return true;
+      do {
+        if (!ParseString(nullptr)) return false;
+        if (!Consume(':')) return Fail("expected ':'");
+        if (!ParseValue()) return false;
+      } while (Consume(','));
+      if (!Consume('}')) return Fail("expected '}'");
+      return true;
+    }
+    case '[': {
+      Consume('[');
+      if (Consume(']')) return true;
+      do {
+        if (!ParseValue()) return false;
+      } while (Consume(','));
+      if (!Consume(']')) return Fail("expected ']'");
+      return true;
+    }
+    case '"': return ParseString(nullptr);
+    case 't': return ParseLiteral("true");
+    case 'f': return ParseLiteral("false");
+    case 'n': return ParseLiteral("null");
+    default: return ParseNumber();
+  }
+}
+
+bool JsonValidator::ParseEventObject() {
+  if (!Consume('{')) return Fail("trace event must be an object");
+  bool has_name = false;
+  bool has_ph = false;
+  bool has_ts = false;
+  bool has_dur = false;
+  bool has_pid = false;
+  bool has_tid = false;
+  if (!Consume('}')) {
+    do {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':'");
+      if (key == "name" || key == "ph") {
+        std::string value;
+        if (!ParseString(&value)) {
+          return Fail("'" + key + "' must be a string");
+        }
+        if (key == "name") has_name = true;
+        if (key == "ph") {
+          has_ph = true;
+          if (value.empty()) return Fail("'ph' must name a phase");
+        }
+      } else if (key == "ts" || key == "dur" || key == "pid" || key == "tid") {
+        if (!ParseNumber()) return Fail("'" + key + "' must be a number");
+        if (key == "ts") has_ts = true;
+        if (key == "dur") has_dur = true;
+        if (key == "pid") has_pid = true;
+        if (key == "tid") has_tid = true;
+      } else if (!ParseValue()) {
+        return false;
+      }
+    } while (Consume(','));
+    if (!Consume('}')) return Fail("expected '}'");
+  }
+  if (!has_name) return Fail("trace event missing 'name'");
+  if (!has_ph) return Fail("trace event missing 'ph'");
+  if (!has_ts) return Fail("trace event missing 'ts'");
+  if (!has_dur) return Fail("trace event missing 'dur'");
+  if (!has_pid || !has_tid) return Fail("trace event missing 'pid'/'tid'");
+  return true;
+}
+
+bool JsonValidator::ParseTopLevel() {
+  if (!Consume('{')) return Fail("top level must be an object");
+  bool has_events = false;
+  if (!Consume('}')) {
+    do {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':'");
+      if (key == "traceEvents") {
+        has_events = true;
+        if (!Consume('[')) return Fail("'traceEvents' must be an array");
+        if (!Consume(']')) {
+          do {
+            if (!ParseValue(/*event_check=*/true)) return false;
+          } while (Consume(','));
+          if (!Consume(']')) return Fail("expected ']'");
+        }
+      } else if (!ParseValue()) {
+        return false;
+      }
+    } while (Consume(','));
+    if (!Consume('}')) return Fail("expected '}'");
+  }
+  if (!has_events) return Fail("missing 'traceEvents'");
+  if (!AtEnd()) return Fail("trailing content after document");
+  return true;
+}
+
+}  // namespace
+
+bool ValidateChromeTraceJson(std::string_view text, std::string* error) {
+  JsonValidator validator(text);
+  const bool ok = validator.ParseTopLevel();
+  if (!ok && error != nullptr) *error = validator.error();
+  return ok;
+}
+
+}  // namespace cisqp::obs

@@ -1,0 +1,164 @@
+// Tracing: lightweight nested spans over the planner and executor hot paths.
+//
+// A `Span` is an RAII region timed with the monotonic clock and tagged with
+// key/value attributes; finished spans accumulate in the process-wide
+// `Tracer`. Two exporters render the recording: a Chrome `trace_event` JSON
+// document (load it at chrome://tracing or in Perfetto) and a compact
+// indented text tree for terminals.
+//
+// Observability contract (DESIGN.md §8): disabled by default and
+// zero-cost-when-disabled. Every entry point first checks a single bool
+// (`Tracer::Get().enabled()`); compiling with -DCISQP_OBS_DISABLED turns the
+// check into `if constexpr (false)` so the instrumentation folds away
+// entirely. Attribute *values* that are expensive to render must be guarded
+// by `span.active()` at the call site — the overloads below only take
+// already-cheap scalar or string arguments.
+//
+// The recorder is deliberately single-threaded (like the rest of the
+// library's in-process simulation); spans nest strictly LIFO per the RAII
+// discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cisqp::obs {
+
+/// Compile-time master switch: -DCISQP_OBS_DISABLED removes all
+/// instrumentation from the generated code.
+#ifdef CISQP_OBS_DISABLED
+inline constexpr bool kObsCompiledIn = false;
+#else
+inline constexpr bool kObsCompiledIn = true;
+#endif
+
+/// Monotonic microseconds since the first call in this process.
+std::int64_t NowMicros() noexcept;
+
+/// One finished (or still-open) span as recorded by the Tracer.
+struct SpanRecord {
+  std::string name;
+  std::int64_t start_us = 0;     ///< NowMicros() at construction
+  std::int64_t duration_us = -1; ///< -1 while the span is still open
+  int depth = 0;                 ///< nesting level (root = 0)
+  int parent = -1;               ///< index of the enclosing span, or -1
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Process-wide span recorder. Disabled by default; `Enable()` starts a
+/// fresh recording.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  /// Starts recording (clears any previous spans).
+  void Enable();
+  /// Stops recording; already-finished spans stay readable for export.
+  void Disable() noexcept { enabled_ = false; }
+  bool enabled() const noexcept { return enabled_; }
+  void Clear();
+
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+
+  /// Chrome trace_event JSON of the current recording.
+  std::string ChromeTraceJson() const;
+  /// Indented text tree of the current recording.
+  std::string TextTree() const;
+
+  // Internal API used by Span; index-based so Span stays trivially movable.
+  int BeginSpan(std::string_view name);
+  void EndSpan(int index);
+  void AddAttribute(int index, std::string_view key, std::string value);
+
+ private:
+  bool enabled_ = false;
+  std::vector<SpanRecord> spans_;
+  std::vector<int> stack_;  ///< indices of open spans, innermost last
+};
+
+/// RAII tracing region. Constructing while the tracer is disabled records
+/// nothing and costs one bool check.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if constexpr (kObsCompiledIn) {
+      if (Tracer::Get().enabled()) index_ = Tracer::Get().BeginSpan(name);
+    }
+  }
+  ~Span() {
+    if constexpr (kObsCompiledIn) {
+      if (index_ >= 0) Tracer::Get().EndSpan(index_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is being recorded — gate expensive attribute
+  /// rendering on it.
+  bool active() const noexcept { return index_ >= 0; }
+
+  void AddAttribute(std::string_view key, std::string value) {
+    if (index_ >= 0) Tracer::Get().AddAttribute(index_, key, std::move(value));
+  }
+  void AddAttribute(std::string_view key, std::string_view value) {
+    if (index_ >= 0) Tracer::Get().AddAttribute(index_, key, std::string(value));
+  }
+  void AddAttribute(std::string_view key, const char* value) {
+    if (index_ >= 0) Tracer::Get().AddAttribute(index_, key, std::string(value));
+  }
+  void AddAttribute(std::string_view key, std::int64_t value) {
+    if (index_ >= 0) {
+      Tracer::Get().AddAttribute(index_, key, std::to_string(value));
+    }
+  }
+  void AddAttribute(std::string_view key, std::size_t value) {
+    if (index_ >= 0) {
+      Tracer::Get().AddAttribute(index_, key, std::to_string(value));
+    }
+  }
+  void AddAttribute(std::string_view key, int value) {
+    AddAttribute(key, static_cast<std::int64_t>(value));
+  }
+  void AddAttribute(std::string_view key, double value) {
+    if (index_ >= 0) {
+      Tracer::Get().AddAttribute(index_, key, std::to_string(value));
+    }
+  }
+  void AddAttribute(std::string_view key, bool value) {
+    if (index_ >= 0) {
+      Tracer::Get().AddAttribute(index_, key, value ? "true" : "false");
+    }
+  }
+
+ private:
+  int index_ = -1;
+};
+
+/// Declares an RAII span. The macro spelling keeps instrumentation sites
+/// grep-able and uniform: CISQP_TRACE_SPAN(span, "planner.safe_plan");
+#define CISQP_TRACE_SPAN(var, name) ::cisqp::obs::Span var{name}
+
+/// Chrome trace_event JSON ("X" complete events) for `spans`. Open spans
+/// (duration -1) export with zero duration.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Indented per-span text tree: "name 123us k=v ...".
+std::string ToTextTree(const std::vector<SpanRecord>& spans);
+
+/// Structural check that `text` is a valid Chrome trace_event document: a
+/// JSON object whose "traceEvents" member is an array of objects each
+/// carrying a string "name"/"ph" and numeric "ts"/"dur"/"pid"/"tid". Parses
+/// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+/// literals), so malformed JSON fails too. On failure returns false and sets
+/// `*error` (when non-null) to a diagnostic.
+bool ValidateChromeTraceJson(std::string_view text, std::string* error = nullptr);
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes
+/// added). Shared by the exporters, the metrics snapshot, and bench
+/// artifacts.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace cisqp::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::plan {
 namespace {
 
@@ -192,6 +195,9 @@ std::unique_ptr<PlanNode> Prune(const catalog::Catalog& cat,
 
 Result<QueryPlan> PlanBuilder::Build(const QuerySpec& spec,
                                      const BuildOptions& options) const {
+  CISQP_TRACE_SPAN(span, "plan.build");
+  span.AddAttribute("relations", spec.Relations().size());
+  CISQP_METRIC_INC("plan.builds");
   CISQP_RETURN_IF_ERROR(spec.Validate(cat_));
 
   catalog::RelationId first = spec.first_relation;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::plan {
 namespace {
 
@@ -168,8 +171,13 @@ Result<DpOptimizerResult> OptimizeJoinOrder(const catalog::Catalog& cat,
         " relations; the DP optimizer is capped at " +
         std::to_string(options.max_relations));
   }
+  CISQP_TRACE_SPAN(span, "plan.dp_optimize");
+  span.AddAttribute("relations", spec.Relations().size());
   Dp dp(cat, stats, spec, options);
   CISQP_ASSIGN_OR_RETURN(DpOptimizerResult result, dp.Run());
+  CISQP_METRIC_ADD("dp.subsets_explored", result.subsets_explored);
+  span.AddAttribute("subsets_explored", result.subsets_explored);
+  span.AddAttribute("estimated_cost", result.estimated_cost);
   PlanBuilder builder(cat, stats);
   CISQP_ASSIGN_OR_RETURN(result.plan,
                          builder.Finish(dp.TakeTree(), spec, options.build_options));

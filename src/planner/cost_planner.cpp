@@ -3,6 +3,9 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::planner {
 namespace {
 
@@ -129,6 +132,9 @@ Result<CostedPlan> MinCostSafePlanner::Plan(const plan::QueryPlan& plan) const {
   if (plan.empty()) return InvalidArgumentError("empty plan");
   CISQP_RETURN_IF_ERROR(plan.Validate(cat_));
 
+  CISQP_TRACE_SPAN(span, "planner.cost_plan");
+  span.AddAttribute("nodes", plan.node_count());
+  CISQP_METRIC_INC("planner.cost_runs");
   Dp dp(cat_, auths_, model_, plan);
   const Table& root = dp.Solve(*plan.root());
   const Entry* best = nullptr;
@@ -146,6 +152,7 @@ Result<CostedPlan> MinCostSafePlanner::Plan(const plan::QueryPlan& plan) const {
   out.assignment = Assignment(plan.node_count());
   dp.Rebuild(*plan.root(), best_server, out.assignment);
   out.total_bytes = best->cost;
+  span.AddAttribute("total_bytes", best->cost);
   return out;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::planner {
 namespace {
 
@@ -124,8 +127,10 @@ Result<std::vector<plan::QuerySpec>> FeasiblePlanSearch::EnumerateOrders(
 
 Result<PlanSearchResult> FeasiblePlanSearch::Search(
     const plan::QuerySpec& spec, const PlanSearchOptions& options) const {
+  CISQP_TRACE_SPAN(span, "planner.plan_search");
   CISQP_ASSIGN_OR_RETURN(std::vector<plan::QuerySpec> orders,
                          EnumerateOrders(spec, options.max_orders));
+  span.AddAttribute("orders_enumerated", orders.size());
 
   plan::PlanBuilder builder(cat_, stats_);
   plan::BuildOptions build_options = options.build_options;
@@ -154,6 +159,10 @@ Result<PlanSearchResult> FeasiblePlanSearch::Search(
       best = std::move(candidate);
     }
   }
+  CISQP_METRIC_ADD("plan_search.orders_tried", tried);
+  CISQP_METRIC_ADD("plan_search.orders_feasible", feasible);
+  span.AddAttribute("orders_tried", tried);
+  span.AddAttribute("orders_feasible", feasible);
   if (!best) {
     return InfeasibleError("no examined join order admits a safe assignment (" +
                            std::to_string(tried) + " orders tried)");

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "authz/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cisqp::planner {
 namespace {
 
@@ -32,6 +36,9 @@ class PlannerRun {
         states_(static_cast<std::size_t>(plan.node_count())) {}
 
   Result<PlanningReport> Run() {
+    CISQP_TRACE_SPAN(span, "planner.safe_plan");
+    span.AddAttribute("nodes", plan_.node_count());
+    CISQP_METRIC_INC("planner.runs");
     PlanningReport report;
     if (!FindCandidates(*plan_.root())) {
       report.feasible = false;
@@ -39,8 +46,12 @@ class PlannerRun {
       report.can_view_calls = can_view_calls_;
       report.blocking_rejections =
           states_[static_cast<std::size_t>(blocking_node_)].rejections;
+      CISQP_METRIC_INC("planner.infeasible");
+      span.AddAttribute("feasible", false);
+      span.AddAttribute("blocking_node", blocking_node_);
       return report;
     }
+    span.AddAttribute("feasible", true);
 
     Assignment assignment(plan_.node_count());
     AssignEx(*plan_.root(), std::nullopt, assignment);
@@ -50,7 +61,9 @@ class PlannerRun {
     if (options_.requestor) {
       const catalog::ServerId root_master = assignment.Of(plan_.root()->id).master;
       if (*options_.requestor != root_master &&
-          !CanView(State(*plan_.root()).profile, *options_.requestor)) {
+          !CanView(State(*plan_.root()).profile, *options_.requestor,
+                   plan_.root()->id, "requestor",
+                   obs::AuditSite::kRequestor)) {
         report.feasible = false;
         report.blocking_node = plan_.root()->id;
         report.can_view_calls = can_view_calls_;
@@ -69,6 +82,7 @@ class PlannerRun {
     report.feasible = true;
     report.plan = std::move(safe);
     report.can_view_calls = can_view_calls_;
+    span.AddAttribute("can_view_calls", can_view_calls_);
     return report;
   }
 
@@ -77,9 +91,13 @@ class PlannerRun {
     return states_[static_cast<std::size_t>(node.id)];
   }
 
-  bool CanView(const authz::Profile& profile, catalog::ServerId server) {
+  bool CanView(const authz::Profile& profile, catalog::ServerId server,
+               int node_id, const char* role,
+               obs::AuditSite site = obs::AuditSite::kPlanner) {
     ++can_view_calls_;
-    return auths_.CanView(profile, server);
+    CISQP_METRIC_INC("planner.canview_probes");
+    return authz::AuditedCanView(cat_, auths_, profile, server, site, node_id,
+                                 role);
   }
 
   /// Post-order traversal; returns false when some node has no candidate
@@ -127,6 +145,8 @@ class PlannerRun {
     }
 
     SortCandidates(state.candidates);
+    CISQP_METRIC_ADD("planner.candidates", state.candidates.size());
+    CISQP_METRIC_ADD("planner.rejections", state.rejections.size());
     trace_.find_candidates.push_back(NodeTrace{
         node.id, state.profile, state.candidates,
         state.leftslave ? std::optional(state.leftslave->server) : std::nullopt,
@@ -149,7 +169,7 @@ class PlannerRun {
     const auto probe = [&](const authz::Profile& view, catalog::ServerId server,
                            FromChild from, ExecutionMode mode,
                            const char* role) {
-      if (CanView(view, server)) return true;
+      if (CanView(view, server, node.id, role)) return true;
       state.rejections.push_back(CandidateRejection{server, from, mode, role, view});
       return false;
     };

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "authz/audit.hpp"
+#include "obs/metrics.hpp"
+
 namespace cisqp::planner {
 
 std::string Release::ToString(const catalog::Catalog& cat) const {
@@ -200,10 +203,22 @@ Status VerifyAssignment(const catalog::Catalog& cat,
                         const VerifyOptions& options) {
   CISQP_ASSIGN_OR_RETURN(std::vector<Release> releases,
                          EnumerateReleases(cat, plan, assignment, options));
-  const std::vector<Release> violations = FindViolations(auths, releases);
-  if (!violations.empty()) {
+  // Audit every release check individually (rather than via FindViolations)
+  // so each one lands in the audit log with its node and flow description.
+  const Release* violation = nullptr;
+  for (const Release& release : releases) {
+    CISQP_METRIC_INC("verifier.checks");
+    const bool ok = authz::AuditedCanView(
+        cat, auths, release.profile, release.to, obs::AuditSite::kVerifier,
+        release.node_id, release.description);
+    if (!ok) {
+      CISQP_METRIC_INC("verifier.violations");
+      if (violation == nullptr) violation = &release;
+    }
+  }
+  if (violation != nullptr) {
     return UnauthorizedError("unauthorized release: " +
-                             violations.front().ToString(cat));
+                             violation->ToString(cat));
   }
   return Status::Ok();
 }

@@ -1,5 +1,7 @@
 #include "sql/binder.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sql/parser.hpp"
 
 namespace cisqp::sql {
@@ -106,6 +108,9 @@ Result<plan::QuerySpec> Bind(const catalog::Catalog& cat, const AstQuery& ast) {
 
 Result<plan::QuerySpec> ParseAndBind(const catalog::Catalog& cat,
                                      std::string_view text) {
+  CISQP_TRACE_SPAN(span, "sql.parse_bind");
+  span.AddAttribute("chars", text.size());
+  CISQP_METRIC_INC("sql.queries_parsed");
   CISQP_ASSIGN_OR_RETURN(AstQuery ast, Parse(text));
   return Bind(cat, ast);
 }

@@ -77,13 +77,17 @@ TEST_F(ExecTest, NetworkAccountingMatchesFig5Flows) {
   EXPECT_EQ(transfers[0].to, Server(fix_.cat, "S_N"));
   EXPECT_EQ(transfers[1].node_id, 1);
   EXPECT_EQ(transfers[2].node_id, 1);
-  // Per-link aggregation contains the S_I → S_N link.
-  const auto it = result.network.link_bytes().find(
+  // Per-link aggregation contains the S_I → S_N link with message, row, and
+  // byte counts.
+  const auto it = result.network.links().find(
       {Server(fix_.cat, "S_I"), Server(fix_.cat, "S_N")});
-  ASSERT_NE(it, result.network.link_bytes().end());
-  EXPECT_EQ(it->second, transfers[0].bytes);
+  ASSERT_NE(it, result.network.links().end());
+  EXPECT_EQ(it->second.messages, 1u);
+  EXPECT_EQ(it->second.rows, transfers[0].rows);
+  EXPECT_EQ(it->second.bytes, transfers[0].bytes);
   const std::string summary = result.network.Summary(fix_.cat);
   EXPECT_NE(summary.find("S_I -> S_N"), std::string::npos);
+  EXPECT_NE(summary.find("message(s)"), std::string::npos);
 }
 
 TEST_F(ExecTest, SemiJoinShipsFewerBytesThanRegular) {

@@ -1,8 +1,10 @@
 // Tests for the reporting helpers (DOT / Markdown rendering).
 #include <gtest/gtest.h>
 
+#include "obs/audit.hpp"
 #include "planner/report.hpp"
 #include "planner/safe_planner.hpp"
+#include "planner/verifier.hpp"
 #include "test_util.hpp"
 
 namespace cisqp::planner {
@@ -71,6 +73,42 @@ TEST_F(ReportTest, MarkdownTableListsReleases) {
     ++rows;
   }
   EXPECT_EQ(rows, 5u);
+}
+
+TEST_F(ReportTest, MarkdownReleasesAgreeWithAuditLog) {
+  // The releases the Markdown report renders and the decisions the verifier
+  // audits are the same facts: one verifier entry per enumerated release,
+  // all allowed, and every physical release row has a matching entry.
+  obs::AuthzAuditLog& log = obs::AuthzAuditLog::Get();
+  log.Enable();
+  ASSERT_OK(VerifyAssignment(fix_.cat, fix_.auths, plan_, assignment_));
+  log.Disable();
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Release> releases,
+                       EnumerateReleases(fix_.cat, plan_, assignment_));
+  EXPECT_EQ(log.entries().size(), releases.size());
+  EXPECT_EQ(log.denied_count(), 0u);
+  for (const obs::AuditEntry& e : log.entries()) {
+    EXPECT_TRUE(e.allowed);
+    EXPECT_EQ(e.site, obs::AuditSite::kVerifier);
+  }
+  ASSERT_OK_AND_ASSIGN(std::string md,
+                       ReleasesToMarkdown(fix_.cat, plan_, assignment_));
+  for (const Release& r : releases) {
+    // The report names the release's node and recipient...
+    EXPECT_NE(md.find("n" + std::to_string(r.node_id)), std::string::npos);
+    EXPECT_NE(md.find(fix_.cat.server(r.to).name), std::string::npos);
+    // ...and the audit log holds the matching allow decision.
+    bool found = false;
+    for (const obs::AuditEntry& e : log.entries()) {
+      if (e.node_id == r.node_id &&
+          e.server == fix_.cat.server(r.to).name && e.allowed) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << r.ToString(fix_.cat);
+  }
+  log.Clear();
 }
 
 TEST_F(ReportTest, MarkdownIncludesRequestorRelease) {
