@@ -33,6 +33,7 @@ void PrintChaseTable() {
     authz::ChaseOptions options;
     options.max_path_atoms = 4;
     options.max_derived_rules = 200000;
+    options.threads = BenchThreads();
     authz::ChaseStats stats;
     const auto closed =
         Unwrap(authz::ChaseClosure(fed.catalog, auths, options, &stats), "chase");
@@ -43,7 +44,8 @@ void PrintChaseTable() {
         .Value("input_rules", auths.size())
         .Value("closed_rules", closed.size())
         .Value("rounds", stats.iterations)
-        .Value("pairs_tried", stats.pairs_considered);
+        .Value("pairs_tried", stats.pairs_considered)
+        .Value("threads", ResolveThreads(options.threads));
   }
   artifact.Write();
 

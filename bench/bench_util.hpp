@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "plan/builder.hpp"
 #include "planner/safe_planner.hpp"
@@ -41,6 +42,24 @@ inline void UnwrapStatus(const Status& status, const char* what) {
     std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
     std::abort();
   }
+}
+
+/// Thread count for the parallel stages of a bench run: $CISQP_BENCH_THREADS
+/// when set (scripts/run_experiments.sh forwards its --threads flag this
+/// way), else 0 = hardware concurrency. Results are identical at any
+/// setting; only wall-clock changes.
+inline std::size_t BenchThreads() {
+  const char* env = std::getenv("CISQP_BENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 0;
+}
+
+/// The effective parallelism a `threads` option resolves to (0 = hardware).
+inline std::size_t ResolveThreads(std::size_t threads) {
+  return threads == 0 ? ThreadPool::HardwareConcurrency() : threads;
 }
 
 /// The paper's plan (Fig. 2) for the Example 2.2 query.

@@ -2,6 +2,9 @@
 //
 //   ./build/examples/cisqpsh                 # the paper's medical federation
 //   ./build/examples/cisqpsh my.fed          # a federation DSL file
+//   ./build/examples/cisqpsh --threads 4     # parallelism for \search
+//                                            # (default: hardware concurrency;
+//                                            # 1 = sequential, same results)
 //
 // Type SQL to plan + execute it safely; backslash commands inspect the
 // federation and the planner:
@@ -20,10 +23,12 @@
 //   \enforce on|off   toggle runtime release enforcement
 //   \help \quit
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "authz/analysis.hpp"
 #include "common/strings.hpp"
@@ -46,8 +51,10 @@ namespace {
 
 class Shell {
  public:
-  Shell(catalog::Catalog cat, authz::AuthorizationSet auths)
-      : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_) {
+  Shell(catalog::Catalog cat, authz::AuthorizationSet auths,
+        std::size_t threads)
+      : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_),
+        threads_(threads) {
     PopulateData();
     // Metrics and the audit log accumulate across the whole session;
     // \metrics and \audit read them back. Span tracing is per-\trace.
@@ -230,6 +237,7 @@ class Shell {
     planner::FeasiblePlanSearch search(cat_, auths_);
     planner::PlanSearchOptions options;
     options.planner_options = PlannerOptions();
+    options.threads = threads_;
     auto result = search.Search(*spec, options);
     if (!result.ok()) {
       std::printf("%s\n", result.status().ToString().c_str());
@@ -283,6 +291,7 @@ class Shell {
   catalog::Catalog cat_;
   authz::AuthorizationSet auths_;
   exec::Cluster cluster_;
+  std::size_t threads_ = 0;  ///< 0 = hardware concurrency
   std::optional<catalog::ServerId> requestor_;
   bool enforce_ = true;
 };
@@ -290,10 +299,32 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  const char* fed_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a count\n");
+        return 1;
+      }
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--threads must be a positive integer\n");
+        return 1;
+      }
+      threads = static_cast<std::size_t>(parsed);
+    } else if (fed_path == nullptr) {
+      fed_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: cisqpsh [--threads N] [federation.fed]\n");
+      return 1;
+    }
+  }
+  if (fed_path != nullptr) {
+    std::ifstream file(fed_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", fed_path);
       return 1;
     }
     std::ostringstream text;
@@ -303,12 +334,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "parse error: %s\n", fed.status().ToString().c_str());
       return 1;
     }
-    Shell shell(std::move(fed->catalog), std::move(fed->authorizations));
+    Shell shell(std::move(fed->catalog), std::move(fed->authorizations),
+                threads);
     return shell.Run();
   }
   catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
   authz::AuthorizationSet auths =
       workload::MedicalScenario::BuildAuthorizations(cat);
-  Shell shell(std::move(cat), std::move(auths));
+  Shell shell(std::move(cat), std::move(auths), threads);
   return shell.Run();
 }

@@ -4,12 +4,26 @@
 # Each bench binary also writes a machine-readable BENCH_<name>.json into
 # artifacts/ (via CISQP_BENCH_OUT_DIR) for downstream plotting.
 #
-#   scripts/run_experiments.sh [build-dir]
+#   scripts/run_experiments.sh [--threads N] [build-dir]
+#
+# --threads N pins the parallelism of the chase / plan-search stages
+# (default: hardware concurrency; results are identical at any setting).
 set -euo pipefail
+
+THREADS=""
+if [ "${1:-}" = "--threads" ]; then
+  THREADS="${2:?--threads requires a count}"
+  shift 2
+fi
 
 BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
+
+if [ -n "$THREADS" ]; then
+  export CISQP_BENCH_THREADS="$THREADS"
+  echo "bench parallelism: $THREADS thread(s)"
+fi
 
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"

@@ -14,6 +14,15 @@
 // join them locally on attributes it already sees; no new release occurs.
 // Derivations that only restate an existing grant (same path, attribute
 // subset) are skipped. A cap bounds the closure on pathological schemas.
+//
+// The fixpoint is computed semi-naïvely (DESIGN.md §9): each round pairs
+// only the rules derived in the previous round (the delta) against the
+// whole pool — every unordered rule pair is examined exactly once, in the
+// first round after its younger member appeared — and a per-endpoint index
+// over the schema's join edges restricts each pair to the edges it can
+// actually fire. Per-server closures are independent, so they fan out
+// across a ThreadPool; results merge in server order, which keeps the
+// closure, the stats, and the cap error deterministic at any thread count.
 #pragma once
 
 #include "authz/authorization.hpp"
@@ -27,6 +36,10 @@ struct ChaseOptions {
   std::size_t max_derived_rules = 100000;
   /// Cap on join-path length (atoms) of derived rules; 0 means unlimited.
   std::size_t max_path_atoms = 0;
+  /// Parallelism for the per-server closures: 0 means hardware concurrency,
+  /// 1 runs strictly on the calling thread. The result is identical at any
+  /// setting (closures are per-server and the merge is ordered).
+  std::size_t threads = 0;
 };
 
 struct ChaseStats {

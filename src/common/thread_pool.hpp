@@ -1,0 +1,137 @@
+// ThreadPool: the library's shared worker-pool substrate.
+//
+// A fixed-size pool of detached workers consuming a FIFO task queue. Two
+// entry points: `Submit` hands one task to the pool and returns a future;
+// `ParallelFor` fans an index range across the workers and blocks until
+// every index ran. The calling thread always participates in `ParallelFor`,
+// so a pool built for N-way parallelism spawns N-1 workers and `threads=1`
+// spawns none at all — every task then runs inline on the caller, byte-for-
+// byte reproducing sequential execution (the determinism contract the chase
+// and the plan search rely on; see DESIGN.md §9).
+//
+// Determinism is the caller's half of the contract: tasks write results
+// into per-index slots (never append to shared containers) and the caller
+// reduces the slots in index order after `ParallelFor` returns. The pool
+// guarantees only that all indices ran; it promises nothing about order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cisqp {
+
+class ThreadPool {
+ public:
+  /// `threads` is the target parallelism including the calling thread:
+  /// `threads-1` workers are spawned. 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism this pool was built for (workers + the participating
+  /// caller); at least 1.
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// `std::thread::hardware_concurrency()`, clamped to at least 1.
+  static std::size_t HardwareConcurrency() noexcept;
+
+  /// Runs `fn` on a worker and returns its future. With no workers the task
+  /// runs inline before Submit returns (still observable via the future).
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Enqueue([task] { (*task)(); });
+    }
+    return future;
+  }
+
+  /// Invokes `fn(i)` for every i in [0, n), distributing indices across the
+  /// workers and the calling thread; returns when all n invocations
+  /// finished. The first exception thrown by any invocation is rethrown on
+  /// the caller (remaining indices still run). With no workers (or n == 1)
+  /// the loop runs inline in index order.
+  template <typename F>
+  void ParallelFor(std::size_t n, F fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    auto drain = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    };
+    // One helper per worker, capped by the index count; the caller drains
+    // alongside them, so small ranges never pay for idle helpers.
+    const std::size_t helpers = std::min(workers_.size(), n - 1);
+    Latch done(helpers);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      Enqueue([&] {
+        drain();
+        done.CountDown();
+      });
+    }
+    drain();
+    done.Wait();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  /// Blocks until `count` CountDown calls happened (std::latch is C++20 but
+  /// kept out of some standard libraries this builds against).
+  class Latch {
+   public:
+    explicit Latch(std::size_t count) : remaining_(count) {}
+    void CountDown() {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_.notify_all();
+    }
+    void Wait() {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return remaining_ == 0; });
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t remaining_;
+  };
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace cisqp

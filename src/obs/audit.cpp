@@ -32,10 +32,11 @@ AuthzAuditLog& AuthzAuditLog::Get() {
 
 void AuthzAuditLog::Enable() {
   Clear();
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void AuthzAuditLog::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   allowed_ = 0;
   denied_ = 0;
@@ -43,6 +44,7 @@ void AuthzAuditLog::Clear() {
 
 void AuthzAuditLog::Record(AuditEntry entry) {
   if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   if (entry.allowed) {
     ++allowed_;
   } else {

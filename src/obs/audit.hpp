@@ -14,9 +14,17 @@
 // rendering cost strictly inside the enabled path. Disabled by default;
 // recording is one bool check when off and folds away under
 // -DCISQP_OBS_DISABLED.
+//
+// Appends are thread-safe (DESIGN.md §9): check sites running on pool
+// workers — e.g. the per-order SafePlanner probes of the parallel plan
+// search — serialize on one mutex. Entry *order* is execution order, which
+// under parallel planning is nondeterministic across runs; the entry set is
+// not. The readers are for quiescent code.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,12 +65,15 @@ class AuthzAuditLog {
 
   /// Starts a fresh recording.
   void Enable();
-  void Disable() noexcept { enabled_ = false; }
-  bool enabled() const noexcept { return ObsEnabled() && enabled_; }
+  void Disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return ObsEnabled() && enabled_.load(std::memory_order_relaxed);
+  }
   void Clear();
 
   void Record(AuditEntry entry);
 
+  /// Read-only view; call only while no thread is recording.
   const std::vector<AuditEntry>& entries() const noexcept { return entries_; }
   std::size_t allowed_count() const noexcept { return allowed_; }
   std::size_t denied_count() const noexcept { return denied_; }
@@ -75,7 +86,8 @@ class AuthzAuditLog {
  private:
   static constexpr bool ObsEnabled() noexcept { return kObsCompiledIn; }
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;  ///< guards entries_ and the counts
   std::size_t allowed_ = 0;
   std::size_t denied_ = 0;
   std::vector<AuditEntry> entries_;

@@ -31,12 +31,14 @@ MetricsRegistry& MetricsRegistry::Get() {
 }
 
 void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 void MetricsRegistry::AddSlow(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -46,6 +48,7 @@ void MetricsRegistry::AddSlow(std::string_view name, std::uint64_t delta) {
 }
 
 void MetricsRegistry::SetSlow(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -55,6 +58,7 @@ void MetricsRegistry::SetSlow(std::string_view name, double value) {
 }
 
 void MetricsRegistry::ObserveSlow(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), HistogramData{}).first;
@@ -73,21 +77,25 @@ void MetricsRegistry::ObserveSlow(std::string_view name, double value) {
 }
 
 std::uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::Gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 HistogramData MetricsRegistry::Histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? HistogramData{} : it->second;
 }
 
 std::string MetricsRegistry::ToText() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream oss;
   for (const auto& [name, value] : counters_) {
     oss << name << " " << value << "\n";
@@ -104,6 +112,7 @@ std::string MetricsRegistry::ToText() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream oss;
   oss << "{\"counters\":{";
   bool first = true;

@@ -9,10 +9,18 @@
 // Histograms keep count/sum/min/max plus power-of-two buckets — enough to
 // read tail behaviour of transfer sizes and planning latencies without a
 // full quantile sketch.
+//
+// Recording is thread-safe (DESIGN.md §9): the enabled flag is atomic (the
+// disabled fast path stays one relaxed load) and the slow paths serialize on
+// one mutex — contention is acceptable because every hot loop batches its
+// counts locally and records aggregates. The snapshot readers are meant for
+// quiescent code (shells, test assertions, artifact writers).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -41,29 +49,31 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Get();
 
-  void Enable() noexcept { enabled_ = true; }
-  void Disable() noexcept { enabled_ = false; }
-  bool enabled() const noexcept { return enabled_; }
+  void Enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
   void Reset();
 
   /// Adds `delta` to counter `name` (created at zero on first use).
   void Add(std::string_view name, std::uint64_t delta = 1) {
     if constexpr (kObsCompiledIn) {
-      if (enabled_) AddSlow(name, delta);
+      if (enabled()) AddSlow(name, delta);
     }
   }
 
   /// Sets gauge `name` to `value`.
   void Set(std::string_view name, double value) {
     if constexpr (kObsCompiledIn) {
-      if (enabled_) SetSlow(name, value);
+      if (enabled()) SetSlow(name, value);
     }
   }
 
   /// Records one observation into histogram `name`.
   void Observe(std::string_view name, double value) {
     if constexpr (kObsCompiledIn) {
-      if (enabled_) ObserveSlow(name, value);
+      if (enabled()) ObserveSlow(name, value);
     }
   }
 
@@ -74,6 +84,7 @@ class MetricsRegistry {
   /// Histogram aggregate; zeroed data when never observed.
   HistogramData Histogram(std::string_view name) const;
 
+  // Whole-store views for exporters; read only from quiescent code.
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
   }
@@ -94,7 +105,8 @@ class MetricsRegistry {
   void SetSlow(std::string_view name, double value);
   void ObserveSlow(std::string_view name, double value);
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards the three stores
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, HistogramData, std::less<>> histograms_;

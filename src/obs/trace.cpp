@@ -15,6 +15,21 @@ std::int64_t NowMicros() noexcept {
       .count();
 }
 
+namespace {
+
+/// Open spans of the current thread, innermost last. Thread-local so spans
+/// recorded from pool workers nest within their own thread only.
+thread_local std::vector<int> open_span_stack;
+
+/// Small stable id of the current thread for the trace_event export.
+int CurrentTid() noexcept {
+  static std::atomic<int> next_tid{1};
+  thread_local const int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
 Tracer& Tracer::Get() {
   static Tracer tracer;
   return tracer;
@@ -22,40 +37,46 @@ Tracer& Tracer::Get() {
 
 void Tracer::Enable() {
   Clear();
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
-  stack_.clear();
+  open_span_stack.clear();
 }
 
 int Tracer::BeginSpan(std::string_view name) {
-  const int index = static_cast<int>(spans_.size());
   SpanRecord record;
   record.name = std::string(name);
   record.start_us = NowMicros();
-  record.depth = static_cast<int>(stack_.size());
-  record.parent = stack_.empty() ? -1 : stack_.back();
+  record.depth = static_cast<int>(open_span_stack.size());
+  record.parent = open_span_stack.empty() ? -1 : open_span_stack.back();
+  record.tid = CurrentTid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const int index = static_cast<int>(spans_.size());
   spans_.push_back(std::move(record));
-  stack_.push_back(index);
+  open_span_stack.push_back(index);
   return index;
 }
 
 void Tracer::EndSpan(int index) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (index < 0 || static_cast<std::size_t>(index) >= spans_.size()) return;
   SpanRecord& record = spans_[static_cast<std::size_t>(index)];
   if (record.duration_us < 0) record.duration_us = NowMicros() - record.start_us;
-  // RAII guarantees LIFO closure; stay robust anyway if Enable() was called
-  // while spans were open by popping through any stale entries.
-  while (!stack_.empty()) {
-    const int top = stack_.back();
-    stack_.pop_back();
+  // RAII guarantees LIFO closure within a thread; stay robust anyway if
+  // Enable() was called while spans were open by popping through any stale
+  // entries of this thread's stack.
+  while (!open_span_stack.empty()) {
+    const int top = open_span_stack.back();
+    open_span_stack.pop_back();
     if (top == index) break;
   }
 }
 
 void Tracer::AddAttribute(int index, std::string_view key, std::string value) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (index < 0 || static_cast<std::size_t>(index) >= spans_.size()) return;
   spans_[static_cast<std::size_t>(index)]
       .attributes.emplace_back(std::string(key), std::move(value));
@@ -99,7 +120,7 @@ std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
     oss << "{\"name\":\"" << JsonEscape(span.name) << "\",\"ph\":\"X\","
         << "\"ts\":" << span.start_us << ",\"dur\":"
         << (span.duration_us < 0 ? 0 : span.duration_us)
-        << ",\"pid\":1,\"tid\":1";
+        << ",\"pid\":1,\"tid\":" << span.tid;
     if (!span.attributes.empty()) {
       oss << ",\"args\":{";
       bool first_attr = true;

@@ -14,12 +14,19 @@
 // by `span.active()` at the call site — the overloads below only take
 // already-cheap scalar or string arguments.
 //
-// The recorder is deliberately single-threaded (like the rest of the
-// library's in-process simulation); spans nest strictly LIFO per the RAII
-// discipline.
+// The recorder is thread-safe (DESIGN.md §9): the span store is guarded by
+// a mutex, while the open-span stack that provides nesting (depth/parent)
+// is thread-local, so spans opened on a pool worker nest strictly LIFO
+// within that worker and never interleave with another thread's stack. Each
+// recording thread gets a stable small `tid` carried into the Chrome
+// trace_event export. Enable()/Clear() are not synchronized against
+// in-flight recording — toggle the tracer only from quiescent code, as
+// every current call site does.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -43,8 +50,9 @@ struct SpanRecord {
   std::string name;
   std::int64_t start_us = 0;     ///< NowMicros() at construction
   std::int64_t duration_us = -1; ///< -1 while the span is still open
-  int depth = 0;                 ///< nesting level (root = 0)
+  int depth = 0;                 ///< nesting level (root = 0, per thread)
   int parent = -1;               ///< index of the enclosing span, or -1
+  int tid = 0;                   ///< small stable id of the recording thread
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
@@ -57,10 +65,14 @@ class Tracer {
   /// Starts recording (clears any previous spans).
   void Enable();
   /// Stops recording; already-finished spans stay readable for export.
-  void Disable() noexcept { enabled_ = false; }
-  bool enabled() const noexcept { return enabled_; }
+  void Disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
   void Clear();
 
+  /// Read-only view of the recording; call only while no thread is
+  /// recording (the exporters below do the same).
   const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
 
   /// Chrome trace_event JSON of the current recording.
@@ -74,9 +86,9 @@ class Tracer {
   void AddAttribute(int index, std::string_view key, std::string value);
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;           ///< guards spans_ (the stacks are thread-local)
   std::vector<SpanRecord> spans_;
-  std::vector<int> stack_;  ///< indices of open spans, innermost last
 };
 
 /// RAII tracing region. Constructing while the tracer is disabled records

@@ -1,7 +1,12 @@
 #include "planner/plan_search.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -30,11 +35,18 @@ std::vector<Edge> CollectEdges(const catalog::Catalog& cat,
 }
 
 /// DFS over connected prefixes, emitting every complete order until the cap.
+/// Connectivity of a candidate is one probe of a precomputed relation →
+/// neighbor-relations adjacency map instead of a scan over every edge.
 class OrderEnumerator {
  public:
   OrderEnumerator(const std::vector<catalog::RelationId>& relations,
                   const std::vector<Edge>& edges, std::size_t max_orders)
-      : relations_(relations), edges_(edges), max_orders_(max_orders) {}
+      : relations_(relations), max_orders_(max_orders) {
+    for (const Edge& edge : edges) {
+      adjacency_[edge.rel_a].Insert(edge.rel_b);
+      adjacency_[edge.rel_b].Insert(edge.rel_a);
+    }
+  }
 
   std::vector<std::vector<catalog::RelationId>> Run() {
     for (catalog::RelationId start : relations_) {
@@ -55,12 +67,11 @@ class OrderEnumerator {
     }
     for (catalog::RelationId cand : relations_) {
       if (placed_.Contains(cand)) continue;
-      const bool connected = std::any_of(
-          edges_.begin(), edges_.end(), [&](const Edge& e) {
-            return (e.rel_a == cand && placed_.Contains(e.rel_b)) ||
-                   (e.rel_b == cand && placed_.Contains(e.rel_a));
-          });
-      if (!connected) continue;
+      const auto neighbors = adjacency_.find(cand);
+      if (neighbors == adjacency_.end() ||
+          !neighbors->second.Intersects(placed_)) {
+        continue;
+      }
       prefix_.push_back(cand);
       placed_.Insert(cand);
       Extend();
@@ -71,8 +82,8 @@ class OrderEnumerator {
   }
 
   const std::vector<catalog::RelationId>& relations_;
-  const std::vector<Edge>& edges_;
   const std::size_t max_orders_;
+  std::map<catalog::RelationId, IdSet> adjacency_;
   std::vector<catalog::RelationId> prefix_;
   IdSet placed_;
   std::vector<std::vector<catalog::RelationId>> orders_;
@@ -132,33 +143,64 @@ Result<PlanSearchResult> FeasiblePlanSearch::Search(
                          EnumerateOrders(spec, options.max_orders));
   span.AddAttribute("orders_enumerated", orders.size());
 
-  plan::PlanBuilder builder(cat_, stats_);
   plan::BuildOptions build_options = options.build_options;
   build_options.join_order = plan::JoinOrderPolicy::kFromClause;
-  SafePlanner planner(cat_, policy_, options.planner_options);
-  MinCostSafePlanner cost_scorer(cat_, policy_, stats_);
 
-  std::optional<PlanSearchResult> best;
-  std::size_t tried = 0;
+  // Fan the orders out: each task builds, analyzes, and costs one order on
+  // its own builder/planner instances (all stateless over shared read-only
+  // catalog/policy/stats), then folds into the running minimum under a
+  // mutex. The fold is commutative and tie-breaks on the lowest order
+  // index, so the outcome is identical to the sequential left-to-right scan
+  // regardless of completion order. Errors (malformed plans, not
+  // infeasibility) keep the lowest order index too.
+  struct Best {
+    std::size_t index;
+    double bytes;
+    plan::QueryPlan plan;
+    SafePlan safe_plan;
+  };
+  std::mutex mu;
+  std::optional<Best> best;
+  std::optional<std::pair<std::size_t, Status>> error;
   std::size_t feasible = 0;
-  for (plan::QuerySpec& order : orders) {
-    ++tried;
-    auto built = builder.Build(order, build_options);
-    if (!built.ok()) continue;
-    CISQP_ASSIGN_OR_RETURN(PlanningReport report, planner.Analyze(*built));
-    if (!report.feasible) continue;
-    ++feasible;
-    CISQP_ASSIGN_OR_RETURN(
-        double bytes,
-        cost_scorer.EstimateAssignmentBytes(*built, report.plan->assignment));
-    if (!best || bytes < best->estimated_bytes) {
-      PlanSearchResult candidate;
-      candidate.plan = std::move(*built);
-      candidate.safe_plan = std::move(*report.plan);
-      candidate.estimated_bytes = bytes;
-      best = std::move(candidate);
-    }
+
+  const std::size_t threads =
+      options.threads == 0 ? ThreadPool::HardwareConcurrency() : options.threads;
+  span.AddAttribute("threads", threads);
+  {
+    ThreadPool pool(std::min(threads, orders.size()));
+    pool.ParallelFor(orders.size(), [&](std::size_t i) {
+      plan::PlanBuilder builder(cat_, stats_);
+      SafePlanner planner(cat_, policy_, options.planner_options);
+      MinCostSafePlanner cost_scorer(cat_, policy_, stats_);
+      auto built = builder.Build(orders[i], build_options);
+      if (!built.ok()) return;  // tried, but this order is not buildable
+      auto report = planner.Analyze(*built);
+      if (!report.ok()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error || i < error->first) error.emplace(i, report.status());
+        return;
+      }
+      if (!report->feasible) return;
+      auto bytes =
+          cost_scorer.EstimateAssignmentBytes(*built, report->plan->assignment);
+      if (!bytes.ok()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error || i < error->first) error.emplace(i, bytes.status());
+        return;
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      ++feasible;
+      if (!best || *bytes < best->bytes ||
+          (*bytes == best->bytes && i < best->index)) {
+        best.emplace(Best{i, *bytes, std::move(*built),
+                          std::move(*report->plan)});
+      }
+    });
   }
+  if (error) return error->second;
+
+  const std::size_t tried = orders.size();
   CISQP_METRIC_ADD("plan_search.orders_tried", tried);
   CISQP_METRIC_ADD("plan_search.orders_feasible", feasible);
   span.AddAttribute("orders_tried", tried);
@@ -167,9 +209,13 @@ Result<PlanSearchResult> FeasiblePlanSearch::Search(
     return InfeasibleError("no examined join order admits a safe assignment (" +
                            std::to_string(tried) + " orders tried)");
   }
-  best->orders_tried = tried;
-  best->orders_feasible = feasible;
-  return std::move(*best);
+  PlanSearchResult result;
+  result.plan = std::move(best->plan);
+  result.safe_plan = std::move(best->safe_plan);
+  result.estimated_bytes = best->bytes;
+  result.orders_tried = tried;
+  result.orders_feasible = feasible;
+  return result;
 }
 
 }  // namespace cisqp::planner

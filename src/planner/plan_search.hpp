@@ -14,6 +14,14 @@
 // Experiment E9 (bench_plan_search) measures the rescue rate: the fraction
 // of queries whose FROM-order plan is infeasible but that this search still
 // executes safely.
+//
+// The per-order work — build the reordered plan, run the paper's algorithm,
+// cost the assignment — is embarrassingly independent, so `Search` fans the
+// enumerated orders out across a ThreadPool (each task on its own builder
+// and planner instances) and reduces to the min-cost feasible plan with a
+// deterministic tie-break: among equal-cost plans the lowest order index
+// wins, so parallel and sequential searches return byte-identical results
+// (DESIGN.md §9).
 #pragma once
 
 #include "planner/cost_planner.hpp"
@@ -26,6 +34,12 @@ namespace cisqp::planner {
 struct PlanSearchOptions {
   /// Cap on join orders examined (the order space is factorial).
   std::size_t max_orders = 2000;
+  /// Parallelism for the per-order build/analyze/cost evaluations: 0 means
+  /// hardware concurrency, 1 runs strictly on the calling thread. The
+  /// chosen plan, its cost, and the reported counts are byte-identical at
+  /// every setting (per-order evaluations are independent and the reduction
+  /// tie-breaks on the lowest order index).
+  std::size_t threads = 0;
   /// Options forwarded to the per-order SafePlanner runs.
   SafePlannerOptions planner_options;
   /// Options forwarded to the per-order PlanBuilder runs (join_order is

@@ -1,8 +1,18 @@
 // Tests for the chase closure of implied authorizations (paper §3.2 end).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "authz/chase.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
+#include "workload/generator.hpp"
 
 namespace cisqp::authz {
 namespace {
@@ -11,6 +21,78 @@ using cisqp::testing::Attrs;
 using cisqp::testing::MedicalFixture;
 using cisqp::testing::Path;
 using cisqp::testing::Server;
+
+// Reference implementation: the textbook naïve fixpoint — every ordered rule
+// pair against every schema edge, each round, until no round adds a rule.
+// Kept deliberately dumb so the optimized semi-naïve closure has an
+// independent oracle.
+AuthorizationSet NaiveReferenceChase(const catalog::Catalog& cat,
+                                     const AuthorizationSet& auths,
+                                     std::size_t max_path_atoms = 0) {
+  AuthorizationSet closed;
+  for (catalog::ServerId server = 0; server < cat.server_count(); ++server) {
+    std::vector<std::pair<IdSet, JoinPath>> rules;
+    std::map<JoinPath, std::vector<IdSet>> by_path;
+    const auto add_if_novel = [&](IdSet attrs, const JoinPath& path) {
+      std::vector<IdSet>& grants = by_path[path];
+      for (const IdSet& existing : grants) {
+        if (attrs.IsSubsetOf(existing)) return false;
+      }
+      grants.push_back(attrs);
+      rules.emplace_back(std::move(attrs), path);
+      return true;
+    };
+    for (const Authorization& auth : auths.ForServer(server)) {
+      add_if_novel(auth.attributes, auth.path);
+    }
+    bool changed = !rules.empty();
+    while (changed) {
+      changed = false;
+      const std::size_t frozen = rules.size();
+      for (std::size_t i = 0; i < frozen; ++i) {
+        for (std::size_t j = 0; j < frozen; ++j) {
+          if (i == j) continue;
+          const auto [attrs_i, path_i] = rules[i];
+          const auto [attrs_j, path_j] = rules[j];
+          for (const catalog::JoinEdge& edge : cat.join_edges()) {
+            const bool oriented = attrs_i.Contains(edge.left) &&
+                                  attrs_j.Contains(edge.right);
+            const bool reversed = attrs_i.Contains(edge.right) &&
+                                  attrs_j.Contains(edge.left);
+            if (!oriented && !reversed) continue;
+            JoinPath derived_path = JoinPath::Union(path_i, path_j);
+            derived_path.Insert(JoinAtom::Make(edge.left, edge.right));
+            if (max_path_atoms != 0 && derived_path.size() > max_path_atoms) {
+              continue;
+            }
+            if (add_if_novel(IdSet::Union(attrs_i, attrs_j), derived_path)) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (const auto& [attrs, path] : rules) {
+      const Status status = closed.Add(cat, Authorization{attrs, path, server});
+      CISQP_CHECK(status.ok() || status.code() == StatusCode::kAlreadyExists);
+    }
+  }
+  return closed;
+}
+
+// Raw closures are insertion-order sensitive (the subsumption check only
+// looks backwards), so equivalence is judged on the minimized form: for each
+// (server, path) only the maximal attribute sets remain, and those are
+// uniquely determined by the policy.
+std::multiset<std::string> CanonicalRules(const catalog::Catalog& cat,
+                                          AuthorizationSet set) {
+  set.Minimize();
+  std::multiset<std::string> out;
+  for (const Authorization& rule : set.All()) {
+    out.insert(rule.ToString(cat));
+  }
+  return out;
+}
 
 class ChaseTest : public ::testing::Test {
  protected:
@@ -134,6 +216,79 @@ TEST_F(ChaseTest, StatsAreReported) {
   ASSERT_OK(ChaseClosure(fix_.cat, fix_.auths, {}, &stats).status());
   EXPECT_GE(stats.iterations, 1u);
   EXPECT_GT(stats.pairs_considered, 0u);
+}
+
+TEST_F(ChaseTest, SemiNaiveMatchesNaiveReferenceOnMedicalPolicy) {
+  // Fig. 2/3 policy plus the §3.2 extra grant that makes derivations fire.
+  AuthorizationSet auths = fix_.auths;
+  ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(fix_.cat, auths));
+  EXPECT_EQ(CanonicalRules(fix_.cat, closed),
+            CanonicalRules(fix_.cat, NaiveReferenceChase(fix_.cat, auths)));
+}
+
+TEST_F(ChaseTest, SemiNaiveMatchesNaiveReferenceOnRandomizedSchemas) {
+  for (const std::uint64_t seed : {11u, 23u, 37u, 58u}) {
+    Rng rng(seed);
+    workload::FederationConfig fed_config;
+    fed_config.servers = 3;
+    fed_config.relations = 5;
+    const workload::Federation fed =
+        workload::GenerateFederation(fed_config, rng);
+    workload::AuthzConfig authz_config;
+    authz_config.base_grant_prob = 0.5;
+    authz_config.path_grants_per_server = 2;
+    authz_config.max_path_atoms = 2;
+    const AuthorizationSet auths =
+        workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+    ChaseOptions options;
+    options.max_path_atoms = 3;  // keep the naïve oracle tractable
+    ASSERT_OK_AND_ASSIGN(AuthorizationSet closed,
+                         ChaseClosure(fed.catalog, auths, options));
+    EXPECT_EQ(CanonicalRules(fed.catalog, closed),
+              CanonicalRules(fed.catalog,
+                             NaiveReferenceChase(fed.catalog, auths,
+                                                 options.max_path_atoms)))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ChaseTest, ThreadCountDoesNotChangeClosureOrStats) {
+  AuthorizationSet auths = fix_.auths;
+  ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ChaseOptions sequential;
+  sequential.threads = 1;
+  ChaseStats seq_stats;
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet seq,
+                       ChaseClosure(fix_.cat, auths, sequential, &seq_stats));
+  ChaseOptions parallel;
+  parallel.threads = 4;
+  ChaseStats par_stats;
+  ASSERT_OK_AND_ASSIGN(AuthorizationSet par,
+                       ChaseClosure(fix_.cat, auths, parallel, &par_stats));
+  EXPECT_EQ(seq.ToString(fix_.cat), par.ToString(fix_.cat));
+  EXPECT_EQ(seq_stats.iterations, par_stats.iterations);
+  EXPECT_EQ(seq_stats.pairs_considered, par_stats.pairs_considered);
+  EXPECT_EQ(seq_stats.derived_rules, par_stats.derived_rules);
+}
+
+TEST_F(ChaseTest, ParallelChaseWithObservabilityEnabled) {
+  // The per-round spans and counters fire from worker threads; the recorders
+  // must stay consistent (this is the TSan target for the obs layer) and the
+  // exported trace must still validate — per-thread nesting intact.
+  obs::Tracer::Get().Enable();
+  obs::MetricsRegistry::Get().Enable();
+  AuthorizationSet auths = fix_.auths;
+  ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ChaseOptions options;
+  options.threads = 4;
+  ASSERT_OK(ChaseClosure(fix_.cat, auths, options).status());
+  obs::Tracer::Get().Disable();
+  obs::MetricsRegistry::Get().Disable();
+  std::string error;
+  EXPECT_TRUE(
+      obs::ValidateChromeTraceJson(obs::Tracer::Get().ChromeTraceJson(), &error))
+      << error;
 }
 
 TEST_F(ChaseTest, EmptyInputYieldsEmptyClosure) {

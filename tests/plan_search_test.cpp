@@ -149,6 +149,59 @@ TEST_F(PlanSearchTest, PicksTheCheapestFeasibleOrder) {
   }
 }
 
+TEST_F(PlanSearchTest, ParallelSearchMatchesSequentialExactly) {
+  // Same query, same stats skew as PicksTheCheapestFeasibleOrder: every
+  // order feasible, costs differ, plus equal-cost ties from the two huge
+  // relations — the tie-break must resolve identically at every thread
+  // count.
+  ASSERT_OK_AND_ASSIGN(
+      plan::QuerySpec spec,
+      sql::ParseAndBind(fix_.cat, workload::MedicalScenario::kPaperQuery));
+  authz::OpenPolicySet open;
+  plan::StatsCatalog stats;
+  stats.Set(cisqp::testing::Relation(fix_.cat, "Hospital"),
+            plan::RelationStats{10.0, {}});
+  stats.Set(cisqp::testing::Relation(fix_.cat, "Insurance"),
+            plan::RelationStats{100000.0, {}});
+  stats.Set(cisqp::testing::Relation(fix_.cat, "Nat_registry"),
+            plan::RelationStats{100000.0, {}});
+  FeasiblePlanSearch search(fix_.cat, open, &stats);
+
+  PlanSearchOptions sequential;
+  sequential.threads = 1;
+  ASSERT_OK_AND_ASSIGN(PlanSearchResult seq, search.Search(spec, sequential));
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    PlanSearchOptions parallel;
+    parallel.threads = threads;
+    ASSERT_OK_AND_ASSIGN(PlanSearchResult par, search.Search(spec, parallel));
+    EXPECT_EQ(par.plan.ToString(fix_.cat), seq.plan.ToString(fix_.cat))
+        << "threads=" << threads;
+    EXPECT_EQ(par.safe_plan.assignment, seq.safe_plan.assignment);
+    EXPECT_EQ(par.estimated_bytes, seq.estimated_bytes);
+    EXPECT_EQ(par.orders_tried, seq.orders_tried);
+    EXPECT_EQ(par.orders_feasible, seq.orders_feasible);
+  }
+}
+
+TEST_F(PlanSearchTest, ParallelSearchMatchesSequentialUnderRealPolicy) {
+  // The paper policy leaves some orders infeasible; parallel and sequential
+  // searches must agree on plan, cost, and both counters.
+  ASSERT_OK_AND_ASSIGN(
+      plan::QuerySpec spec,
+      sql::ParseAndBind(fix_.cat, workload::MedicalScenario::kPaperQuery));
+  FeasiblePlanSearch search(fix_.cat, fix_.auths);
+  PlanSearchOptions sequential;
+  sequential.threads = 1;
+  ASSERT_OK_AND_ASSIGN(PlanSearchResult seq, search.Search(spec, sequential));
+  PlanSearchOptions parallel;
+  parallel.threads = 4;
+  ASSERT_OK_AND_ASSIGN(PlanSearchResult par, search.Search(spec, parallel));
+  EXPECT_EQ(par.plan.ToString(fix_.cat), seq.plan.ToString(fix_.cat));
+  EXPECT_EQ(par.safe_plan.assignment, seq.safe_plan.assignment);
+  EXPECT_EQ(par.estimated_bytes, seq.estimated_bytes);
+  EXPECT_EQ(par.orders_feasible, seq.orders_feasible);
+}
+
 TEST(PlanSearchSweep, RescueRateOnRandomFederations) {
   // Random sweep: wherever FROM order is infeasible but some order is
   // feasible, the search result must verify; and search feasibility must

@@ -1,0 +1,113 @@
+// Tests for the shared worker pool (common/thread_pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace cisqp {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesRequest) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+  EXPECT_EQ(ThreadPool(0).thread_count(), ThreadPool::HardwareConcurrency());
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesZeroAndOneItems) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  // threads=1 must execute on the calling thread, in index order — this is
+  // the exact-sequential-reproduction contract the chase and plan search
+  // rely on.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.ParallelFor(10, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstTaskError) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](std::size_t i) {
+                                  if (i == 13) throw std::runtime_error("bad");
+                                  ++completed;
+                                }),
+               std::runtime_error);
+  // The pool keeps draining the remaining indices (no cancellation), so all
+  // non-throwing indices still ran and the pool stays usable.
+  EXPECT_EQ(completed.load(), 63);
+  int after = 0;
+  pool.ParallelFor(5, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after, 5);
+}
+
+TEST(ThreadPoolTest, CallerParticipatesInParallelFor) {
+  // A pool of size N uses the caller plus N-1 workers: with threads=2 at
+  // most two distinct thread ids touch the work.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(200, [&](std::size_t) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(ids.size(), 2u);
+  EXPECT_GE(ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cisqp
