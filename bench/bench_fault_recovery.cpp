@@ -1,0 +1,300 @@
+// E14 — fault-injected execution: the recovery layer (retry with backoff,
+// authorization-aware failover) returns byte-identical results under seeded
+// fault schedules, or fails with a typed unavailability — never by widening
+// a release. Regenerates two series:
+//
+//   (a) transient link drops on the paper's query: recovery rate, retries,
+//       and virtual backoff time as the per-attempt drop probability grows;
+//   (b) permanent proxy death in a two-proxy federation: the failover rate,
+//       the surviving-proxy re-route, and the bytes wasted on abandoned
+//       rounds.
+//
+// Then times fault-free execution with and without the fault-model hook and
+// a full failover recovery.
+#include "bench_util.hpp"
+
+#include "exec/executor.hpp"
+#include "exec/fault_model.hpp"
+#include "storage/table.hpp"
+
+namespace cisqp::bench {
+namespace {
+
+struct MedicalFixture {
+  catalog::Catalog cat = workload::MedicalScenario::BuildCatalog();
+  authz::AuthorizationSet auths =
+      workload::MedicalScenario::BuildAuthorizations(cat);
+  exec::Cluster cluster{cat};
+  plan::QueryPlan plan;
+  planner::Assignment assignment;
+
+  explicit MedicalFixture(std::size_t citizens = 2000) {
+    Rng rng(5);
+    workload::MedicalScenario::DataConfig data;
+    data.citizens = citizens;
+    UnwrapStatus(workload::MedicalScenario::PopulateCluster(cluster, data, rng),
+                 "populate");
+    plan = PaperPlan(cat);
+    planner::SafePlanner planner(cat, auths);
+    assignment = Unwrap(planner.Plan(plan), "plan").assignment;
+  }
+};
+
+/// Two data owners that may not see each other's relation plus two
+/// interchangeable proxies (C, D) that may view both sides and their join —
+/// the smallest federation where authorization-aware failover has somewhere
+/// to go when the chosen proxy dies.
+struct ProxyFixture {
+  catalog::Catalog cat;
+  authz::AuthorizationSet auths;
+  catalog::ServerId a, b, c, d;
+  exec::Cluster cluster;
+  plan::QueryPlan plan;
+  planner::Assignment assignment;
+  planner::SafePlannerOptions planner_options;
+
+  ProxyFixture() : cluster((Build(), cat)) {
+    for (std::int64_t i = 0; i < 512; ++i) {
+      UnwrapStatus(cluster.InsertRow(cat.FindRelation("R").value(),
+                                     {storage::Value(i), storage::Value(i * 10)}),
+                   "insert R");
+      if (i % 3 == 0) {
+        UnwrapStatus(
+            cluster.InsertRow(cat.FindRelation("S").value(),
+                              {storage::Value(i), storage::Value(i * 7)}),
+            "insert S");
+      }
+    }
+    plan = Unwrap(plan::PlanBuilder(cat).Build(Unwrap(
+                      sql::ParseAndBind(cat, "SELECT RV, SW FROM R JOIN S ON RK = SK"),
+                      "parse")),
+                  "build");
+    planner_options.allow_third_party = true;
+    planner::SafePlanner planner(cat, auths, planner_options);
+    assignment = Unwrap(planner.Plan(plan), "proxy plan").assignment;
+  }
+
+ private:
+  void Build() {
+    a = Unwrap(cat.AddServer("A"), "server");
+    b = Unwrap(cat.AddServer("B"), "server");
+    c = Unwrap(cat.AddServer("C"), "server");
+    d = Unwrap(cat.AddServer("D"), "server");
+    Unwrap(cat.AddRelation("R", a,
+                           {{"RK", catalog::ValueType::kInt64},
+                            {"RV", catalog::ValueType::kInt64}},
+                           {"RK"}),
+           "relation R");
+    Unwrap(cat.AddRelation("S", b,
+                           {{"SK", catalog::ValueType::kInt64},
+                            {"SW", catalog::ValueType::kInt64}},
+                           {"SK"}),
+           "relation S");
+    UnwrapStatus(cat.AddJoinEdge("RK", "SK"), "edge");
+    for (const char* proxy : {"C", "D"}) {
+      UnwrapStatus(auths.Add(cat, proxy, {"RK", "RV"}, {}), "auth");
+      UnwrapStatus(auths.Add(cat, proxy, {"SK", "SW"}, {}), "auth");
+      UnwrapStatus(
+          auths.Add(cat, proxy, {"RK", "RV", "SK", "SW"}, {{"RK", "SK"}}),
+          "auth");
+    }
+  }
+};
+
+void PrintTransientSeries(Artifact& artifact) {
+  MedicalFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  const exec::ExecutionResult baseline =
+      Unwrap(executor.Execute(fix.plan, fix.assignment), "baseline");
+
+  std::printf("-- (a) transient drops, paper query, 30 seeds per rate --\n");
+  std::printf("%-8s %-10s %-10s %-12s %-14s %-10s\n", "drop", "recovered",
+              "failed", "avg_retries", "avg_wait_ms", "identical");
+  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    std::size_t recovered = 0;
+    std::size_t failed = 0;
+    std::size_t retries = 0;
+    std::int64_t wait_us = 0;
+    bool all_identical = true;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      exec::FaultModelOptions fopts;
+      fopts.seed = seed;
+      fopts.drop_probability = drop;
+      exec::FaultModel faults(fopts);
+      exec::ExecutionOptions options;
+      options.faults = &faults;
+      const auto result = executor.Execute(fix.plan, fix.assignment, options);
+      if (result.ok()) {
+        ++recovered;
+        retries += result->recovery.retries;
+        wait_us += result->recovery.backoff_wait_us;
+        all_identical = all_identical && storage::Table::SameRowMultiset(
+                                             result->table, baseline.table);
+      } else {
+        ++failed;
+        all_identical =
+            all_identical && result.status().code() == StatusCode::kUnavailable;
+      }
+    }
+    const double avg_retries =
+        recovered ? static_cast<double>(retries) / static_cast<double>(recovered) : 0.0;
+    const double avg_wait_ms =
+        recovered ? static_cast<double>(wait_us) / static_cast<double>(recovered) / 1000.0
+                  : 0.0;
+    std::printf("%-8.2f %-10zu %-10zu %-12.2f %-14.2f %-10s\n", drop,
+                recovered, failed, avg_retries, avg_wait_ms,
+                all_identical ? "yes" : "NO");
+    artifact.Row()
+        .Value("series", "transient")
+        .Value("drop", drop)
+        .Value("recovered", recovered)
+        .Value("failed", failed)
+        .Value("avg_retries", avg_retries)
+        .Value("avg_wait_ms", avg_wait_ms)
+        .Value("identical_or_typed", all_identical);
+  }
+  std::printf("\n");
+}
+
+void PrintFailoverSeries(Artifact& artifact) {
+  ProxyFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  const exec::ExecutionResult baseline =
+      Unwrap(executor.Execute(fix.plan, fix.assignment), "proxy baseline");
+
+  std::printf("-- (b) permanent proxy death, two-proxy federation, 30 seeds --\n");
+  std::printf("%-22s %-10s %-10s %-10s %-16s\n", "scenario", "recovered",
+              "failovers", "rerouted", "wasted_bytes_avg");
+  const struct {
+    const char* name;
+    std::int64_t kill_at_us;
+    double drop;
+  } scenarios[] = {
+      {"kill_proxy_at_t0", 0, 0.0},
+      {"kill_proxy_mid_run", 1, 0.3},
+  };
+  for (const auto& scenario : scenarios) {
+    std::size_t recovered = 0;
+    std::size_t failovers = 0;
+    std::size_t rerouted = 0;
+    std::size_t wasted_bytes = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      exec::FaultModelOptions fopts;
+      fopts.seed = seed;
+      fopts.drop_probability = scenario.drop;
+      fopts.outages.push_back(
+          exec::OutageWindow{fix.c, scenario.kill_at_us, exec::kNeverRecovers});
+      exec::FaultModel faults(fopts);
+      exec::ExecutionOptions options;
+      options.faults = &faults;
+      options.failover_planner = fix.planner_options;
+      const auto result = executor.Execute(fix.plan, fix.assignment, options);
+      if (!result.ok()) continue;
+      ++recovered;
+      failovers += result->recovery.failovers;
+      if (result->result_server == fix.d) ++rerouted;
+      if (result->network.total_bytes() > baseline.network.total_bytes()) {
+        wasted_bytes +=
+            result->network.total_bytes() - baseline.network.total_bytes();
+      }
+    }
+    const double wasted_avg =
+        recovered ? static_cast<double>(wasted_bytes) / static_cast<double>(recovered)
+                  : 0.0;
+    std::printf("%-22s %-10zu %-10zu %-10zu %-16.1f\n", scenario.name,
+                recovered, failovers, rerouted, wasted_avg);
+    artifact.Row()
+        .Value("series", "failover")
+        .Value("scenario", scenario.name)
+        .Value("recovered", recovered)
+        .Value("failovers", failovers)
+        .Value("rerouted_to_survivor", rerouted)
+        .Value("wasted_bytes_avg", wasted_avg);
+  }
+  std::printf("\n");
+}
+
+void PrintSeries() {
+  PrintHeader("E14 / fault-injected execution",
+              "recovery (retry + authorization-aware failover) returns results "
+              "byte-identical to the fault-free run or fails typed; no fault "
+              "schedule ever widens a release");
+  Artifact artifact("fault_recovery", "E14 / fault-injected execution",
+                    "recovery rate, retries, backoff, failover re-routes, and "
+                    "wasted bytes under seeded fault schedules");
+  PrintTransientSeries(artifact);
+  PrintFailoverSeries(artifact);
+  artifact.Write();
+  std::printf("\n");
+}
+
+void BM_ExecutionNoFaultModel(benchmark::State& state) {
+  MedicalFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(fix.plan, fix.assignment));
+  }
+}
+BENCHMARK(BM_ExecutionNoFaultModel);
+
+void BM_ExecutionFaultModelAttached(benchmark::State& state) {
+  // drop=0: measures the pure interception cost of consulting the model.
+  MedicalFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  exec::FaultModel faults(exec::FaultModelOptions{});
+  exec::ExecutionOptions options;
+  options.faults = &faults;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(fix.plan, fix.assignment, options));
+  }
+}
+BENCHMARK(BM_ExecutionFaultModelAttached);
+
+void BM_ExecutionWithRetries(benchmark::State& state) {
+  MedicalFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    exec::FaultModelOptions fopts;
+    fopts.seed = seed++;
+    fopts.drop_probability = drop;
+    exec::FaultModel faults(fopts);
+    exec::ExecutionOptions options;
+    options.faults = &faults;
+    benchmark::DoNotOptimize(executor.Execute(fix.plan, fix.assignment, options));
+  }
+}
+BENCHMARK(BM_ExecutionWithRetries)->Arg(10)->Arg(40);
+
+void BM_FailoverRecovery(benchmark::State& state) {
+  // Full recovery round trip: dead proxy detected, replan, re-execute at
+  // the survivor.
+  ProxyFixture fix;
+  exec::DistributedExecutor executor(fix.cluster, fix.auths);
+  for (auto _ : state) {
+    exec::FaultModelOptions fopts;
+    fopts.outages.push_back(exec::OutageWindow{fix.c, 0, exec::kNeverRecovers});
+    exec::FaultModel faults(fopts);
+    exec::ExecutionOptions options;
+    options.faults = &faults;
+    options.failover_planner = fix.planner_options;
+    auto result = executor.Execute(fix.plan, fix.assignment, options);
+    if (!result.ok() || result->recovery.failovers != 1) {
+      state.SkipWithError("failover recovery did not engage");
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FailoverRecovery);
+
+}  // namespace
+}  // namespace cisqp::bench
+
+int main(int argc, char** argv) {
+  cisqp::bench::PrintSeries();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "exec/executor.hpp"
 
+#include <algorithm>
+
 #include "algebra/operators.hpp"
 #include "authz/audit.hpp"
 #include "obs/metrics.hpp"
@@ -8,48 +10,139 @@
 namespace cisqp::exec {
 namespace {
 
-/// A materialized intermediate result and the server currently holding it.
+/// An intermediate result and the server currently holding it. Base
+/// relations are *borrowed* from the cluster (multi-join plans would
+/// otherwise copy O(|R|) per scan); computed results are owned.
 struct Located {
-  storage::Table table;
+  storage::Table owned;
+  /// Non-null for a leaf: the cluster-resident base table, never copied.
+  const storage::Table* base = nullptr;
   catalog::ServerId server = catalog::kInvalidId;
+
+  const storage::Table& table() const { return base != nullptr ? *base : owned; }
 };
 
 class Run {
  public:
   Run(const Cluster& cluster, const authz::Policy& auths,
-      const plan::QueryPlan& plan, const planner::Assignment& assignment,
+      const plan::QueryPlan& plan, planner::Assignment assignment,
       const ExecutionOptions& options)
-      : cluster_(cluster), auths_(auths), assignment_(assignment),
-        options_(options),
+      : cluster_(cluster), auths_(auths), plan_(plan),
+        assignment_(std::move(assignment)), options_(options),
         profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {}
 
   Result<ExecutionResult> Execute(const plan::PlanNode& root) {
-    CISQP_TRACE_SPAN(span, "exec.execute");
-    CISQP_METRIC_INC("exec.executions");
-    const std::int64_t start_us = obs::NowMicros();
-    CISQP_ASSIGN_OR_RETURN(Located located, Exec(root));
-    if (options_.requestor && *options_.requestor != located.server) {
-      CISQP_RETURN_IF_ERROR(Ship(root.id, located.server, *options_.requestor,
-                                 located.table, ProfileOf(root.id),
-                                 "final result delivered to requestor",
-                                 obs::AuditSite::kRequestor));
-      located.server = *options_.requestor;
-    }
-    ExecutionResult result;
-    result.table = std::move(located.table);
-    result.result_server = located.server;
-    result.network = std::move(network_);
-    result.load = std::move(load_);
-    result.duration_us = obs::NowMicros() - start_us;
-    if (span.active()) {
-      span.AddAttribute("result_rows", result.table.row_count());
-      span.AddAttribute("transfers", result.network.total_messages());
-      span.AddAttribute("bytes_shipped", result.network.total_bytes());
+    Result<ExecutionResult> result = ExecuteWithRecovery(root);
+    if (options_.network_out != nullptr) {
+      // Publish the transfer log even when execution failed: enforcement
+      // and fault tests assert what was — and was not — shipped.
+      *options_.network_out = result.ok() ? result->network : std::move(network_);
     }
     return result;
   }
 
  private:
+  Result<ExecutionResult> ExecuteWithRecovery(const plan::PlanNode& root) {
+    CISQP_TRACE_SPAN(span, "exec.execute");
+    CISQP_METRIC_INC("exec.executions");
+    const std::int64_t start_us = obs::NowMicros();
+    Result<Located> located = ExecOnce(root);
+    // Authorization-aware failover: a permanent server failure excludes the
+    // dead servers and replans over the survivors. Every round excludes at
+    // least one new server, so the loop is bounded by the federation size.
+    while (!located.ok() &&
+           located.status().code() == StatusCode::kUnavailable &&
+           options_.failover && options_.faults != nullptr) {
+      std::vector<catalog::ServerId> newly_dead;
+      for (catalog::ServerId s : options_.faults->PermanentlyDown(clock_us_)) {
+        if (std::find(recovery_.excluded_servers.begin(),
+                      recovery_.excluded_servers.end(),
+                      s) == recovery_.excluded_servers.end()) {
+          newly_dead.push_back(s);
+        }
+      }
+      // Pure transient exhaustion (link flake, finite outage outlasting the
+      // retry budget): no server to exclude, failover cannot help.
+      if (newly_dead.empty()) break;
+      recovery_.excluded_servers.insert(recovery_.excluded_servers.end(),
+                                        newly_dead.begin(), newly_dead.end());
+      CISQP_RETURN_IF_ERROR(ReplanOverSurvivors());
+      located = ExecOnce(root);
+    }
+    if (!located.ok()) return located.status();
+
+    ExecutionResult result;
+    // A root leaf borrows the base table and must copy it out; a computed
+    // root moves.
+    if (located->base != nullptr) {
+      result.table = *located->base;
+    } else {
+      result.table = std::move(located->owned);
+    }
+    result.result_server = located->server;
+    result.network = std::move(network_);
+    result.load = std::move(load_);
+    result.duration_us = obs::NowMicros() - start_us;
+    result.recovery = std::move(recovery_);
+    if (span.active()) {
+      span.AddAttribute("result_rows", result.table.row_count());
+      span.AddAttribute("transfers", result.network.total_messages());
+      span.AddAttribute("bytes_shipped", result.network.total_bytes());
+      if (result.recovery.retries > 0) {
+        span.AddAttribute("retries", result.recovery.retries);
+      }
+      if (result.recovery.failovers > 0) {
+        span.AddAttribute("failovers", result.recovery.failovers);
+      }
+    }
+    return result;
+  }
+
+  /// One full execution attempt under the current assignment, including the
+  /// final delivery to the requestor.
+  Result<Located> ExecOnce(const plan::PlanNode& root) {
+    CISQP_ASSIGN_OR_RETURN(Located located, Exec(root));
+    if (options_.requestor && *options_.requestor != located.server) {
+      CISQP_RETURN_IF_ERROR(Ship(root.id, located.server, *options_.requestor,
+                                 located.table(), ProfileOf(root.id),
+                                 "final result delivered to requestor",
+                                 obs::AuditSite::kRequestor));
+      located.server = *options_.requestor;
+    }
+    return located;
+  }
+
+  /// Re-runs candidate selection (Find_candidates / Assign_ex) over the
+  /// surviving servers. The probes audit under the failover site; runtime
+  /// enforcement still re-checks Def. 3.3 on every replanned transfer, so
+  /// no unsafe release can slip through even a buggy replan.
+  Status ReplanOverSurvivors() {
+    CISQP_TRACE_SPAN(span, "exec.failover_replan");
+    CISQP_METRIC_INC("exec.failovers");
+    ++recovery_.failovers;
+    if (span.active()) {
+      std::string excluded;
+      for (catalog::ServerId s : recovery_.excluded_servers) {
+        if (!excluded.empty()) excluded += ',';
+        excluded += cat().server(s).name;
+      }
+      span.AddAttribute("excluded", excluded);
+    }
+    planner::SafePlannerOptions opts = options_.failover_planner;
+    opts.excluded_servers = recovery_.excluded_servers;
+    opts.audit_site = obs::AuditSite::kFailover;
+    if (options_.requestor) opts.requestor = options_.requestor;
+    planner::SafePlanner planner(cat(), auths_, opts);
+    Result<planner::SafePlan> replanned = planner.Plan(plan_);
+    if (!replanned.ok()) {
+      return UnavailableError(
+          "failover could not replan over the surviving servers: " +
+          replanned.status().message());
+    }
+    assignment_ = std::move(replanned->assignment);
+    return Status::Ok();
+  }
+
   const catalog::Catalog& cat() const { return cluster_.catalog(); }
 
   const authz::Profile& ProfileOf(int node_id) const {
@@ -67,34 +160,97 @@ class Run {
     CISQP_METRIC_OBSERVE("exec.operator_rows", static_cast<double>(rows));
   }
 
+  /// Runs one transfer through the fault model: transient drops re-send
+  /// with exponential backoff on the virtual clock, a permanently-down
+  /// endpoint aborts as kUnavailable (failover's cue).
+  Status Deliver(obs::Span& span, catalog::ServerId from,
+                 catalog::ServerId to) {
+    const RetryPolicy& retry = options_.retry;
+    std::int64_t backoff = retry.initial_backoff_us;
+    for (int attempt = 1;; ++attempt) {
+      const ShipFate fate = options_.faults->OnShip(from, to, clock_us_);
+      switch (fate.outcome) {
+        case ShipOutcome::kDelivered:
+          if (attempt > 1 && span.active()) {
+            span.AddAttribute("attempts", attempt);
+          }
+          return Status::Ok();
+        case ShipOutcome::kServerDown:
+          CISQP_METRIC_INC("exec.permanent_faults");
+          if (span.active()) {
+            span.AddAttribute("fault", "server_down");
+            span.AddAttribute("down_server", cat().server(fate.down_server).name);
+          }
+          return UnavailableError("server '" +
+                                  cat().server(fate.down_server).name +
+                                  "' is permanently down");
+        case ShipOutcome::kTransientFault:
+          ++recovery_.transient_faults;
+          CISQP_METRIC_INC("exec.transient_faults");
+          if (attempt >= retry.max_attempts) {
+            if (span.active()) span.AddAttribute("fault", "retries_exhausted");
+            return UnavailableError(
+                "transfer " + cat().server(from).name + " -> " +
+                cat().server(to).name + " dropped " +
+                std::to_string(attempt) + " time(s); retries exhausted");
+          }
+          if (clock_us_ + backoff > retry.deadline_us) {
+            if (span.active()) span.AddAttribute("fault", "deadline_exceeded");
+            return UnavailableError(
+                "per-query deadline (" + std::to_string(retry.deadline_us) +
+                "us) exceeded while backing off for " +
+                cat().server(from).name + " -> " + cat().server(to).name);
+          }
+          clock_us_ += backoff;
+          recovery_.backoff_wait_us += backoff;
+          backoff = std::min<std::int64_t>(
+              static_cast<std::int64_t>(static_cast<double>(backoff) *
+                                        retry.backoff_multiplier),
+              retry.max_backoff_us);
+          ++recovery_.retries;
+          CISQP_METRIC_INC("exec.retries");
+          break;
+      }
+    }
+  }
+
   /// Moves `table` from one server to another: accounts the transfer and,
   /// under enforcement, checks (and audits) that the receiver may view
-  /// `profile`.
+  /// `profile`. The Def. 3.3 check runs before any delivery attempt — a
+  /// denied transfer is never even offered to the network.
   Status Ship(int node_id, catalog::ServerId from, catalog::ServerId to,
               const storage::Table& table, const authz::Profile& profile,
               std::string description,
               obs::AuditSite site = obs::AuditSite::kExecutor) {
     CISQP_CHECK_MSG(from != to, "Ship called for a colocated transfer");
     CISQP_TRACE_SPAN(span, "exec.ship");
+    const std::size_t rows = table.row_count();
+    const std::size_t bytes = table.WireSizeBytes();
     if (span.active()) {
       span.AddAttribute("node", node_id);
       span.AddAttribute("from", cat().server(from).name);
       span.AddAttribute("to", cat().server(to).name);
-      span.AddAttribute("rows", table.row_count());
-      span.AddAttribute("bytes", table.WireSizeBytes());
+      span.AddAttribute("rows", rows);
+      span.AddAttribute("bytes", bytes);
       span.AddAttribute("what", description);
     }
     if (options_.enforce_releases &&
         !authz::AuditedCanView(cat(), auths_, profile, to, site, node_id,
                                description)) {
       CISQP_METRIC_INC("exec.enforcement_denials");
+      // Attempted-but-denied: the span keeps the rows/bytes that would have
+      // moved, tagged so traces distinguish it from a completed shipment.
+      if (span.active()) span.AddAttribute("denied", true);
       return UnauthorizedError(
           "runtime enforcement: server '" + cat().server(to).name +
           "' is not authorized to view " + profile.ToString(cat()) +
           " (node n" + std::to_string(node_id) + ": " + description + ")");
     }
-    network_.Record(TransferRecord{node_id, from, to, table.row_count(),
-                                   table.WireSizeBytes(), std::move(description)});
+    if (options_.faults != nullptr) {
+      CISQP_RETURN_IF_ERROR(Deliver(span, from, to));
+    }
+    network_.Record(TransferRecord{node_id, from, to, rows, bytes,
+                                   std::move(description)});
     return Status::Ok();
   }
 
@@ -114,7 +270,10 @@ class Run {
           return InvalidArgumentError("leaf n" + std::to_string(node.id) +
                                       " not assigned to its home server");
         }
-        return Located{cluster_.TableOf(node.relation), home};
+        Located leaf;
+        leaf.base = &cluster_.TableOf(node.relation);
+        leaf.server = home;
+        return leaf;
       }
       case plan::PlanOp::kProject: {
         CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
@@ -125,9 +284,9 @@ class Run {
         const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table out,
-            algebra::Project(child.table, node.projection, node.distinct));
+            algebra::Project(child.table(), node.projection, node.distinct));
         Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), child.server};
+        return Located{std::move(out), nullptr, child.server};
       }
       case plan::PlanOp::kSelect: {
         CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
@@ -137,9 +296,9 @@ class Run {
         }
         const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
-                               algebra::Select(child.table, node.predicate));
+                               algebra::Select(child.table(), node.predicate));
         Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), child.server};
+        return Located{std::move(out), nullptr, child.server};
       }
       case plan::PlanOp::kJoin:
         return ExecJoin(node, ex);
@@ -165,20 +324,20 @@ class Run {
         // [Sl,NULL] / [Sr,NULL]); a third-party master receives both.
         if (left.server != ex.master) {
           CISQP_RETURN_IF_ERROR(Ship(node.id, left.server, ex.master,
-                                     left.table, lp,
+                                     left.table(), lp,
                                      "regular join: left operand"));
         }
         if (right.server != ex.master) {
           CISQP_RETURN_IF_ERROR(Ship(node.id, right.server, ex.master,
-                                     right.table, rp,
+                                     right.table(), rp,
                                      "regular join: right operand"));
         }
         const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
-                               algebra::HashJoin(left.table, right.table,
+                               algebra::HashJoin(left.table(), right.table(),
                                                  node.join_atoms));
         Account(ex.master, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), ex.master};
+        return Located{std::move(out), nullptr, ex.master};
       }
       case planner::ExecutionMode::kSemiJoin: {
         if (!ex.slave) {
@@ -201,7 +360,7 @@ class Run {
         const std::int64_t t1 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table projected,
-            algebra::Project(master_op.table, master_join_cols, /*distinct=*/true));
+            algebra::Project(master_op.table(), master_join_cols, /*distinct=*/true));
         Account(ex.master, projected.row_count(), obs::NowMicros() - t1);
 
         // Step 2: ship it to the slave.
@@ -219,7 +378,7 @@ class Run {
         }
         const std::int64_t t3 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(storage::Table reduced,
-                               algebra::HashJoin(projected, slave_op.table, atoms));
+                               algebra::HashJoin(projected, slave_op.table(), atoms));
         Account(*ex.slave, reduced.row_count(), obs::NowMicros() - t3);
 
         // Step 4: ship the reduced operand back to the master.
@@ -232,7 +391,7 @@ class Run {
         const std::int64_t t5 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             storage::Table joined,
-            algebra::NaturalJoinOnShared(master_op.table, reduced));
+            algebra::NaturalJoinOnShared(master_op.table(), reduced));
 
         // Restore the canonical left++right column order expected upstream.
         std::vector<catalog::AttributeId> out_cols =
@@ -243,7 +402,7 @@ class Run {
         CISQP_ASSIGN_OR_RETURN(storage::Table out,
                                algebra::Project(joined, out_cols));
         Account(ex.master, out.row_count(), obs::NowMicros() - t5);
-        return Located{std::move(out), ex.master};
+        return Located{std::move(out), nullptr, ex.master};
       }
     }
     return InternalError("unknown execution mode");
@@ -251,11 +410,14 @@ class Run {
 
   const Cluster& cluster_;
   const authz::Policy& auths_;
-  const planner::Assignment& assignment_;
+  const plan::QueryPlan& plan_;
+  planner::Assignment assignment_;  ///< by value: failover replaces it
   const ExecutionOptions& options_;
   std::vector<authz::Profile> profiles_;
   NetworkStats network_;
   std::map<catalog::ServerId, ServerLoad> load_;
+  RecoveryStats recovery_;
+  std::int64_t clock_us_ = 0;  ///< virtual query time (advanced by backoff)
 };
 
 Result<storage::Table> CentralizedRec(const Cluster& cluster,

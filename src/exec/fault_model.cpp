@@ -1,0 +1,169 @@
+#include "exec/fault_model.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/strings.hpp"
+
+namespace cisqp::exec {
+namespace {
+
+/// SplitMix64 finalizer: one well-mixed 64-bit word from a seed word.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform draw in [0,1) keyed by (seed, link, attempt).
+double LinkRoll(std::uint64_t seed, catalog::ServerId from,
+                catalog::ServerId to, std::uint64_t attempt) {
+  std::uint64_t x = seed;
+  x = Mix64(x ^ (static_cast<std::uint64_t>(from) + 1) * 0x9e3779b97f4a7c15ull);
+  x = Mix64(x ^ (static_cast<std::uint64_t>(to) + 1) * 0xbf58476d1ce4e5b9ull);
+  x = Mix64(x ^ attempt);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ShipFate FaultModel::OnShip(catalog::ServerId from, catalog::ServerId to,
+                            std::int64_t now_us) {
+  // Outages dominate the link roll: a dark endpoint fails the attempt
+  // regardless of link luck, permanently when the window never closes.
+  for (const OutageWindow& w : options_.outages) {
+    if (w.server != from && w.server != to) continue;
+    if (now_us < w.start_us) continue;
+    if (w.permanent()) return ShipFate{ShipOutcome::kServerDown, w.server};
+    if (now_us < w.end_us) {
+      return ShipFate{ShipOutcome::kTransientFault, w.server};
+    }
+  }
+  if (options_.drop_probability > 0.0) {
+    std::uint64_t attempt = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      attempt = ++attempts_[{from, to}];
+    }
+    if (LinkRoll(options_.seed, from, to, attempt) <
+        options_.drop_probability) {
+      return ShipFate{ShipOutcome::kTransientFault, catalog::kInvalidId};
+    }
+  }
+  return ShipFate{ShipOutcome::kDelivered, catalog::kInvalidId};
+}
+
+bool FaultModel::IsPermanentlyDown(catalog::ServerId server,
+                                   std::int64_t now_us) const {
+  for (const OutageWindow& w : options_.outages) {
+    if (w.server == server && w.permanent() && now_us >= w.start_us) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<catalog::ServerId> FaultModel::PermanentlyDown(
+    std::int64_t now_us) const {
+  std::vector<catalog::ServerId> down;
+  for (const OutageWindow& w : options_.outages) {
+    if (w.permanent() && now_us >= w.start_us) down.push_back(w.server);
+  }
+  std::sort(down.begin(), down.end());
+  down.erase(std::unique(down.begin(), down.end()), down.end());
+  return down;
+}
+
+Result<FaultModelOptions> FaultSpec::Resolve(
+    const catalog::Catalog& cat) const {
+  FaultModelOptions options;
+  options.seed = seed;
+  options.drop_probability = drop_probability;
+  for (const NamedOutage& o : outages) {
+    CISQP_ASSIGN_OR_RETURN(const catalog::ServerId server,
+                           cat.FindServer(o.server));
+    options.outages.push_back(OutageWindow{server, o.start_us, o.end_us});
+  }
+  return options;
+}
+
+namespace {
+
+Result<std::int64_t> ParseInt64(std::string_view text, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value < 0) {
+    return InvalidArgumentError("fault spec: bad " + std::string(what) +
+                                " '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+  FaultSpec spec;
+  for (std::string_view part : SplitString(text, ',')) {
+    part = TrimWhitespace(part);
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError("fault spec: expected key=value, got '" +
+                                  std::string(part) + "'");
+    }
+    const std::string_view key = part.substr(0, eq);
+    const std::string_view value = part.substr(eq + 1);
+    if (key == "seed") {
+      CISQP_ASSIGN_OR_RETURN(const std::int64_t seed,
+                             ParseInt64(value, "seed"));
+      spec.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "drop") {
+      char* end = nullptr;
+      const std::string copy(value);
+      const double p = std::strtod(copy.c_str(), &end);
+      if (end != copy.c_str() + copy.size() || p < 0.0 || p > 1.0) {
+        return InvalidArgumentError("fault spec: drop must be in [0,1], got '" +
+                                    copy + "'");
+      }
+      spec.drop_probability = p;
+    } else if (key == "down" || key == "kill") {
+      const std::size_t at = value.find('@');
+      if (at == std::string_view::npos || at == 0) {
+        return InvalidArgumentError(
+            "fault spec: expected " + std::string(key) + "=NAME@TIME, got '" +
+            std::string(value) + "'");
+      }
+      FaultSpec::NamedOutage outage;
+      outage.server = std::string(value.substr(0, at));
+      const std::string_view when = value.substr(at + 1);
+      if (key == "kill") {
+        CISQP_ASSIGN_OR_RETURN(outage.start_us, ParseInt64(when, "kill time"));
+        outage.end_us = kNeverRecovers;
+      } else {
+        const std::size_t dots = when.find("..");
+        if (dots == std::string_view::npos) {
+          return InvalidArgumentError(
+              "fault spec: expected down=NAME@START..END, got '" +
+              std::string(value) + "'");
+        }
+        CISQP_ASSIGN_OR_RETURN(outage.start_us,
+                               ParseInt64(when.substr(0, dots), "down start"));
+        CISQP_ASSIGN_OR_RETURN(outage.end_us,
+                               ParseInt64(when.substr(dots + 2), "down end"));
+        if (outage.end_us <= outage.start_us) {
+          return InvalidArgumentError("fault spec: empty down window '" +
+                                      std::string(value) + "'");
+        }
+      }
+      spec.outages.push_back(std::move(outage));
+    } else {
+      return InvalidArgumentError("fault spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace cisqp::exec

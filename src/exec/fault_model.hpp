@@ -1,0 +1,123 @@
+// FaultModel: deterministic fault injection for the simulated federation.
+//
+// The paper assumes cooperating servers that simply stay up; a production
+// federation must keep answering queries when links flake and servers go
+// dark. This module models those failures *deterministically* so every
+// recovery path is replayable: a seeded per-link drop probability injects
+// transient faults, and explicit outage windows take whole servers dark —
+// transiently (a finite window the executor's backoff can wait out) or
+// permanently (`kNeverRecovers`, which only authorization-aware failover
+// can route around).
+//
+// Time is virtual. The executor keeps a per-query microsecond clock that
+// advances only through backoff waits; outage windows are expressed on that
+// clock, so tests and benches replay byte-identical schedules with no real
+// sleeping. Drop decisions depend only on (seed, from, to, per-link attempt
+// index), never on wall clock or call interleaving across links.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+
+namespace cisqp::exec {
+
+/// Outage end marking a server that never comes back (a permanent failure).
+inline constexpr std::int64_t kNeverRecovers =
+    std::numeric_limits<std::int64_t>::max();
+
+/// One server-dark interval [start_us, end_us) in virtual query time.
+struct OutageWindow {
+  catalog::ServerId server = catalog::kInvalidId;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = kNeverRecovers;  ///< kNeverRecovers = permanent
+
+  bool permanent() const noexcept { return end_us == kNeverRecovers; }
+};
+
+struct FaultModelOptions {
+  std::uint64_t seed = 0;
+  /// Probability that one transfer attempt on any link is dropped
+  /// (a transient fault; the executor re-sends with backoff).
+  double drop_probability = 0.0;
+  std::vector<OutageWindow> outages;
+};
+
+/// What happened to one transfer attempt.
+enum class ShipOutcome : std::uint8_t {
+  kDelivered,       ///< the bytes arrived
+  kTransientFault,  ///< dropped; retrying (possibly later) may succeed
+  kServerDown,      ///< an endpoint is permanently gone; retrying cannot help
+};
+
+struct ShipFate {
+  ShipOutcome outcome = ShipOutcome::kDelivered;
+  /// The permanently-failed endpoint when outcome == kServerDown.
+  catalog::ServerId down_server = catalog::kInvalidId;
+};
+
+/// Seeded fault injector consulted by the executor on every Ship attempt.
+/// Thread-safe: concurrent executors may share one model (the per-link
+/// attempt counters serialize on a mutex), though determinism of the drop
+/// schedule is per link, not across an interleaving of queries.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultModelOptions options)
+      : options_(std::move(options)) {}
+
+  const FaultModelOptions& options() const noexcept { return options_; }
+
+  /// Decides the fate of one attempt to move bytes from `from` to `to` at
+  /// virtual time `now_us`. Outage windows dominate the link roll: a dark
+  /// server can neither send nor receive.
+  ShipFate OnShip(catalog::ServerId from, catalog::ServerId to,
+                  std::int64_t now_us);
+
+  /// True iff `server` is inside a permanent outage as of `now_us`.
+  bool IsPermanentlyDown(catalog::ServerId server,
+                         std::int64_t now_us) const;
+
+  /// All servers permanently down as of `now_us`, ascending, deduplicated —
+  /// the executor's failover exclusion set.
+  std::vector<catalog::ServerId> PermanentlyDown(std::int64_t now_us) const;
+
+ private:
+  FaultModelOptions options_;
+  mutable std::mutex mu_;  ///< guards attempts_
+  std::map<std::pair<catalog::ServerId, catalog::ServerId>, std::uint64_t>
+      attempts_;
+};
+
+/// Textual fault schedule, e.g. from `cisqpsh --faults`:
+///
+///   seed=7,drop=0.1,down=S_N@1000..50000,kill=S_D@0
+///
+///   seed=N            rng seed (default 0)
+///   drop=P            per-attempt per-link drop probability in [0,1]
+///   down=NAME@A..B    server NAME dark over virtual [A,B) microseconds
+///   kill=NAME@A       server NAME permanently down from virtual time A
+///
+/// Server names resolve against a catalog only in `Resolve`, so the spec can
+/// be parsed before the federation is loaded.
+struct FaultSpec {
+  struct NamedOutage {
+    std::string server;
+    std::int64_t start_us = 0;
+    std::int64_t end_us = kNeverRecovers;
+  };
+
+  std::uint64_t seed = 0;
+  double drop_probability = 0.0;
+  std::vector<NamedOutage> outages;
+
+  Result<FaultModelOptions> Resolve(const catalog::Catalog& cat) const;
+};
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text);
+
+}  // namespace cisqp::exec

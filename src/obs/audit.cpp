@@ -10,6 +10,7 @@ std::string_view AuditSiteName(AuditSite site) noexcept {
     case AuditSite::kVerifier: return "verifier";
     case AuditSite::kExecutor: return "executor";
     case AuditSite::kRequestor: return "requestor";
+    case AuditSite::kFailover: return "failover";
   }
   return "unknown";
 }

@@ -93,11 +93,19 @@ class PlannerRun {
 
   bool CanView(const authz::Profile& profile, catalog::ServerId server,
                int node_id, const char* role,
-               obs::AuditSite site = obs::AuditSite::kPlanner) {
+               std::optional<obs::AuditSite> site = std::nullopt) {
     ++can_view_calls_;
     CISQP_METRIC_INC("planner.canview_probes");
-    return authz::AuditedCanView(cat_, auths_, profile, server, site, node_id,
+    return authz::AuditedCanView(cat_, auths_, profile, server,
+                                 site.value_or(options_.audit_site), node_id,
                                  role);
+  }
+
+  /// True iff failover excluded `server` from this run (treated as gone).
+  bool Excluded(catalog::ServerId server) const {
+    return std::find(options_.excluded_servers.begin(),
+                     options_.excluded_servers.end(),
+                     server) != options_.excluded_servers.end();
   }
 
   /// Post-order traversal; returns false when some node has no candidate
@@ -111,9 +119,16 @@ class PlannerRun {
       case plan::PlanOp::kRelation: {
         state.profile = authz::Profile::OfBaseRelation(cat_, node.relation);
         const catalog::ServerId home = cat_.relation(node.relation).server;
-        state.candidates.push_back(
-            Candidate{home, FromChild::kSelf, 0, ExecutionMode::kLocal,
-                      std::nullopt});
+        if (Excluded(home)) {
+          // The relation's only holder is gone; no candidate can exist.
+          state.rejections.push_back(CandidateRejection{
+              home, FromChild::kSelf, ExecutionMode::kLocal,
+              "home server excluded (down)", state.profile});
+        } else {
+          state.candidates.push_back(
+              Candidate{home, FromChild::kSelf, 0, ExecutionMode::kLocal,
+                        std::nullopt});
+        }
         break;
       }
       case plan::PlanOp::kProject: {
@@ -255,6 +270,7 @@ class PlannerRun {
     // full can execute the join as a proxy master.
     if (state.candidates.empty() && options_.allow_third_party) {
       for (catalog::ServerId t = 0; t < cat_.server_count(); ++t) {
+        if (Excluded(t)) continue;
         if (probe(views.right_full_view, t, FromChild::kThird,
                   ExecutionMode::kRegularJoin, "proxy") &&
             probe(views.left_full_view, t, FromChild::kThird,

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "authz/authorization.hpp"
+#include "obs/audit.hpp"
 #include "planner/assignment.hpp"
 #include "planner/mode_views.hpp"
 
@@ -37,6 +39,17 @@ struct SafePlannerOptions {
   /// When set, the plan is feasible only if this server may additionally
   /// view the root result profile (the party issuing the query).
   std::optional<catalog::ServerId> requestor;
+
+  /// Servers treated as nonexistent during candidate selection — the
+  /// executor's failover path replans over the surviving federation by
+  /// listing the permanently-failed servers here. A leaf whose home server
+  /// is excluded makes the plan infeasible: its base data is gone.
+  std::vector<catalog::ServerId> excluded_servers;
+
+  /// Audit site recorded for every CanView probe of this run. The default
+  /// is the planner site; the executor's failover replan tags its probes
+  /// kFailover so mid-recovery decisions are distinguishable in the log.
+  obs::AuditSite audit_site = obs::AuditSite::kPlanner;
 };
 
 /// Successful planning output.

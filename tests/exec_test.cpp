@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/executor.hpp"
+#include "obs/metrics.hpp"
 #include "planner/safe_planner.hpp"
 #include "sql/binder.hpp"
 #include "test_util.hpp"
@@ -148,6 +149,35 @@ TEST_F(ExecTest, RuntimeEnforcementStopsUnsafeTransfer) {
   ASSERT_OK_AND_ASSIGN(ExecutionResult lax_result, executor.Execute(plan_, unsafe, lax));
   ASSERT_OK_AND_ASSIGN(storage::Table reference, ExecuteCentralized(*cluster_, plan_));
   EXPECT_TRUE(storage::Table::SameRowMultiset(lax_result.table, reference));
+}
+
+TEST_F(ExecTest, MidPlanDenialStopsAllLaterTransfers) {
+  // A denial in the middle of an execution must (a) fail the query with a
+  // typed kUnauthorized, (b) count one enforcement denial, and (c) leave no
+  // transfer after the denied one in the network log. Delivery to S_N is
+  // the denied release (rule 14 lacks Physician), so the three plan
+  // transfers complete and the fourth — the delivery — never happens.
+  obs::MetricsRegistry::Get().Reset();
+  obs::MetricsRegistry::Get().Enable();
+  NetworkStats observed;
+  ExecutionOptions options;
+  options.requestor = Server(fix_.cat, "S_N");
+  options.network_out = &observed;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  const auto result = executor.Execute(plan_, assignment_, options);
+  obs::MetricsRegistry::Get().Disable();
+
+  EXPECT_EQ(result.status().code(), StatusCode::kUnauthorized);
+  EXPECT_EQ(obs::MetricsRegistry::Get().Counter("exec.enforcement_denials"),
+            1u);
+  // Exactly the three in-plan transfers; the denied delivery was never
+  // recorded, and nothing shipped after it.
+  ASSERT_EQ(observed.total_messages(), 3u);
+  for (const TransferRecord& t : observed.transfers()) {
+    EXPECT_FALSE(t.node_id == 0 && t.to == Server(fix_.cat, "S_N"))
+        << "denied delivery appears in the transfer log";
+  }
+  EXPECT_EQ(observed.transfers().back().node_id, 1);  // semi-join step 4
 }
 
 TEST_F(ExecTest, RequestorDeliveryShipsAndChecks) {

@@ -1,0 +1,435 @@
+// Fault-injected execution: seeded fault schedules must either recover to a
+// result byte-identical to the fault-free run — without ever widening a
+// release (Def. 3.3 re-checked on every replanned transfer) — or fail with
+// a typed kUnavailable. The schedules are deterministic (FaultModel), so
+// every recovery path here replays exactly.
+//
+// CI runs this suite across 3 fixed seeds; $CISQP_FAULT_SEED overrides the
+// built-in seed list with a single seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exec/executor.hpp"
+#include "exec/fault_model.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "plan/builder.hpp"
+#include "planner/safe_planner.hpp"
+#include "sql/binder.hpp"
+#include "test_util.hpp"
+#include "workload/medical.hpp"
+
+namespace cisqp::exec {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+using cisqp::testing::Server;
+
+std::vector<std::uint64_t> SeedsUnderTest() {
+  const char* env = std::getenv("CISQP_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return {static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10))};
+  }
+  return {7, 19, 2027};
+}
+
+// ---------------------------------------------------------------------------
+// FaultSpec parsing.
+
+TEST(FaultSpecTest, ParsesFullSpec) {
+  auto spec = ParseFaultSpec("seed=42,drop=0.25,down=S_N@1000..5000,kill=S_I@0");
+  ASSERT_OK(spec.status());
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_DOUBLE_EQ(spec->drop_probability, 0.25);
+  ASSERT_EQ(spec->outages.size(), 2u);
+  EXPECT_EQ(spec->outages[0].server, "S_N");
+  EXPECT_EQ(spec->outages[0].start_us, 1000);
+  EXPECT_EQ(spec->outages[0].end_us, 5000);
+  EXPECT_EQ(spec->outages[1].server, "S_I");
+  EXPECT_EQ(spec->outages[1].end_us, kNeverRecovers);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"seed", "drop=1.5", "drop=x", "down=S_N", "down=S_N@5..5",
+        "down=S_N@9..2", "kill=@0", "frob=1", "seed=-3"}) {
+    EXPECT_FALSE(ParseFaultSpec(bad).ok()) << bad;
+  }
+}
+
+TEST(FaultSpecTest, ResolveMapsServerNames) {
+  MedicalFixture fix;
+  auto spec = ParseFaultSpec("kill=S_N@10");
+  ASSERT_OK(spec.status());
+  auto options = spec->Resolve(fix.cat);
+  ASSERT_OK(options.status());
+  ASSERT_EQ(options->outages.size(), 1u);
+  EXPECT_EQ(options->outages[0].server, Server(fix.cat, "S_N"));
+  EXPECT_FALSE(ParseFaultSpec("kill=NoSuch@10")->Resolve(fix.cat).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel determinism.
+
+TEST(FaultModelTest, DropScheduleIsSeedDeterministic) {
+  FaultModelOptions options;
+  options.seed = 99;
+  options.drop_probability = 0.5;
+  FaultModel a(options);
+  FaultModel b(options);
+  bool any_drop = false;
+  bool any_delivery = false;
+  for (int i = 0; i < 64; ++i) {
+    const ShipFate fa = a.OnShip(0, 1, 0);
+    const ShipFate fb = b.OnShip(0, 1, 0);
+    EXPECT_EQ(fa.outcome, fb.outcome) << "attempt " << i;
+    any_drop |= fa.outcome == ShipOutcome::kTransientFault;
+    any_delivery |= fa.outcome == ShipOutcome::kDelivered;
+  }
+  EXPECT_TRUE(any_drop);
+  EXPECT_TRUE(any_delivery);
+}
+
+TEST(FaultModelTest, OutageWindowsDominateTheLink) {
+  FaultModelOptions options;
+  options.outages.push_back(OutageWindow{1, 100, 200});
+  options.outages.push_back(OutageWindow{2, 50, kNeverRecovers});
+  FaultModel model(options);
+  EXPECT_EQ(model.OnShip(0, 1, 0).outcome, ShipOutcome::kDelivered);
+  EXPECT_EQ(model.OnShip(0, 1, 150).outcome, ShipOutcome::kTransientFault);
+  EXPECT_EQ(model.OnShip(1, 0, 150).outcome, ShipOutcome::kTransientFault);
+  EXPECT_EQ(model.OnShip(0, 1, 200).outcome, ShipOutcome::kDelivered);
+  const ShipFate dead = model.OnShip(0, 2, 60);
+  EXPECT_EQ(dead.outcome, ShipOutcome::kServerDown);
+  EXPECT_EQ(dead.down_server, 2);
+  EXPECT_TRUE(model.IsPermanentlyDown(2, 60));
+  EXPECT_FALSE(model.IsPermanentlyDown(2, 10));
+  EXPECT_FALSE(model.IsPermanentlyDown(1, 150));
+  EXPECT_EQ(model.PermanentlyDown(60), std::vector<catalog::ServerId>{2});
+  EXPECT_TRUE(model.PermanentlyDown(0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery on the paper's federation.
+
+class FaultedExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(fix_.cat);
+    Rng rng(2026);
+    ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+        *cluster_, workload::MedicalScenario::DataConfig{500, 0.4, 0.6, 30},
+        rng));
+    plan_ = fix_.PaperPlan();
+    planner::SafePlanner planner(fix_.cat, fix_.auths);
+    auto sp = planner.Plan(plan_);
+    ASSERT_OK(sp.status());
+    assignment_ = sp->assignment;
+    DistributedExecutor executor(*cluster_, fix_.auths);
+    auto baseline = executor.Execute(plan_, assignment_);
+    ASSERT_OK(baseline.status());
+    baseline_ = std::move(*baseline);
+  }
+
+  MedicalFixture fix_;
+  std::unique_ptr<Cluster> cluster_;
+  plan::QueryPlan plan_;
+  planner::Assignment assignment_;
+  ExecutionResult baseline_;
+};
+
+TEST_F(FaultedExecTest, SeededDropsRecoverByteIdenticalOrFailTyped) {
+  obs::AuthzAuditLog::Get().Enable();
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  bool any_recovered_with_retries = false;
+  for (const std::uint64_t seed : SeedsUnderTest()) {
+    for (const double drop : {0.1, 0.3, 0.6}) {
+      FaultModelOptions fopts;
+      fopts.seed = seed;
+      fopts.drop_probability = drop;
+      FaultModel faults(fopts);
+      NetworkStats observed;
+      ExecutionOptions options;
+      options.faults = &faults;
+      options.network_out = &observed;
+      const auto result = executor.Execute(plan_, assignment_, options);
+      if (result.ok()) {
+        EXPECT_TRUE(
+            storage::Table::SameRowMultiset(result->table, baseline_.table));
+        EXPECT_EQ(result->result_server, baseline_.result_server);
+        EXPECT_EQ(result->network.total_messages(),
+                  baseline_.network.total_messages());
+        EXPECT_EQ(result->recovery.retries, result->recovery.transient_faults);
+        any_recovered_with_retries |= result->recovery.retries > 0;
+      } else {
+        // Faults may defeat the retry budget, but only ever as the typed
+        // unavailability error — never as an authorization failure.
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+            << result.status();
+      }
+      // In no run does a transfer reach an unauthorized server: every
+      // recorded transfer must be backed by an *allowed* executor-site
+      // audit entry for the same node and recipient (the shipped view is
+      // the Fig. 5 mode view, which only the check site knows — the audit
+      // log is the ground truth for what was released and why).
+      for (const TransferRecord& t : observed.transfers()) {
+        bool audited_allowed = false;
+        for (const obs::AuditEntry& entry :
+             obs::AuthzAuditLog::Get().entries()) {
+          if (entry.allowed && entry.node_id == t.node_id &&
+              entry.site == obs::AuditSite::kExecutor &&
+              entry.server == fix_.cat.server(t.to).name) {
+            audited_allowed = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(audited_allowed)
+            << "transfer of n" << t.node_id << " to "
+            << fix_.cat.server(t.to).name << " has no allowing audit entry";
+      }
+    }
+  }
+  EXPECT_TRUE(any_recovered_with_retries);
+  // Recovery never tripped runtime enforcement.
+  for (const obs::AuditEntry& entry : obs::AuthzAuditLog::Get().entries()) {
+    if (entry.site == obs::AuditSite::kExecutor ||
+        entry.site == obs::AuditSite::kRequestor) {
+      EXPECT_TRUE(entry.allowed) << entry.ToString();
+    }
+  }
+  obs::AuthzAuditLog::Get().Disable();
+}
+
+TEST_F(FaultedExecTest, FiniteOutageIsWaitedOutWithBackoff) {
+  // S_I is dark until virtual t=5ms; the first shipment originates there, so
+  // the executor must back off past the window and then match the baseline.
+  FaultModelOptions fopts;
+  fopts.outages.push_back(
+      OutageWindow{Server(fix_.cat, "S_I"), 0, 5000});
+  FaultModel faults(fopts);
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.retry.max_attempts = 16;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       executor.Execute(plan_, assignment_, options));
+  EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, baseline_.table));
+  EXPECT_GT(result.recovery.retries, 0u);
+  EXPECT_GE(result.recovery.backoff_wait_us, 5000);
+  EXPECT_EQ(result.recovery.failovers, 0u);
+}
+
+TEST_F(FaultedExecTest, RetryBudgetExhaustionIsTypedUnavailable) {
+  // The window outlasts a 3-attempt budget (1+2+4 ms of backoff): typed
+  // failure, and the log shows the shipments that never completed.
+  FaultModelOptions fopts;
+  fopts.outages.push_back(
+      OutageWindow{Server(fix_.cat, "S_I"), 0, 1000000});
+  FaultModel faults(fopts);
+  NetworkStats observed;
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.retry.max_attempts = 3;
+  options.network_out = &observed;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  const auto result = executor.Execute(plan_, assignment_, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(observed.total_messages(), 0u);
+}
+
+TEST_F(FaultedExecTest, DeadlineBoundsTotalBackoff) {
+  FaultModelOptions fopts;
+  fopts.drop_probability = 1.0;  // every attempt drops
+  FaultModel faults(fopts);
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.retry.max_attempts = 1000;
+  options.retry.deadline_us = 10000;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  const auto result = executor.Execute(plan_, assignment_, options);
+  ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
+}
+
+TEST_F(FaultedExecTest, DataHomeDeathIsUnrecoverable) {
+  // S_I permanently down — and it is the only holder of Insurance, so the
+  // failover replan over the survivors is infeasible at the leaf.
+  FaultModelOptions fopts;
+  fopts.outages.push_back(
+      OutageWindow{Server(fix_.cat, "S_I"), 0, kNeverRecovers});
+  FaultModel faults(fopts);
+  ExecutionOptions options;
+  options.faults = &faults;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  const auto result = executor.Execute(plan_, assignment_, options);
+  ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("replan"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Authorization-aware failover: a federation where the join must run at a
+// third party, two of which exist. Killing the chosen one must re-route to
+// the survivor; killing both must fail typed.
+
+class FailoverFixture {
+ public:
+  FailoverFixture() {
+    a_ = cat_.AddServer("A").value();
+    b_ = cat_.AddServer("B").value();
+    c_ = cat_.AddServer("C").value();
+    d_ = cat_.AddServer("D").value();
+    CISQP_CHECK(cat_.AddRelation("R", a_,
+                                 {{"RK", catalog::ValueType::kInt64},
+                                  {"RV", catalog::ValueType::kInt64}},
+                                 {"RK"})
+                    .ok());
+    CISQP_CHECK(cat_.AddRelation("S", b_,
+                                 {{"SK", catalog::ValueType::kInt64},
+                                  {"SW", catalog::ValueType::kInt64}},
+                                 {"SK"})
+                    .ok());
+    CISQP_CHECK(cat_.AddJoinEdge("RK", "SK").ok());
+    // Neither data owner may see the other side, so the join needs a proxy;
+    // C and D may both view everything (two interchangeable proxies). A
+    // regular-join proxy receives each *base* operand — an empty-path
+    // profile — so each proxy needs the per-relation rules in addition to
+    // the joined view (CanView matches join paths exactly).
+    for (const char* proxy : {"C", "D"}) {
+      CISQP_CHECK(auths_.Add(cat_, proxy, {"RK", "RV"}, {}).ok());
+      CISQP_CHECK(auths_.Add(cat_, proxy, {"SK", "SW"}, {}).ok());
+      CISQP_CHECK(auths_.Add(cat_, proxy, {"RK", "RV", "SK", "SW"},
+                             {{"RK", "SK"}})
+                      .ok());
+    }
+    cluster_ = std::make_unique<exec::Cluster>(cat_);
+    for (std::int64_t i = 0; i < 24; ++i) {
+      CISQP_CHECK(cluster_
+                      ->InsertRow(cat_.FindRelation("R").value(),
+                                  {storage::Value(i), storage::Value(i * 10)})
+                      .ok());
+      if (i % 3 == 0) {
+        CISQP_CHECK(cluster_
+                        ->InsertRow(cat_.FindRelation("S").value(),
+                                    {storage::Value(i), storage::Value(i * 7)})
+                        .ok());
+      }
+    }
+    auto spec = sql::ParseAndBind(cat_, "SELECT RV, SW FROM R JOIN S ON RK = SK");
+    CISQP_CHECK_MSG(spec.ok(), spec.status().ToString());
+    auto built = plan::PlanBuilder(cat_).Build(*spec);
+    CISQP_CHECK_MSG(built.ok(), built.status().ToString());
+    plan_ = std::move(*built);
+    planner_options_.allow_third_party = true;
+    planner::SafePlanner planner(cat_, auths_, planner_options_);
+    auto sp = planner.Plan(plan_);
+    CISQP_CHECK_MSG(sp.ok(), sp.status().ToString());
+    assignment_ = std::move(sp->assignment);
+  }
+
+  catalog::Catalog cat_;
+  authz::AuthorizationSet auths_;
+  catalog::ServerId a_, b_, c_, d_;
+  std::unique_ptr<exec::Cluster> cluster_;
+  plan::QueryPlan plan_;
+  planner::Assignment assignment_;
+  planner::SafePlannerOptions planner_options_;
+};
+
+TEST(FailoverTest, PlannerPicksTheFirstProxy) {
+  FailoverFixture fix;
+  int join_id = -1;
+  fix.plan_.ForEachPreOrder([&](const plan::PlanNode& n) {
+    if (n.op == plan::PlanOp::kJoin) join_id = n.id;
+  });
+  ASSERT_GE(join_id, 0);
+  EXPECT_EQ(fix.assignment_.Of(join_id).master, fix.c_);
+}
+
+TEST(FailoverTest, PermanentProxyDeathFailsTypedWithoutFailover) {
+  FailoverFixture fix;
+  FaultModelOptions fopts;
+  fopts.outages.push_back(OutageWindow{fix.c_, 0, kNeverRecovers});
+  FaultModel faults(fopts);
+  NetworkStats observed;
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.failover = false;
+  options.network_out = &observed;
+  DistributedExecutor executor(*fix.cluster_, fix.auths_);
+  const auto result = executor.Execute(fix.plan_, fix.assignment_, options);
+  ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("permanently down"),
+            std::string::npos);
+  EXPECT_EQ(observed.total_messages(), 0u);
+}
+
+TEST(FailoverTest, FailoverReroutesToSurvivingProxyByteIdentical) {
+  FailoverFixture fix;
+  DistributedExecutor executor(*fix.cluster_, fix.auths_);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult baseline,
+                       executor.Execute(fix.plan_, fix.assignment_));
+  EXPECT_EQ(baseline.result_server, fix.c_);
+
+  obs::MetricsRegistry::Get().Reset();
+  obs::MetricsRegistry::Get().Enable();
+  obs::AuthzAuditLog::Get().Enable();
+  FaultModelOptions fopts;
+  fopts.outages.push_back(OutageWindow{fix.c_, 0, kNeverRecovers});
+  FaultModel faults(fopts);
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.failover_planner = fix.planner_options_;
+  DistributedExecutor faulted(*fix.cluster_, fix.auths_);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       faulted.Execute(fix.plan_, fix.assignment_, options));
+  obs::MetricsRegistry::Get().Disable();
+  obs::AuthzAuditLog::Get().Disable();
+
+  // Byte-identical rows, re-routed to the surviving proxy.
+  EXPECT_TRUE(storage::Table::SameRowMultiset(result.table, baseline.table));
+  EXPECT_EQ(result.result_server, fix.d_);
+  EXPECT_EQ(result.recovery.failovers, 1u);
+  ASSERT_EQ(result.recovery.excluded_servers.size(), 1u);
+  EXPECT_EQ(result.recovery.excluded_servers[0], fix.c_);
+  EXPECT_EQ(obs::MetricsRegistry::Get().Counter("exec.failovers"), 1u);
+  EXPECT_GE(obs::MetricsRegistry::Get().Counter("exec.permanent_faults"), 1u);
+
+  // No completed transfer ever touched the dead server.
+  for (const TransferRecord& t : result.network.transfers()) {
+    EXPECT_NE(t.to, fix.c_);
+    EXPECT_NE(t.from, fix.c_);
+  }
+  // The replan audited its probes under the failover site, and every
+  // post-failover release re-passed Def. 3.3 (no executor denial).
+  std::size_t failover_probes = 0;
+  for (const obs::AuditEntry& entry : obs::AuthzAuditLog::Get().entries()) {
+    if (entry.site == obs::AuditSite::kFailover) ++failover_probes;
+    if (entry.site == obs::AuditSite::kExecutor) {
+      EXPECT_TRUE(entry.allowed);
+    }
+  }
+  EXPECT_GT(failover_probes, 0u);
+}
+
+TEST(FailoverTest, NoAuthorizedSurvivorIsTypedUnavailable) {
+  FailoverFixture fix;
+  FaultModelOptions fopts;
+  fopts.outages.push_back(OutageWindow{fix.c_, 0, kNeverRecovers});
+  fopts.outages.push_back(OutageWindow{fix.d_, 0, kNeverRecovers});
+  FaultModel faults(fopts);
+  NetworkStats observed;
+  ExecutionOptions options;
+  options.faults = &faults;
+  options.failover_planner = fix.planner_options_;
+  options.network_out = &observed;
+  DistributedExecutor executor(*fix.cluster_, fix.auths_);
+  const auto result = executor.Execute(fix.plan_, fix.assignment_, options);
+  ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("replan"), std::string::npos);
+  // The authorization boundary held: nothing was ever shipped anywhere.
+  EXPECT_EQ(observed.total_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace cisqp::exec
