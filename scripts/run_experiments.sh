@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Rebuilds the project, runs the full test suite, and regenerates every
-# experiment (E1..E14), tee-ing the artifacts next to the repository root.
+# experiment (E1..E15), tee-ing the artifacts next to the repository root.
 # Each bench binary also writes a machine-readable BENCH_<name>.json into
 # artifacts/ (via CISQP_BENCH_OUT_DIR) for downstream plotting.
 #
@@ -40,6 +40,12 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   "$b" 2>&1 | tee -a bench_output.txt
   echo | tee -a bench_output.txt
 done
+
+# E15: a bounded differential fuzz campaign; BENCH_fuzz_throughput.json
+# (scenarios/sec, oracle-vs-production wall-time ratio) lands in artifacts/.
+echo "### cisqp-fuzz (E15)" | tee -a bench_output.txt
+"$BUILD_DIR"/examples/cisqp-fuzz --seeds=500 2>&1 | tee -a bench_output.txt
+echo | tee -a bench_output.txt
 
 echo "collected artifacts:"
 ls -1 "$ARTIFACT_DIR"/BENCH_*.json 2>/dev/null || echo "  (none)"

@@ -1,6 +1,7 @@
 #include "planner/safe_planner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "authz/audit.hpp"
 #include "obs/metrics.hpp"
@@ -33,7 +34,9 @@ class PlannerRun {
   PlannerRun(const catalog::Catalog& cat, const authz::Policy& auths,
              const SafePlannerOptions& options, const plan::QueryPlan& plan)
       : cat_(cat), auths_(auths), options_(options), plan_(plan),
-        states_(static_cast<std::size_t>(plan.node_count())) {}
+        states_(static_cast<std::size_t>(plan.node_count())),
+        planted_skip_right_check_(
+            std::getenv("CISQP_FUZZ_PLANT_SKIP_RIGHT_CHECK") != nullptr) {}
 
   Result<PlanningReport> Run() {
     CISQP_TRACE_SPAN(span, "planner.safe_plan");
@@ -226,8 +229,14 @@ class PlannerRun {
         state.candidates.push_back(Candidate{c.server, FromChild::kRight,
                                              c.count + 1, ExecutionMode::kSemiJoin,
                                              slave});
-      } else if (probe(views.right_full_view, c.server, FromChild::kRight,
+      } else if (planted_skip_right_check_ ||
+                 probe(views.right_full_view, c.server, FromChild::kRight,
                        ExecutionMode::kRegularJoin, "master")) {
+        // planted_skip_right_check_ is the differential harness's seeded
+        // fault (DESIGN.md §11.4): with CISQP_FUZZ_PLANT_SKIP_RIGHT_CHECK
+        // set, a right-child master is admitted without the Def. 3.3 probe
+        // on its regular-join view. The fuzz tests assert this gets caught
+        // and minimized; it must never be set outside those tests.
         state.candidates.push_back(Candidate{c.server, FromChild::kRight,
                                              c.count + 1,
                                              ExecutionMode::kRegularJoin,
@@ -348,6 +357,8 @@ class PlannerRun {
   PlanningTrace trace_;
   std::size_t can_view_calls_ = 0;
   int blocking_node_ = -1;
+  /// Seeded fault for the differential harness; see FindJoinCandidates.
+  const bool planted_skip_right_check_;
 };
 
 }  // namespace

@@ -1,0 +1,302 @@
+#include "testcheck/harness.hpp"
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "authz/chase.hpp"
+#include "exec/executor.hpp"
+#include "obs/audit.hpp"
+#include "planner/plan_search.hpp"
+#include "planner/verifier.hpp"
+#include "testcheck/oracle.hpp"
+
+namespace cisqp::testcheck {
+namespace {
+
+/// The exhaustive minimum may differ from the heuristic's cost only by
+/// floating-point noise when they pick the same assignment.
+bool CostWithinTolerance(double oracle_min, double production) {
+  return oracle_min <= production * (1.0 + 1e-9) + 1e-6;
+}
+
+std::int64_t Timed(std::int64_t& acc, const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  acc += us;
+  return us;
+}
+
+/// Denied audit entries recorded at the runtime-enforcement sites. Denials
+/// at the planner/verifier/failover sites are normal (rejected candidates);
+/// a denial at the executor or requestor site is a blocked shipment.
+std::size_t DeniedEnforcementEntries() {
+  std::size_t denied = 0;
+  for (const obs::AuditEntry& e : obs::AuthzAuditLog::Get().entries()) {
+    if (e.allowed) continue;
+    if (e.site == obs::AuditSite::kExecutor ||
+        e.site == obs::AuditSite::kRequestor) {
+      ++denied;
+    }
+  }
+  return denied;
+}
+
+}  // namespace
+
+std::string_view MismatchKindName(MismatchKind kind) noexcept {
+  switch (kind) {
+    case MismatchKind::kChaseClosure: return "chase-closure";
+    case MismatchKind::kFeasibility: return "feasibility";
+    case MismatchKind::kCost: return "cost";
+    case MismatchKind::kUnsafePlan: return "unsafe-plan";
+    case MismatchKind::kThreadDivergence: return "thread-divergence";
+    case MismatchKind::kResultMultiset: return "result-multiset";
+    case MismatchKind::kAuditViolation: return "audit-violation";
+    case MismatchKind::kFaultSafety: return "fault-safety";
+    case MismatchKind::kPipelineError: return "pipeline-error";
+  }
+  return "unknown";
+}
+
+std::string Mismatch::ToString() const {
+  std::string out{MismatchKindName(kind)};
+  out += ": ";
+  out += detail;
+  return out;
+}
+
+std::string CheckReport::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream oss;
+  for (const Mismatch& m : mismatches) oss << m.ToString() << "\n";
+  return oss.str();
+}
+
+Result<CheckReport> CheckScenario(const Scenario& s,
+                                  const CheckOptions& options) {
+  CheckReport report;
+  const auto fail = [&](MismatchKind kind, std::string detail) {
+    report.mismatches.push_back(Mismatch{kind, std::move(detail)});
+  };
+  const catalog::Catalog& cat = s.catalog;
+
+  // --- chase arm -----------------------------------------------------------
+  authz::ChaseOptions chase_options;
+  chase_options.max_path_atoms = options.chase_max_path_atoms;
+  chase_options.threads = 1;
+  Result<authz::AuthorizationSet> chased = InternalError("unset");
+  Timed(report.production_us,
+        [&] { chased = authz::ChaseClosure(cat, s.auths, chase_options); });
+  const bool chase_capped =
+      !chased.ok() && chased.status().code() == StatusCode::kResourceExhausted;
+  if (!chased.ok() && !chase_capped) {
+    return chased.status();
+  }
+  if (chased.ok()) {
+    authz::AuthorizationSet naive;
+    Timed(report.oracle_us, [&] {
+      naive = NaiveChaseOracle(cat, s.auths, options.chase_max_path_atoms);
+    });
+    const std::multiset<std::string> got = CanonicalPolicy(cat, *chased);
+    const std::multiset<std::string> want = CanonicalPolicy(cat, naive);
+    if (got != want) {
+      std::ostringstream oss;
+      oss << "production closure has " << got.size()
+          << " canonical rules, naive fixpoint has " << want.size();
+      fail(MismatchKind::kChaseClosure, oss.str());
+    }
+    if (options.threads > 1) {
+      chase_options.threads = options.threads;
+      Result<authz::AuthorizationSet> parallel = InternalError("unset");
+      Timed(report.production_us, [&] {
+        parallel = authz::ChaseClosure(cat, s.auths, chase_options);
+      });
+      if (!parallel.ok() ||
+          CanonicalPolicy(cat, *parallel) != got) {
+        fail(MismatchKind::kThreadDivergence,
+             "chase closure differs between threads=1 and threads=" +
+                 std::to_string(options.threads));
+      }
+    }
+  }
+
+  // --- planning arms: pre-chase and post-chase policies --------------------
+  const plan::StatsCatalog stats = s.ComputeStats();
+  struct PolicyArm {
+    const char* label;
+    const authz::AuthorizationSet* policy;
+  };
+  std::vector<PolicyArm> arms{{"pre-chase", &s.auths}};
+  if (chased.ok()) arms.push_back({"post-chase", &*chased});
+
+  // The plan chosen under the post-chase policy, kept for the execution arm.
+  std::optional<planner::PlanSearchResult> chosen;
+  const authz::AuthorizationSet* chosen_policy = nullptr;
+
+  for (const PolicyArm& arm : arms) {
+    planner::PlanSearchOptions search_options;
+    search_options.max_orders = options.max_orders;
+    search_options.threads = 1;
+    const planner::FeasiblePlanSearch search(cat, *arm.policy, &stats);
+    Result<planner::PlanSearchResult> produced = InternalError("unset");
+    Timed(report.production_us,
+          [&] { produced = search.Search(s.query, search_options); });
+    bool production_feasible = false;
+    if (produced.ok()) {
+      production_feasible = true;
+    } else if (produced.status().code() != StatusCode::kInfeasible) {
+      fail(MismatchKind::kPipelineError,
+           std::string(arm.label) + " search: " + produced.status().ToString());
+      continue;
+    }
+
+    PlanOracleOptions oracle_options;
+    oracle_options.max_orders = options.max_orders;
+    Result<PlanOracleResult> oracle = InternalError("unset");
+    Timed(report.oracle_us, [&] {
+      oracle = ExhaustivePlanOracle(cat, *arm.policy, s.query, &stats,
+                                    oracle_options);
+    });
+    if (!oracle.ok()) {
+      // The enumeration guard tripped: the oracle abstains on this arm.
+      if (oracle.status().code() == StatusCode::kResourceExhausted) continue;
+      return oracle.status();
+    }
+
+    if (production_feasible != oracle->feasible) {
+      std::ostringstream oss;
+      oss << arm.label << ": production says "
+          << (production_feasible ? "feasible" : "infeasible")
+          << ", exhaustive enumeration says "
+          << (oracle->feasible ? "feasible" : "infeasible") << " ("
+          << oracle->safe_assignments << " safe assignments over "
+          << oracle->orders_examined << " orders)";
+      fail(MismatchKind::kFeasibility, oss.str());
+      continue;
+    }
+    if (!production_feasible) continue;
+
+    if (!CostWithinTolerance(oracle->min_cost_bytes, produced->estimated_bytes)) {
+      std::ostringstream oss;
+      oss << arm.label << ": exhaustive minimum " << oracle->min_cost_bytes
+          << " bytes exceeds chosen plan's " << produced->estimated_bytes
+          << " bytes — the cost models disagree";
+      fail(MismatchKind::kCost, oss.str());
+    }
+
+    const Status verdict = planner::VerifyAssignment(
+        cat, *arm.policy, produced->plan, produced->safe_plan.assignment);
+    if (!verdict.ok()) {
+      fail(MismatchKind::kUnsafePlan,
+           std::string(arm.label) +
+               ": independent verifier rejects the chosen assignment: " +
+               verdict.ToString());
+    }
+
+    if (options.threads > 1) {
+      search_options.threads = options.threads;
+      Result<planner::PlanSearchResult> parallel = InternalError("unset");
+      Timed(report.production_us,
+            [&] { parallel = search.Search(s.query, search_options); });
+      const bool same =
+          parallel.ok() &&
+          parallel->plan.ToString(cat) == produced->plan.ToString(cat) &&
+          parallel->safe_plan.assignment == produced->safe_plan.assignment &&
+          parallel->estimated_bytes == produced->estimated_bytes;
+      if (!same) {
+        fail(MismatchKind::kThreadDivergence,
+             std::string(arm.label) +
+                 ": plan search differs between threads=1 and threads=" +
+                 std::to_string(options.threads));
+      }
+    }
+
+    chosen = std::move(*produced);
+    chosen_policy = arm.policy;
+  }
+
+  report.feasible = chosen.has_value();
+  if (!options.check_execution || !chosen.has_value()) return report;
+
+  // --- execution arm -------------------------------------------------------
+  CISQP_ASSIGN_OR_RETURN(const exec::Cluster cluster, s.MakeCluster());
+  const exec::DistributedExecutor executor(cluster, *chosen_policy);
+  obs::AuthzAuditLog& audit = obs::AuthzAuditLog::Get();
+
+  Result<storage::Table> reference = InternalError("unset");
+  Timed(report.oracle_us,
+        [&] { reference = exec::ExecuteCentralized(cluster, chosen->plan); });
+  CISQP_RETURN_IF_ERROR(reference.status());
+
+  audit.Enable();
+  Result<exec::ExecutionResult> executed = InternalError("unset");
+  Timed(report.production_us, [&] {
+    executed = executor.Execute(chosen->plan, chosen->safe_plan.assignment);
+  });
+  if (executed.ok()) {
+    if (!storage::Table::SameRowMultiset(executed->table, *reference)) {
+      std::ostringstream oss;
+      oss << "distributed result has " << executed->table.row_count()
+          << " rows, reference evaluation has " << reference->row_count();
+      fail(MismatchKind::kResultMultiset, oss.str());
+    }
+    const std::size_t denied = DeniedEnforcementEntries();
+    if (denied != 0) {
+      fail(MismatchKind::kAuditViolation,
+           std::to_string(denied) +
+               " denied executor/requestor audit entries on a successful run");
+    }
+  } else if (executed.status().code() == StatusCode::kUnauthorized) {
+    fail(MismatchKind::kUnsafePlan,
+         "runtime enforcement blocked a planner-approved assignment: " +
+             executed.status().ToString());
+  } else {
+    fail(MismatchKind::kPipelineError,
+         "fault-free execution failed: " + executed.status().ToString());
+  }
+
+  // --- fault arm -----------------------------------------------------------
+  for (const std::uint64_t fault_seed : options.fault_seeds) {
+    exec::FaultModelOptions fault_options;
+    fault_options.seed = fault_seed;
+    fault_options.drop_probability = options.fault_drop_probability;
+    exec::FaultModel faults(fault_options);
+    exec::ExecutionOptions exec_options;
+    exec_options.faults = &faults;
+    audit.Enable();
+    Result<exec::ExecutionResult> faulted = InternalError("unset");
+    Timed(report.production_us, [&] {
+      faulted = executor.Execute(chosen->plan, chosen->safe_plan.assignment,
+                                 exec_options);
+    });
+    if (faulted.ok()) {
+      if (!storage::Table::SameRowMultiset(faulted->table, *reference)) {
+        fail(MismatchKind::kFaultSafety,
+             "fault seed " + std::to_string(fault_seed) +
+                 ": recovered execution returned a different row multiset");
+      }
+      const std::size_t denied = DeniedEnforcementEntries();
+      if (denied != 0) {
+        fail(MismatchKind::kFaultSafety,
+             "fault seed " + std::to_string(fault_seed) + ": " +
+                 std::to_string(denied) +
+                 " denied enforcement entries on a successful recovery");
+      }
+    } else if (faulted.status().code() != StatusCode::kUnavailable) {
+      fail(MismatchKind::kFaultSafety,
+           "fault seed " + std::to_string(fault_seed) +
+               ": expected success or kUnavailable, got " +
+               faulted.status().ToString());
+    }
+  }
+  audit.Disable();
+  return report;
+}
+
+}  // namespace cisqp::testcheck

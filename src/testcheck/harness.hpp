@@ -1,0 +1,95 @@
+// The differential check: production pipeline vs brute-force oracles over
+// one scenario (DESIGN.md §11.1).
+//
+// One CheckScenario call runs the full production path — chase closure,
+// feasibility-aware plan search, distributed execution with runtime
+// enforcement and audit — sequentially and in parallel, with and without
+// fault schedules, and asserts against the independent oracles:
+//
+//   chase      the semi-naïve parallel closure equals the naïve fixpoint
+//              (canonical minimized form), at every thread count;
+//   plan       SafePlanner-driven search and the exhaustive enumerator agree
+//              on feasibility, pre- and post-chase, and the exhaustive
+//              minimum cost never exceeds the chosen plan's cost (the greedy
+//              heuristic cannot beat the true optimum under one cost model);
+//   safety     the chosen assignment survives the independent release-based
+//              verifier, and a successful execution leaves zero denied
+//              executor/requestor audit entries;
+//   results    the distributed result multiset equals the single-site
+//              reference evaluation;
+//   faults     under every configured fault seed, execution either returns
+//              the identical multiset or a typed kUnavailable — never
+//              kUnauthorized, never wrong rows.
+//
+// Disagreements are reported as typed Mismatches, never as errors: an error
+// return means the harness itself could not run (malformed scenario), which
+// callers treat separately from a red verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testcheck/scenario.hpp"
+
+namespace cisqp::testcheck {
+
+/// What the differential check found wrong. The kind drives the minimizer's
+/// failure predicate: a candidate scenario "still fails" when it reproduces
+/// a mismatch of the same kind.
+enum class MismatchKind : std::uint8_t {
+  kChaseClosure,     ///< production closure != naïve fixpoint
+  kFeasibility,      ///< search and exhaustive enumerator disagree
+  kCost,             ///< exhaustive minimum exceeds the chosen plan's cost
+  kUnsafePlan,       ///< chosen assignment fails the release verifier
+  kThreadDivergence, ///< threads=1 and threads=N results differ
+  kResultMultiset,   ///< distributed result != reference evaluation
+  kAuditViolation,   ///< denied executor/requestor entry on a success
+  kFaultSafety,      ///< faulted run returned wrong rows or kUnauthorized
+  kPipelineError,    ///< a production stage failed with an unexpected status
+};
+
+std::string_view MismatchKindName(MismatchKind kind) noexcept;
+
+struct Mismatch {
+  MismatchKind kind = MismatchKind::kPipelineError;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct CheckOptions {
+  /// Path-length cap shared by the production chase and the naïve oracle
+  /// (both must see the same derivation space). Nonzero keeps the naïve
+  /// fixpoint polynomial on fuzz-sized schemas.
+  std::size_t chase_max_path_atoms = 3;
+  /// Join orders examined by both the production search and the oracle.
+  std::size_t max_orders = 24;
+  /// The parallel arm: every parallelizable stage additionally runs with
+  /// this thread count and must reproduce the sequential result exactly.
+  std::size_t threads = 2;
+  /// Fault schedules for the fault arm (empty disables it). Each seed runs
+  /// one execution with this per-link drop probability.
+  std::vector<std::uint64_t> fault_seeds;
+  double fault_drop_probability = 0.3;
+  /// Run the execution arms (distributed vs reference, audit, faults).
+  bool check_execution = true;
+};
+
+struct CheckReport {
+  std::vector<Mismatch> mismatches;
+  /// Production feasibility verdict under the chased policy.
+  bool feasible = false;
+  std::int64_t production_us = 0;  ///< wall time in production stages
+  std::int64_t oracle_us = 0;      ///< wall time in oracle stages
+
+  bool ok() const noexcept { return mismatches.empty(); }
+  /// One mismatch per line; "ok" when green.
+  std::string ToString() const;
+};
+
+/// Runs every differential arm over `s`. Fails only when the scenario itself
+/// is unusable; oracle disagreements come back as mismatches.
+Result<CheckReport> CheckScenario(const Scenario& s,
+                                  const CheckOptions& options = {});
+
+}  // namespace cisqp::testcheck

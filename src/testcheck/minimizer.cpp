@@ -1,0 +1,133 @@
+#include "testcheck/minimizer.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace cisqp::testcheck {
+namespace {
+
+/// Relations the query references (FROM clause); everything else is
+/// droppable without invalidating the query.
+IdSet QueryRelations(const Scenario& s) {
+  IdSet out;
+  for (const catalog::RelationId r : s.query.Relations()) out.Insert(r);
+  return out;
+}
+
+/// Attributes the query mentions anywhere (select, join atoms, where);
+/// dropping any other attribute keeps the query well formed.
+IdSet QueryAttributes(const Scenario& s) {
+  IdSet out;
+  for (const catalog::AttributeId a : s.query.select_list) out.Insert(a);
+  for (const plan::JoinStep& step : s.query.joins) {
+    for (const algebra::EquiJoinAtom& atom : step.atoms) {
+      out.Insert(atom.left);
+      out.Insert(atom.right);
+    }
+  }
+  out.UnionWith(s.query.where.ReferencedAttributes());
+  return out;
+}
+
+}  // namespace
+
+Scenario MinimizeScenario(Scenario failing, const FailurePredicate& fails,
+                          const MinimizeOptions& options,
+                          MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  const auto try_edit = [&](const ScenarioEdit& edit) {
+    if (st.candidates_tried >= options.max_candidates) return false;
+    ++st.candidates_tried;
+    Result<Scenario> candidate = ApplyEdit(failing, edit);
+    if (!candidate.ok()) return false;
+    if (!fails(*candidate)) return false;
+    ++st.candidates_accepted;
+    failing = std::move(*candidate);
+    return true;
+  };
+
+  bool shrunk = true;
+  while (shrunk && st.candidates_tried < options.max_candidates) {
+    shrunk = false;
+    ++st.passes;
+
+    // Join steps, last first: dropping a step also sheds its relation from
+    // the query, usually unlocking a relation drop below.
+    for (std::size_t i = failing.query.joins.size(); i-- > 0;) {
+      ScenarioEdit edit;
+      edit.drop_join_steps.push_back(i);
+      if (try_edit(edit)) shrunk = true;
+    }
+
+    // Relations the query no longer touches (with all their attributes'
+    // grants rewritten by ApplyEdit).
+    {
+      const IdSet used = QueryRelations(failing);
+      for (catalog::RelationId r = 0; r < failing.catalog.relation_count();
+           ++r) {
+        if (used.Contains(r)) continue;
+        ScenarioEdit edit;
+        edit.drop_relations.Insert(r);
+        if (try_edit(edit)) shrunk = true;
+      }
+    }
+
+    // Individual grants, last first (later grants are usually the random
+    // extras; the first ones are the own-relation baseline).
+    for (std::size_t i = failing.auths.size(); i-- > 0;) {
+      ScenarioEdit edit;
+      edit.drop_grants.push_back(i);
+      if (try_edit(edit)) shrunk = true;
+    }
+
+    // WHERE conjuncts and select columns (keep at least one column).
+    for (std::size_t i = failing.query.where.conjuncts().size(); i-- > 0;) {
+      ScenarioEdit edit;
+      edit.drop_where.push_back(i);
+      if (try_edit(edit)) shrunk = true;
+    }
+    for (std::size_t i = failing.query.select_list.size();
+         i-- > 0 && failing.query.select_list.size() > 1;) {
+      ScenarioEdit edit;
+      edit.drop_select.push_back(i);
+      if (try_edit(edit)) shrunk = true;
+    }
+
+    // Attributes nothing references anymore.
+    {
+      const IdSet used = QueryAttributes(failing);
+      for (catalog::AttributeId a = 0; a < failing.catalog.attribute_count();
+           ++a) {
+        if (used.Contains(a)) continue;
+        ScenarioEdit edit;
+        edit.drop_attributes.Insert(a);
+        if (try_edit(edit)) shrunk = true;
+      }
+    }
+
+    // Data: halve rows to fixpoint (stop once halving stops shedding rows).
+    {
+      const auto total_rows = [&] {
+        std::size_t n = 0;
+        for (const auto& relation_rows : failing.rows) {
+          n += relation_rows.size();
+        }
+        return n;
+      };
+      ScenarioEdit edit;
+      edit.halve_rows = true;
+      std::size_t before = total_rows();
+      while (before > 0 && try_edit(edit)) {
+        const std::size_t after = total_rows();
+        if (after >= before) break;
+        before = after;
+        shrunk = true;
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace cisqp::testcheck

@@ -1,0 +1,41 @@
+// Greedy delta-debugging minimizer (DESIGN.md §11.3).
+//
+// Given a failing scenario and a predicate that re-runs the differential
+// check, the minimizer repeatedly tries single-entity removals — join steps,
+// unreferenced relations, grants, WHERE conjuncts, select columns, unused
+// attributes, rows — keeping any candidate that still fails, until a full
+// pass removes nothing (a 1-minimal scenario under this edit vocabulary).
+// Every accepted candidate went through ApplyEdit, so the result is always a
+// well-formed scenario whose repro text replays standalone.
+#pragma once
+
+#include <functional>
+
+#include "testcheck/scenario.hpp"
+
+namespace cisqp::testcheck {
+
+/// Re-runs the differential check on a candidate; true = "still fails the
+/// same way". Implementations should match on the original mismatch *kind*
+/// so shrinking cannot drift onto an unrelated failure.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct MinimizeOptions {
+  /// Cap on predicate evaluations (each one replays the whole pipeline).
+  std::size_t max_candidates = 500;
+};
+
+struct MinimizeStats {
+  std::size_t candidates_tried = 0;
+  std::size_t candidates_accepted = 0;
+  std::size_t passes = 0;
+};
+
+/// Shrinks `failing` while `fails` keeps returning true. Returns the
+/// smallest scenario reached (at worst, `failing` itself). The input must
+/// satisfy `fails`; that is the caller's contract, not re-checked.
+Scenario MinimizeScenario(Scenario failing, const FailurePredicate& fails,
+                          const MinimizeOptions& options = {},
+                          MinimizeStats* stats = nullptr);
+
+}  // namespace cisqp::testcheck

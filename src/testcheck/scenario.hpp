@@ -1,0 +1,137 @@
+// Scenario: one self-contained differential-testing input — a federation
+// (schema + authorization policy), a query, and the data every relation
+// holds. Scenarios are the unit the fuzzing harness generates, checks,
+// shrinks, and replays.
+//
+// Three representations round-trip:
+//  * the in-memory `Scenario` (catalog + policy + query spec + rows), the
+//    form the harness and the oracles consume;
+//  * the repro text — the federation DSL plus `seed`/`row`/`query`
+//    directives — a single file `cisqp-fuzz --replay` and the corpus tests
+//    re-execute (DESIGN.md §11.3);
+//  * the `ScenarioEdit`, a set of entity removals the minimizer applies to
+//    produce smaller candidate scenarios (names are stable across a
+//    rebuild, ids are not — edits are resolved by id against the *source*
+//    scenario and the rebuilt one renumbers from scratch).
+//
+// Generation extends the `src/workload` generators: one seed draws the
+// federation, the policy, the query, and the data, so every scenario is
+// reproducible from (config, seed) alone.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "authz/authorization.hpp"
+#include "catalog/catalog.hpp"
+#include "common/rng.hpp"
+#include "exec/cluster.hpp"
+#include "plan/query_spec.hpp"
+#include "plan/stats.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::testcheck {
+
+/// Knobs of the seeded scenario generator. The defaults are the fuzzing
+/// sweet spot: small enough that the brute-force oracles finish in
+/// milliseconds, varied enough that feasible, infeasible, and
+/// chase-dependent scenarios all occur.
+struct ScenarioConfig {
+  workload::FederationConfig federation{
+      .servers = 3,
+      .relations = 4,
+      .min_attributes = 2,
+      .max_attributes = 3,
+      .extra_edge_prob = 0.3,
+      .min_domain = 3,
+      .max_domain = 12,
+  };
+  workload::QueryConfig query{
+      .relations = 3,
+      .max_select = 3,
+      .extra_atom_prob = 0.25,
+      .where_prob = 0.4,
+      .max_where = 2,
+  };
+  workload::AuthzConfig authz{
+      .grant_own_relations = true,
+      .base_grant_prob = 0.35,
+      .attribute_keep_prob = 0.8,
+      .path_grants_per_server = 2,
+      .max_path_atoms = 2,
+  };
+  workload::DataConfig data{.min_rows = 3, .max_rows = 10};
+};
+
+/// One differential-testing input, fully materialized.
+struct Scenario {
+  std::uint64_t seed = 0;
+  catalog::Catalog catalog;
+  authz::AuthorizationSet auths;
+  plan::QuerySpec query;
+  /// Rows of every base relation, indexed by relation id.
+  std::vector<std::vector<storage::Row>> rows;
+
+  /// A cluster loaded with `rows` (validated against the catalog schema).
+  Result<exec::Cluster> MakeCluster() const;
+
+  /// Exact per-relation statistics over `rows`.
+  plan::StatsCatalog ComputeStats() const;
+
+  /// Renders the self-contained repro text (DSL + seed/row/query lines).
+  std::string ToReproText() const;
+};
+
+/// Draws one scenario from `seed`. Fails (kInvalidArgument) when the drawn
+/// schema cannot support a connected query of the configured size — callers
+/// skip such seeds.
+Result<Scenario> GenerateScenario(const ScenarioConfig& config,
+                                  std::uint64_t seed);
+
+/// Parses a repro file produced by `Scenario::ToReproText` (or written by
+/// hand): federation DSL statements plus the line-oriented directives
+///
+///   seed <N>
+///   row <Relation> (v1, v2, ...);
+///   query <SQL>
+///
+/// Values are int64 literals, double literals (with '.' or exponent),
+/// double-quoted strings, or `null`.
+Result<Scenario> ParseReproText(std::string_view text);
+
+/// A batch of entity removals, resolved against the scenario it is applied
+/// to. Every container is optional; an empty edit rebuilds the scenario
+/// unchanged (useful as a canonicalization pass).
+struct ScenarioEdit {
+  IdSet drop_relations;                     ///< by relation id
+  IdSet drop_attributes;                    ///< by attribute id
+  std::vector<std::size_t> drop_grants;     ///< indices into auths.All()
+  std::vector<std::size_t> drop_join_steps; ///< indices into query.joins
+  std::vector<std::size_t> drop_select;     ///< indices into select_list
+  std::vector<std::size_t> drop_where;      ///< indices into where conjuncts
+  /// Keep only every second row of every relation.
+  bool halve_rows = false;
+
+  bool empty() const noexcept {
+    return drop_relations.empty() && drop_attributes.empty() &&
+           drop_grants.empty() && drop_join_steps.empty() &&
+           drop_select.empty() && drop_where.empty() && !halve_rows;
+  }
+};
+
+/// Rebuilds `s` without the dropped entities: the catalog is reconstructed
+/// from the surviving servers/relations/attributes (ids renumber, names are
+/// preserved), grants lose dropped attributes (a grant whose path touches a
+/// dropped attribute, or that ends up empty or invalid, is dropped whole),
+/// the query loses dropped steps/columns/conjuncts, rows lose dropped
+/// columns. Fails when the result is not a well-formed scenario (e.g. the
+/// query still references a dropped relation) — the minimizer treats that
+/// as "candidate rejected".
+Result<Scenario> ApplyEdit(const Scenario& s, const ScenarioEdit& edit);
+
+/// Deep copy (Scenario is move-only because Catalog is): an empty-edit
+/// rebuild, which reconstructs an identical scenario.
+Result<Scenario> CloneScenario(const Scenario& s);
+
+}  // namespace cisqp::testcheck

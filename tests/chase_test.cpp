@@ -1,10 +1,7 @@
 // Tests for the chase closure of implied authorizations (paper §3.2 end).
 #include <gtest/gtest.h>
 
-#include <map>
-#include <set>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "authz/chase.hpp"
@@ -12,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "test_util.hpp"
+#include "testcheck/oracle.hpp"
 #include "workload/generator.hpp"
 
 namespace cisqp::authz {
@@ -22,77 +20,11 @@ using cisqp::testing::MedicalFixture;
 using cisqp::testing::Path;
 using cisqp::testing::Server;
 
-// Reference implementation: the textbook naïve fixpoint — every ordered rule
-// pair against every schema edge, each round, until no round adds a rule.
-// Kept deliberately dumb so the optimized semi-naïve closure has an
-// independent oracle.
-AuthorizationSet NaiveReferenceChase(const catalog::Catalog& cat,
-                                     const AuthorizationSet& auths,
-                                     std::size_t max_path_atoms = 0) {
-  AuthorizationSet closed;
-  for (catalog::ServerId server = 0; server < cat.server_count(); ++server) {
-    std::vector<std::pair<IdSet, JoinPath>> rules;
-    std::map<JoinPath, std::vector<IdSet>> by_path;
-    const auto add_if_novel = [&](IdSet attrs, const JoinPath& path) {
-      std::vector<IdSet>& grants = by_path[path];
-      for (const IdSet& existing : grants) {
-        if (attrs.IsSubsetOf(existing)) return false;
-      }
-      grants.push_back(attrs);
-      rules.emplace_back(std::move(attrs), path);
-      return true;
-    };
-    for (const Authorization& auth : auths.ForServer(server)) {
-      add_if_novel(auth.attributes, auth.path);
-    }
-    bool changed = !rules.empty();
-    while (changed) {
-      changed = false;
-      const std::size_t frozen = rules.size();
-      for (std::size_t i = 0; i < frozen; ++i) {
-        for (std::size_t j = 0; j < frozen; ++j) {
-          if (i == j) continue;
-          const auto [attrs_i, path_i] = rules[i];
-          const auto [attrs_j, path_j] = rules[j];
-          for (const catalog::JoinEdge& edge : cat.join_edges()) {
-            const bool oriented = attrs_i.Contains(edge.left) &&
-                                  attrs_j.Contains(edge.right);
-            const bool reversed = attrs_i.Contains(edge.right) &&
-                                  attrs_j.Contains(edge.left);
-            if (!oriented && !reversed) continue;
-            JoinPath derived_path = JoinPath::Union(path_i, path_j);
-            derived_path.Insert(JoinAtom::Make(edge.left, edge.right));
-            if (max_path_atoms != 0 && derived_path.size() > max_path_atoms) {
-              continue;
-            }
-            if (add_if_novel(IdSet::Union(attrs_i, attrs_j), derived_path)) {
-              changed = true;
-            }
-          }
-        }
-      }
-    }
-    for (const auto& [attrs, path] : rules) {
-      const Status status = closed.Add(cat, Authorization{attrs, path, server});
-      CISQP_CHECK(status.ok() || status.code() == StatusCode::kAlreadyExists);
-    }
-  }
-  return closed;
-}
-
-// Raw closures are insertion-order sensitive (the subsumption check only
-// looks backwards), so equivalence is judged on the minimized form: for each
-// (server, path) only the maximal attribute sets remain, and those are
-// uniquely determined by the policy.
-std::multiset<std::string> CanonicalRules(const catalog::Catalog& cat,
-                                          AuthorizationSet set) {
-  set.Minimize();
-  std::multiset<std::string> out;
-  for (const Authorization& rule : set.All()) {
-    out.insert(rule.ToString(cat));
-  }
-  return out;
-}
+// The naïve-fixpoint reference and the canonical policy form moved into the
+// differential-testing library so the fuzz harness and these tests share one
+// oracle (src/testcheck/oracle.hpp).
+using testcheck::CanonicalPolicy;
+using testcheck::NaiveChaseOracle;
 
 class ChaseTest : public ::testing::Test {
  protected:
@@ -223,8 +155,8 @@ TEST_F(ChaseTest, SemiNaiveMatchesNaiveReferenceOnMedicalPolicy) {
   AuthorizationSet auths = fix_.auths;
   ASSERT_OK(auths.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
   ASSERT_OK_AND_ASSIGN(AuthorizationSet closed, ChaseClosure(fix_.cat, auths));
-  EXPECT_EQ(CanonicalRules(fix_.cat, closed),
-            CanonicalRules(fix_.cat, NaiveReferenceChase(fix_.cat, auths)));
+  EXPECT_EQ(CanonicalPolicy(fix_.cat, closed),
+            CanonicalPolicy(fix_.cat, NaiveChaseOracle(fix_.cat, auths)));
 }
 
 TEST_F(ChaseTest, SemiNaiveMatchesNaiveReferenceOnRandomizedSchemas) {
@@ -245,10 +177,10 @@ TEST_F(ChaseTest, SemiNaiveMatchesNaiveReferenceOnRandomizedSchemas) {
     options.max_path_atoms = 3;  // keep the naïve oracle tractable
     ASSERT_OK_AND_ASSIGN(AuthorizationSet closed,
                          ChaseClosure(fed.catalog, auths, options));
-    EXPECT_EQ(CanonicalRules(fed.catalog, closed),
-              CanonicalRules(fed.catalog,
-                             NaiveReferenceChase(fed.catalog, auths,
-                                                 options.max_path_atoms)))
+    EXPECT_EQ(CanonicalPolicy(fed.catalog, closed),
+              CanonicalPolicy(fed.catalog,
+                              NaiveChaseOracle(fed.catalog, auths,
+                                               options.max_path_atoms)))
         << "seed " << seed;
   }
 }

@@ -1,0 +1,188 @@
+// Metamorphic tests for the profile algebra (paper Def. 3.2, Fig. 4):
+// composition laws that must hold for *every* profile, checked over random
+// expression trees built on randomly generated federations. Unlike
+// profile_test.cpp, which pins down the Fig. 4 rules on hand-built examples,
+// these tests assert relational identities between different compositions of
+// the same operators — if any rule's implementation drifts (e.g. Project
+// forgetting to carry sigma), some law breaks on some random tree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "authz/profile.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace cisqp::authz {
+namespace {
+
+catalog::Catalog RandomCatalog(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::FederationConfig config;
+  config.servers = 3;
+  config.relations = 4;
+  config.extra_edge_prob = 0.5;  // plenty of join edges to draw paths from
+  return workload::GenerateFederation(config, rng).catalog;
+}
+
+/// Project and Select require their attribute set to come from the input
+/// schema (profile.cpp enforces it), so operands are drawn from a universe.
+IdSet RandomSubsetOf(const IdSet& universe, Rng& rng, double keep = 0.6) {
+  IdSet out;
+  for (IdSet::value_type id : universe) {
+    if (rng.Chance(keep)) out.Insert(id);
+  }
+  return out;
+}
+
+JoinPath RandomJoinPath(const catalog::Catalog& cat, Rng& rng) {
+  JoinPath path;
+  for (const catalog::JoinEdge& edge : cat.join_edges()) {
+    if (rng.Chance(0.5)) path.Insert(JoinAtom::Make(edge.left, edge.right));
+  }
+  return path;
+}
+
+/// A random composition tree over the three Fig. 4 operators, bottoming out
+/// at base-relation profiles.
+Profile RandomProfile(const catalog::Catalog& cat, Rng& rng, int depth) {
+  if (depth <= 0 || rng.Chance(0.3)) {
+    return Profile::OfBaseRelation(
+        cat, static_cast<catalog::RelationId>(
+                 rng.UniformIndex(cat.relation_count())));
+  }
+  switch (rng.UniformIndex(3)) {
+    case 0: {
+      const Profile child = RandomProfile(cat, rng, depth - 1);
+      return Profile::Project(child, RandomSubsetOf(child.pi, rng));
+    }
+    case 1: {
+      const Profile child = RandomProfile(cat, rng, depth - 1);
+      return Profile::Select(child, RandomSubsetOf(child.pi, rng));
+    }
+    default:
+      return Profile::Join(RandomProfile(cat, rng, depth - 1),
+                           RandomProfile(cat, rng, depth - 1),
+                           RandomJoinPath(cat, rng));
+  }
+}
+
+/// Runs `law` over many random (catalog, profile-tree, operand) draws.
+template <typename Law>
+void ForEachRandomTree(Law law) {
+  for (std::uint64_t cat_seed = 1; cat_seed <= 5; ++cat_seed) {
+    const catalog::Catalog cat = RandomCatalog(cat_seed);
+    Rng rng(1000 + cat_seed);
+    for (int tree = 0; tree < 40; ++tree) {
+      law(cat, rng);
+    }
+  }
+}
+
+TEST(ProfileAlgebraLaws, ProjectIsIdempotent) {
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    const IdSet x = RandomSubsetOf(p.pi, rng);
+    const Profile once = Profile::Project(p, x);
+    EXPECT_EQ(Profile::Project(once, x), once) << once.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, SelectIsIdempotent) {
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    const IdSet x = RandomSubsetOf(p.pi, rng);
+    const Profile once = Profile::Select(p, x);
+    EXPECT_EQ(Profile::Select(once, x), once) << once.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, SelectsCommute) {
+  // Rσ accumulates as a set union, so the order of two selections cannot
+  // matter.
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    const IdSet x = RandomSubsetOf(p.pi, rng);
+    const IdSet y = RandomSubsetOf(p.pi, rng);
+    EXPECT_EQ(Profile::Select(Profile::Select(p, x), y),
+              Profile::Select(Profile::Select(p, y), x))
+        << p.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, ProjectAndSelectCommuteOnProfiles) {
+  // On *profiles* σ-then-π equals π-then-σ whenever both orders are
+  // well-formed (the selection must reference retained columns, y ⊆ x):
+  // Project rewrites Rπ and carries Rσ, Select extends Rσ and carries Rπ —
+  // the two touch disjoint components.
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    const IdSet x = RandomSubsetOf(p.pi, rng);
+    const IdSet y = RandomSubsetOf(x, rng);
+    EXPECT_EQ(Profile::Project(Profile::Select(p, y), x),
+              Profile::Select(Profile::Project(p, x), y))
+        << p.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, JoinProfileIsCommutative) {
+  // Fig. 4 row 3 is a componentwise union — symmetric in its operands.
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile l = RandomProfile(cat, rng, 3);
+    const Profile r = RandomProfile(cat, rng, 3);
+    const JoinPath j = RandomJoinPath(cat, rng);
+    EXPECT_EQ(Profile::Join(l, r, j), Profile::Join(r, l, j))
+        << l.ToString(cat) << " vs " << r.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, JoinProfileIsAssociative) {
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile a = RandomProfile(cat, rng, 3);
+    const Profile b = RandomProfile(cat, rng, 3);
+    const Profile c = RandomProfile(cat, rng, 3);
+    const JoinPath j1 = RandomJoinPath(cat, rng);
+    const JoinPath j2 = RandomJoinPath(cat, rng);
+    EXPECT_EQ(Profile::Join(Profile::Join(a, b, j1), c, j2),
+              Profile::Join(a, Profile::Join(b, c, j2), j1));
+  });
+}
+
+TEST(ProfileAlgebraLaws, JoinNeverShrinksAnyComponent) {
+  // Information content only grows through a join: both operands' schema,
+  // path, and selection attributes survive into the result.
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile l = RandomProfile(cat, rng, 3);
+    const Profile r = RandomProfile(cat, rng, 3);
+    const JoinPath j = RandomJoinPath(cat, rng);
+    const Profile joined = Profile::Join(l, r, j);
+    for (const Profile* side : {&l, &r}) {
+      EXPECT_TRUE(side->pi.IsSubsetOf(joined.pi));
+      EXPECT_TRUE(side->sigma.IsSubsetOf(joined.sigma));
+      EXPECT_TRUE(side->join.IsSubsetOf(joined.join));
+    }
+    EXPECT_TRUE(j.IsSubsetOf(joined.join));
+  });
+}
+
+TEST(ProfileAlgebraLaws, ProjectToOwnSchemaIsIdentity) {
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    EXPECT_EQ(Profile::Project(p, p.pi), p) << p.ToString(cat);
+  });
+}
+
+TEST(ProfileAlgebraLaws, VisibleAttributesIsMonotoneUnderSelect) {
+  // Def. 3.3 checks Rπ ∪ Rσ against the grant: selecting can only demand
+  // more visibility, never less.
+  ForEachRandomTree([](const catalog::Catalog& cat, Rng& rng) {
+    const Profile p = RandomProfile(cat, rng, 4);
+    const IdSet x = RandomSubsetOf(p.pi, rng);
+    EXPECT_TRUE(p.VisibleAttributes().IsSubsetOf(
+        Profile::Select(p, x).VisibleAttributes()));
+  });
+}
+
+}  // namespace
+}  // namespace cisqp::authz
