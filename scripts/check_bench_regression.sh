@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI bench smoke gate for the columnar execution engine (E16).
+#
+# Runs bench_exec_kernels, then compares the freshly measured end-to-end
+# speedup (row kernels / columnar kernels) against the committed baseline in
+# bench/baselines/BENCH_exec_kernels.json. The step fails when
+#
+#   * the columnar output is not byte-identical to the row-kernel output, or
+#   * the fresh speedup drops below HALF the committed baseline speedup
+#     (a >2x regression — generous enough for noisy CI runners, tight
+#     enough to catch an accidental de-vectorization).
+#
+#   scripts/check_bench_regression.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+BENCH="$BUILD_DIR/bench/bench_exec_kernels"
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built" >&2
+  exit 1
+fi
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+# --benchmark_filter matching nothing skips the google-benchmark loops; the
+# E16 kernel table (and its artifact) is printed unconditionally by main().
+CISQP_BENCH_OUT_DIR="$OUT_DIR" "$BENCH" --benchmark_filter='^$'
+
+python3 - "$OUT_DIR/BENCH_exec_kernels.json" \
+    bench/baselines/BENCH_exec_kernels.json <<'PY'
+import json
+import sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+fresh = json.load(open(fresh_path))["rows"][0]
+baseline = json.load(open(baseline_path))["rows"][0]
+
+if not fresh["identical"]:
+    sys.exit("FAIL: columnar output is not byte-identical to the row kernels")
+
+floor = baseline["speedup"] / 2.0
+print(f"fresh speedup:    {fresh['speedup']:.2f}x "
+      f"(row {fresh['row_total_us']}us / columnar {fresh['columnar_total_us']}us)")
+print(f"baseline speedup: {baseline['speedup']:.2f}x  -> floor {floor:.2f}x")
+if fresh["speedup"] < floor:
+    sys.exit(f"FAIL: speedup {fresh['speedup']:.2f}x regressed more than 2x "
+             f"against the committed baseline {baseline['speedup']:.2f}x")
+print("OK: columnar engine within 2x of the committed baseline")
+PY

@@ -1,0 +1,502 @@
+#include "algebra/vectorized.hpp"
+
+#include <string>
+
+namespace cisqp::algebra {
+namespace {
+
+using storage::ColumnVector;
+using storage::ColumnarTable;
+using storage::SelectionVector;
+
+SelectionVector Iota(std::size_t n) {
+  SelectionVector ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+  return ids;
+}
+
+/// Seed/combine for multi-column row hashes (order-sensitive).
+std::size_t CombineCellHash(std::size_t seed, std::size_t cell_hash) noexcept {
+  HashCombine(seed, cell_hash);
+  return seed;
+}
+constexpr std::size_t kRowHashSeed = 0xcbf29ce484222325ull;
+
+constexpr std::uint32_t kChainEnd = 0xffffffffu;
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Physical row ids of the view, in view order (the common all-rows case
+/// avoids a per-access branch in the hot loops below).
+SelectionVector ViewRows(const ColumnarBatch& b) {
+  SelectionVector ids(b.row_count());
+  for (std::size_t r = 0; r < ids.size(); ++r) ids[r] = b.physical_row(r);
+  return ids;
+}
+
+/// Column-major row hashes over the view columns `cols` of `batch`, one per
+/// entry of `ids`. NULL cells hash as the NULL class (Distinct semantics);
+/// when `valid` is given, rows with a NULL in any hashed column are marked
+/// invalid instead (join-key semantics).
+std::vector<std::size_t> HashRows(const ColumnarBatch& batch,
+                                  const std::vector<std::size_t>& cols,
+                                  const SelectionVector& ids,
+                                  std::vector<char>* valid) {
+  std::vector<std::size_t> hashes(ids.size(), kRowHashSeed);
+  if (valid != nullptr) valid->assign(ids.size(), 1);
+  for (const std::size_t c : cols) {
+    const storage::ColumnVector& col = batch.physical(c);
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      if (valid != nullptr && col.IsNull(ids[r])) {
+        (*valid)[r] = 0;
+        continue;
+      }
+      hashes[r] = CombineCellHash(hashes[r], col.HashAt(ids[r]));
+    }
+  }
+  return hashes;
+}
+
+template <typename T>
+bool ApplyOp(CompareOp op, const T& a, const T& b) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a < b || a == b;  // NaN-faithful, like SqlLess
+    case CompareOp::kGt: return b < a;
+    case CompareOp::kGe: return b < a || a == b;
+  }
+  return false;
+}
+
+/// In-place selection narrowing: keeps ids where `keep(id)` holds.
+template <typename Keep>
+void Narrow(SelectionVector& ids, Keep keep) {
+  std::size_t w = 0;
+  for (const std::uint32_t id : ids) {
+    if (keep(id)) ids[w++] = id;
+  }
+  ids.resize(w);
+}
+
+/// attr-vs-literal filter. Row-kernel semantics: NULL never passes any
+/// operator; non-NULL cells of a type different from the literal's pass
+/// only `<>`.
+void FilterLiteral(const ColumnVector& col, CompareOp op,
+                   const storage::Value& lit, SelectionVector& ids) {
+  if (lit.is_null()) {
+    ids.clear();
+    return;
+  }
+  if (lit.type() != col.type()) {
+    if (op == CompareOp::kNe) {
+      Narrow(ids, [&](std::uint32_t id) { return !col.IsNull(id); });
+    } else {
+      ids.clear();
+    }
+    return;
+  }
+  switch (col.type()) {
+    case catalog::ValueType::kInt64: {
+      const std::int64_t v = lit.AsInt64();
+      Narrow(ids, [&](std::uint32_t id) {
+        return !col.IsNull(id) && ApplyOp(op, col.Int64At(id), v);
+      });
+      break;
+    }
+    case catalog::ValueType::kDouble: {
+      const double v = lit.AsDouble();
+      Narrow(ids, [&](std::uint32_t id) {
+        return !col.IsNull(id) && ApplyOp(op, col.DoubleAt(id), v);
+      });
+      break;
+    }
+    case catalog::ValueType::kString: {
+      // Evaluate the operator once per *distinct* value, then filter cells
+      // by dictionary code.
+      const std::string& v = lit.AsString();
+      const auto& dict = col.dictionary();
+      std::vector<char> pass(dict.size());
+      for (std::size_t c = 0; c < dict.size(); ++c) {
+        pass[c] = ApplyOp(op, dict[c], v) ? 1 : 0;
+      }
+      Narrow(ids, [&](std::uint32_t id) {
+        return !col.IsNull(id) && pass[col.CodeAt(id)] != 0;
+      });
+      break;
+    }
+  }
+}
+
+/// attr-vs-attr filter with the same NULL / type-mismatch semantics.
+void FilterColumns(const ColumnVector& lhs, CompareOp op,
+                   const ColumnVector& rhs, SelectionVector& ids) {
+  if (lhs.type() != rhs.type()) {
+    if (op == CompareOp::kNe) {
+      Narrow(ids, [&](std::uint32_t id) {
+        return !lhs.IsNull(id) && !rhs.IsNull(id);
+      });
+    } else {
+      ids.clear();
+    }
+    return;
+  }
+  switch (lhs.type()) {
+    case catalog::ValueType::kInt64:
+      Narrow(ids, [&](std::uint32_t id) {
+        return !lhs.IsNull(id) && !rhs.IsNull(id) &&
+               ApplyOp(op, lhs.Int64At(id), rhs.Int64At(id));
+      });
+      break;
+    case catalog::ValueType::kDouble:
+      Narrow(ids, [&](std::uint32_t id) {
+        return !lhs.IsNull(id) && !rhs.IsNull(id) &&
+               ApplyOp(op, lhs.DoubleAt(id), rhs.DoubleAt(id));
+      });
+      break;
+    case catalog::ValueType::kString:
+      Narrow(ids, [&](std::uint32_t id) {
+        return !lhs.IsNull(id) && !rhs.IsNull(id) &&
+               ApplyOp(op, lhs.StringAt(id), rhs.StringAt(id));
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+ColumnarBatch ColumnarBatch::FromTable(
+    std::shared_ptr<const ColumnarTable> table) {
+  ColumnarBatch b;
+  b.col_map_.resize(table->column_count());
+  for (std::size_t i = 0; i < b.col_map_.size(); ++i) b.col_map_[i] = i;
+  b.source_ = std::move(table);
+  return b;
+}
+
+std::vector<storage::Column> ColumnarBatch::Header() const {
+  std::vector<storage::Column> header;
+  header.reserve(col_map_.size());
+  for (const std::size_t c : col_map_) header.push_back(source_->columns()[c]);
+  return header;
+}
+
+std::optional<std::size_t> ColumnarBatch::ViewColumnIndex(
+    catalog::AttributeId attribute) const {
+  for (std::size_t c = 0; c < col_map_.size(); ++c) {
+    if (column_at(c).attribute == attribute) return c;
+  }
+  return std::nullopt;
+}
+
+bool ColumnarBatch::identity() const noexcept {
+  if (sel_ || col_map_.size() != source_->column_count()) return false;
+  for (std::size_t i = 0; i < col_map_.size(); ++i) {
+    if (col_map_[i] != i) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const ColumnarTable> ColumnarBatch::Materialize() const {
+  if (identity()) return source_;
+  const SelectionVector ids = sel_ ? *sel_ : Iota(source_->row_count());
+  std::vector<ColumnVector> cols;
+  cols.reserve(col_map_.size());
+  for (std::size_t c = 0; c < col_map_.size(); ++c) {
+    ColumnVector out(column_at(c).type);
+    out.GatherFrom(physical(c), ids);
+    cols.push_back(std::move(out));
+  }
+  return std::make_shared<ColumnarTable>(Header(), std::move(cols));
+}
+
+storage::Table ColumnarBatch::MaterializeRows() const {
+  storage::Table out(Header());
+  const std::size_t n = row_count();
+  out.Reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t id = physical_row(r);
+    storage::Row row;
+    row.reserve(col_map_.size());
+    for (std::size_t c = 0; c < col_map_.size(); ++c) {
+      row.push_back(physical(c).ValueAt(id));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<ColumnarBatch> SelectBatch(const ColumnarBatch& input,
+                                  const Predicate& predicate) {
+  // Resolve every conjunct against the view header before touching data, so
+  // a malformed predicate fails regardless of row count.
+  struct Resolved {
+    std::size_t lhs = 0;
+    const Comparison* cmp = nullptr;
+    std::optional<std::size_t> rhs_col;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(predicate.conjuncts().size());
+  for (const Comparison& c : predicate.conjuncts()) {
+    Resolved r;
+    const auto lhs = input.ViewColumnIndex(c.lhs);
+    if (!lhs) {
+      return InvalidArgumentError("predicate references attribute id " +
+                                  std::to_string(c.lhs) +
+                                  " missing from input");
+    }
+    r.lhs = *lhs;
+    r.cmp = &c;
+    if (c.rhs_is_attribute()) {
+      const auto a = std::get<catalog::AttributeId>(c.rhs);
+      const auto rhs = input.ViewColumnIndex(a);
+      if (!rhs) {
+        return InvalidArgumentError("predicate references attribute id " +
+                                    std::to_string(a) + " missing from input");
+      }
+      r.rhs_col = *rhs;
+    }
+    resolved.push_back(r);
+  }
+
+  SelectionVector ids = input.sel_ ? *input.sel_ : Iota(input.source_->row_count());
+  for (const Resolved& r : resolved) {
+    if (ids.empty()) break;
+    if (r.rhs_col) {
+      FilterColumns(input.physical(r.lhs), r.cmp->op, input.physical(*r.rhs_col),
+                    ids);
+    } else {
+      FilterLiteral(input.physical(r.lhs), r.cmp->op,
+                    std::get<storage::Value>(r.cmp->rhs), ids);
+    }
+  }
+  ColumnarBatch out;
+  out.source_ = input.source_;
+  out.col_map_ = input.col_map_;
+  out.sel_ = std::move(ids);
+  return out;
+}
+
+Result<ColumnarBatch> ProjectBatch(const ColumnarBatch& input,
+                                   const std::vector<catalog::AttributeId>& attrs,
+                                   bool distinct) {
+  if (attrs.empty()) {
+    return InvalidArgumentError("projection needs at least one attribute");
+  }
+  std::vector<std::size_t> col_map;
+  col_map.reserve(attrs.size());
+  for (const catalog::AttributeId a : attrs) {
+    const auto c = input.ViewColumnIndex(a);
+    if (!c) {
+      return InvalidArgumentError("projection attribute id " +
+                                  std::to_string(a) +
+                                  " is not a column of the input");
+    }
+    col_map.push_back(input.col_map_[*c]);
+  }
+  ColumnarBatch out;
+  out.source_ = input.source_;
+  out.col_map_ = std::move(col_map);
+  out.sel_ = input.sel_;
+  if (distinct) return DistinctBatch(out);
+  return out;
+}
+
+ColumnarBatch DistinctBatch(const ColumnarBatch& input) {
+  const std::size_t n = input.row_count();
+  const std::size_t width = input.width();
+  const SelectionVector ids = ViewRows(input);
+  std::vector<std::size_t> view_cols(width);
+  for (std::size_t c = 0; c < width; ++c) view_cols[c] = c;
+  const std::vector<std::size_t> hashes =
+      HashRows(input, view_cols, ids, /*valid=*/nullptr);
+
+  // Open-addressing set of kept rows: flat arrays, no per-bucket allocation.
+  const std::size_t cap = NextPow2(n * 2 + 1);
+  const std::size_t mask = cap - 1;
+  std::vector<std::uint32_t> slot_id(cap, kChainEnd);
+  std::vector<std::size_t> slot_hash(cap);
+  SelectionVector kept;
+  kept.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t id = ids[r];
+    const std::size_t h = hashes[r];
+    std::size_t slot = h & mask;
+    bool duplicate = false;
+    while (slot_id[slot] != kChainEnd) {
+      if (slot_hash[slot] == h) {
+        bool equal = true;
+        for (std::size_t c = 0; c < width && equal; ++c) {
+          const ColumnVector& col = input.physical(c);
+          equal = col.CellsEqual(id, col, slot_id[slot]);
+        }
+        if (equal) {
+          duplicate = true;
+          break;
+        }
+      }
+      slot = (slot + 1) & mask;
+    }
+    if (!duplicate) {
+      slot_id[slot] = id;
+      slot_hash[slot] = h;
+      kept.push_back(id);
+    }
+  }
+  ColumnarBatch out;
+  out.source_ = input.source_;
+  out.col_map_ = input.col_map_;
+  out.sel_ = std::move(kept);
+  return out;
+}
+
+namespace {
+
+/// Shared core of the two join kernels: hashes the build side's key columns
+/// (skipping NULL keys), probes in order, and returns physical-row gather
+/// lists for both inputs, in probe-major emit order.
+void HashProbe(const ColumnarBatch& build, const std::vector<std::size_t>& bidx,
+               const ColumnarBatch& probe, const std::vector<std::size_t>& pidx,
+               SelectionVector& build_ids, SelectionVector& probe_ids) {
+  const std::size_t bn = build.row_count();
+  const std::size_t keys = bidx.size();
+  const SelectionVector bids = ViewRows(build);
+  std::vector<char> bvalid;
+  const std::vector<std::size_t> bhash = HashRows(build, bidx, bids, &bvalid);
+
+  // Bucket-chained hash table over flat arrays: `head` per bucket, `next`
+  // per build row. Chains are threaded in reverse so traversal yields build
+  // rows in insertion order — the row kernel's emit order.
+  const std::size_t cap = NextPow2(bn * 2 + 1);
+  const std::size_t mask = cap - 1;
+  std::vector<std::uint32_t> head(cap, kChainEnd);
+  std::vector<std::uint32_t> next(bn, kChainEnd);
+  for (std::size_t r = bn; r-- > 0;) {
+    if (!bvalid[r]) continue;
+    const std::size_t slot = bhash[r] & mask;
+    next[r] = head[slot];
+    head[slot] = static_cast<std::uint32_t>(r);
+  }
+
+  const SelectionVector pids = ViewRows(probe);
+  std::vector<char> pvalid;
+  const std::vector<std::size_t> phash = HashRows(probe, pidx, pids, &pvalid);
+  for (std::size_t r = 0; r < pids.size(); ++r) {
+    if (!pvalid[r]) continue;
+    const std::size_t h = phash[r];
+    const std::uint32_t id = pids[r];
+    for (std::uint32_t e = head[h & mask]; e != kChainEnd; e = next[e]) {
+      if (bhash[e] != h) continue;
+      bool equal = true;
+      for (std::size_t k = 0; k < keys && equal; ++k) {
+        equal = build.physical(bidx[k]).CellsEqual(
+            bids[e], probe.physical(pidx[k]), id);
+      }
+      if (equal) {
+        build_ids.push_back(bids[e]);
+        probe_ids.push_back(id);
+      }
+    }
+  }
+}
+
+/// Gathers one output column per (batch view column, gather list) pair.
+void GatherColumns(const ColumnarBatch& batch, const SelectionVector& ids,
+                   const std::vector<std::size_t>& view_cols,
+                   std::vector<ColumnVector>& out) {
+  for (const std::size_t c : view_cols) {
+    ColumnVector col(batch.column_at(c).type);
+    col.GatherFrom(batch.physical(c), ids);
+    out.push_back(std::move(col));
+  }
+}
+
+std::vector<std::size_t> AllViewColumns(const ColumnarBatch& b) {
+  std::vector<std::size_t> cols(b.width());
+  for (std::size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  return cols;
+}
+
+}  // namespace
+
+Result<ColumnarBatch> JoinBatches(const ColumnarBatch& left,
+                                  const ColumnarBatch& right,
+                                  const std::vector<EquiJoinAtom>& atoms) {
+  if (atoms.empty()) {
+    return InvalidArgumentError("equi-join needs at least one atom");
+  }
+  std::vector<std::size_t> lidx;
+  std::vector<std::size_t> ridx;
+  for (const EquiJoinAtom& atom : atoms) {
+    const auto li = left.ViewColumnIndex(atom.left);
+    const auto ri = right.ViewColumnIndex(atom.right);
+    if (!li || !ri) {
+      return InvalidArgumentError(
+          "join atom references attributes missing from operands");
+    }
+    lidx.push_back(*li);
+    ridx.push_back(*ri);
+  }
+
+  // Build on the smaller side, probe with the larger (row-kernel heuristic;
+  // keeping it identical pins the output row order).
+  const bool build_left = left.row_count() <= right.row_count();
+  SelectionVector lids;
+  SelectionVector rids;
+  if (build_left) {
+    HashProbe(left, lidx, right, ridx, lids, rids);
+  } else {
+    HashProbe(right, ridx, left, lidx, rids, lids);
+  }
+
+  std::vector<storage::Column> header = left.Header();
+  const std::vector<storage::Column> right_header = right.Header();
+  header.insert(header.end(), right_header.begin(), right_header.end());
+  std::vector<ColumnVector> cols;
+  cols.reserve(header.size());
+  GatherColumns(left, lids, AllViewColumns(left), cols);
+  GatherColumns(right, rids, AllViewColumns(right), cols);
+  return ColumnarBatch::FromTable(
+      std::make_shared<ColumnarTable>(std::move(header), std::move(cols)));
+}
+
+Result<ColumnarBatch> NaturalJoinBatches(const ColumnarBatch& left,
+                                         const ColumnarBatch& right) {
+  std::vector<std::size_t> lidx;
+  std::vector<std::size_t> ridx;
+  std::vector<std::size_t> right_extra;  ///< right view cols not shared
+  for (std::size_t rc = 0; rc < right.width(); ++rc) {
+    const auto li = left.ViewColumnIndex(right.column_at(rc).attribute);
+    if (li) {
+      lidx.push_back(*li);
+      ridx.push_back(rc);
+    } else {
+      right_extra.push_back(rc);
+    }
+  }
+  if (lidx.empty()) {
+    return InvalidArgumentError(
+        "natural join requires at least one shared attribute");
+  }
+
+  // Build on the right, probe the left in order (row-kernel output order).
+  SelectionVector rids;
+  SelectionVector lids;
+  HashProbe(right, ridx, left, lidx, rids, lids);
+
+  std::vector<storage::Column> header = left.Header();
+  for (const std::size_t rc : right_extra) header.push_back(right.column_at(rc));
+  std::vector<ColumnVector> cols;
+  cols.reserve(header.size());
+  GatherColumns(left, lids, AllViewColumns(left), cols);
+  GatherColumns(right, rids, right_extra, cols);
+  return ColumnarBatch::FromTable(
+      std::make_shared<ColumnarTable>(std::move(header), std::move(cols)));
+}
+
+}  // namespace cisqp::algebra

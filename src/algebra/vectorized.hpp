@@ -1,0 +1,108 @@
+// Vectorized relational kernels over columnar batches (DESIGN.md §12).
+//
+// A ColumnarBatch is a (possibly lazy) view of a ColumnarTable: a column map
+// (which source columns the view exposes, in order) plus an optional
+// selection vector (which source rows, in order). The kernels compose views
+// without touching cell data — σ narrows the selection, π remaps the column
+// map — and only joins and explicit Materialize calls gather cells, once,
+// into a fresh ColumnarTable. Row-at-a-time semantics are preserved exactly
+// (output order included); src/testcheck/row_kernels keeps the original
+// row implementations as the differential oracle.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "algebra/operators.hpp"
+#include "storage/column.hpp"
+
+namespace cisqp::algebra {
+
+/// A lazy projection of selected rows of a shared columnar table.
+class ColumnarBatch {
+ public:
+  ColumnarBatch() = default;
+
+  /// The identity view of `table` (all columns, all rows).
+  static ColumnarBatch FromTable(
+      std::shared_ptr<const storage::ColumnarTable> table);
+
+  bool valid() const noexcept { return source_ != nullptr; }
+  std::size_t width() const noexcept { return col_map_.size(); }
+  std::size_t row_count() const noexcept {
+    return sel_ ? sel_->size() : source_->row_count();
+  }
+
+  /// Header entry of view column `c`.
+  const storage::Column& column_at(std::size_t c) const {
+    return source_->columns()[col_map_[c]];
+  }
+  /// The view's header, in view column order.
+  std::vector<storage::Column> Header() const;
+
+  /// First view column carrying `attribute`, if any.
+  std::optional<std::size_t> ViewColumnIndex(
+      catalog::AttributeId attribute) const;
+
+  /// Physical column backing view column `c`.
+  const storage::ColumnVector& physical(std::size_t c) const {
+    return source_->column(col_map_[c]);
+  }
+  /// Physical row id of view row `r`.
+  std::uint32_t physical_row(std::size_t r) const noexcept {
+    return sel_ ? (*sel_)[r] : static_cast<std::uint32_t>(r);
+  }
+
+  /// True when the view is the whole source table unchanged.
+  bool identity() const noexcept;
+
+  /// The view as a self-contained ColumnarTable. Identity views return the
+  /// shared source without copying; everything else gathers each column once.
+  std::shared_ptr<const storage::ColumnarTable> Materialize() const;
+
+  /// The view as a row Table (the external compatibility surface).
+  storage::Table MaterializeRows() const;
+
+ private:
+  friend Result<ColumnarBatch> SelectBatch(const ColumnarBatch&,
+                                           const Predicate&);
+  friend Result<ColumnarBatch> ProjectBatch(
+      const ColumnarBatch&, const std::vector<catalog::AttributeId>&, bool);
+  friend ColumnarBatch DistinctBatch(const ColumnarBatch&);
+
+  std::shared_ptr<const storage::ColumnarTable> source_;
+  std::vector<std::size_t> col_map_;
+  std::optional<storage::SelectionVector> sel_;
+};
+
+/// σ: narrows the selection vector to rows satisfying `predicate`; never
+/// copies cells. Same SQL NULL semantics as the row kernel.
+Result<ColumnarBatch> SelectBatch(const ColumnarBatch& input,
+                                  const Predicate& predicate);
+
+/// π: remaps the column map (zero-copy); with `distinct`, additionally
+/// narrows the selection to first occurrences (hashing raw column data).
+Result<ColumnarBatch> ProjectBatch(const ColumnarBatch& input,
+                                   const std::vector<catalog::AttributeId>& attrs,
+                                   bool distinct = false);
+
+/// ⋈: hash equi-join on raw column data. Builds on the smaller input, emits
+/// a gather list in probe order, and materializes the output once. Output
+/// header and row order match the row kernel exactly.
+Result<ColumnarBatch> JoinBatches(const ColumnarBatch& left,
+                                  const ColumnarBatch& right,
+                                  const std::vector<EquiJoinAtom>& atoms);
+
+/// Natural join on every shared attribute; shared columns appear once (from
+/// the left). Builds on the right, probes the left in order (row-kernel
+/// output order).
+Result<ColumnarBatch> NaturalJoinBatches(const ColumnarBatch& left,
+                                         const ColumnarBatch& right);
+
+/// Removes duplicate view rows, keeping first occurrences (NULLs compare
+/// equal, as in the row kernel).
+ColumnarBatch DistinctBatch(const ColumnarBatch& input);
+
+}  // namespace cisqp::algebra

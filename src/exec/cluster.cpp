@@ -12,6 +12,10 @@ Status Cluster::LoadTable(catalog::RelationId rel, storage::Table table) {
                                 cat_.relation(rel).name + "'");
   }
   tables_[rel] = std::move(table);
+  {
+    const std::lock_guard<std::mutex> lock(*columnar_mu_);
+    columnar_[rel].reset();
+  }
   return Status::Ok();
 }
 
@@ -20,13 +24,29 @@ Status Cluster::InsertRow(catalog::RelationId rel, storage::Row row) {
     return NotFoundError("unknown relation id " + std::to_string(rel));
   }
   if (!tables_[rel]) tables_[rel] = storage::Table::ForRelation(cat_, rel);
-  return tables_[rel]->AppendRow(std::move(row));
+  CISQP_RETURN_IF_ERROR(tables_[rel]->AppendRow(std::move(row)));
+  {
+    const std::lock_guard<std::mutex> lock(*columnar_mu_);
+    columnar_[rel].reset();
+  }
+  return Status::Ok();
 }
 
 const storage::Table& Cluster::TableOf(catalog::RelationId rel) const {
   CISQP_CHECK_MSG(rel < cat_.relation_count(), "unknown relation id " << rel);
   if (!tables_[rel]) tables_[rel] = storage::Table::ForRelation(cat_, rel);
   return *tables_[rel];
+}
+
+std::shared_ptr<const storage::ColumnarTable> Cluster::ColumnarOf(
+    catalog::RelationId rel) const {
+  const storage::Table& table = TableOf(rel);
+  const std::lock_guard<std::mutex> lock(*columnar_mu_);
+  if (!columnar_[rel]) {
+    columnar_[rel] = std::make_shared<const storage::ColumnarTable>(
+        storage::ColumnarTable::FromRows(table));
+  }
+  return columnar_[rel];
 }
 
 }  // namespace cisqp::exec

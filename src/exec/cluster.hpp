@@ -5,10 +5,13 @@
 // Loading validates the table header against the catalog schema.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "catalog/catalog.hpp"
+#include "storage/column.hpp"
 #include "storage/table.hpp"
 
 namespace cisqp::exec {
@@ -16,7 +19,7 @@ namespace cisqp::exec {
 class Cluster {
  public:
   explicit Cluster(const catalog::Catalog& cat)
-      : cat_(cat), tables_(cat.relation_count()) {}
+      : cat_(cat), tables_(cat.relation_count()), columnar_(cat.relation_count()) {}
 
   const catalog::Catalog& catalog() const noexcept { return cat_; }
 
@@ -30,6 +33,11 @@ class Cluster {
   /// The instance of `rel`; an empty correctly-headed table when never loaded.
   const storage::Table& TableOf(catalog::RelationId rel) const;
 
+  /// Columnar form of `rel`'s table, built lazily on first use and shared by
+  /// every plan that scans the relation. Invalidated by LoadTable/InsertRow.
+  std::shared_ptr<const storage::ColumnarTable> ColumnarOf(
+      catalog::RelationId rel) const;
+
   /// True iff `rel` currently has at least one row.
   bool HasData(catalog::RelationId rel) const {
     return rel < tables_.size() && tables_[rel].has_value() &&
@@ -39,6 +47,12 @@ class Cluster {
  private:
   const catalog::Catalog& cat_;
   mutable std::vector<std::optional<storage::Table>> tables_;
+  /// Lazily-built columnar views of tables_, guarded for the parallel plan
+  /// search which evaluates candidate plans from worker threads. The mutex
+  /// lives behind a pointer so Cluster stays movable.
+  mutable std::unique_ptr<std::mutex> columnar_mu_ =
+      std::make_unique<std::mutex>();
+  mutable std::vector<std::shared_ptr<const storage::ColumnarTable>> columnar_;
 };
 
 }  // namespace cisqp::exec

@@ -1,8 +1,9 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <memory>
 
-#include "algebra/operators.hpp"
+#include "algebra/vectorized.hpp"
 #include "authz/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -10,16 +11,13 @@
 namespace cisqp::exec {
 namespace {
 
-/// An intermediate result and the server currently holding it. Base
-/// relations are *borrowed* from the cluster (multi-join plans would
-/// otherwise copy O(|R|) per scan); computed results are owned.
+/// An intermediate result and the server currently holding it. Batches are
+/// views over shared columnar tables: a leaf borrows the cluster-resident
+/// columnar form without copying, σ/π stay zero-copy views, and only joins
+/// and shipments materialize.
 struct Located {
-  storage::Table owned;
-  /// Non-null for a leaf: the cluster-resident base table, never copied.
-  const storage::Table* base = nullptr;
+  algebra::ColumnarBatch batch;
   catalog::ServerId server = catalog::kInvalidId;
-
-  const storage::Table& table() const { return base != nullptr ? *base : owned; }
 };
 
 class Run {
@@ -34,9 +32,16 @@ class Run {
   Result<ExecutionResult> Execute(const plan::PlanNode& root) {
     Result<ExecutionResult> result = ExecuteWithRecovery(root);
     if (options_.network_out != nullptr) {
-      // Publish the transfer log even when execution failed: enforcement
-      // and fault tests assert what was — and was not — shipped.
-      *options_.network_out = result.ok() ? result->network : std::move(network_);
+      if (result.ok()) {
+        // On success the transfer log already moved into result->network;
+        // leave the failure-path sink empty instead of duplicating the log
+        // (per-transfer descriptions and all) into a second copy.
+        *options_.network_out = NetworkStats{};
+      } else {
+        // Publish the transfer log when execution failed: enforcement and
+        // fault tests assert what was — and was not — shipped.
+        *options_.network_out = std::move(network_);
+      }
     }
     return result;
   }
@@ -72,13 +77,7 @@ class Run {
     if (!located.ok()) return located.status();
 
     ExecutionResult result;
-    // A root leaf borrows the base table and must copy it out; a computed
-    // root moves.
-    if (located->base != nullptr) {
-      result.table = *located->base;
-    } else {
-      result.table = std::move(located->owned);
-    }
+    result.table = located->batch.MaterializeRows();
     result.result_server = located->server;
     result.network = std::move(network_);
     result.load = std::move(load_);
@@ -103,10 +102,11 @@ class Run {
   Result<Located> ExecOnce(const plan::PlanNode& root) {
     CISQP_ASSIGN_OR_RETURN(Located located, Exec(root));
     if (options_.requestor && *options_.requestor != located.server) {
-      CISQP_RETURN_IF_ERROR(Ship(root.id, located.server, *options_.requestor,
-                                 located.table(), ProfileOf(root.id),
-                                 "final result delivered to requestor",
-                                 obs::AuditSite::kRequestor));
+      CISQP_RETURN_IF_ERROR(ShipBatch(root.id, located.server,
+                                      *options_.requestor, located.batch,
+                                      ProfileOf(root.id),
+                                      "final result delivered to requestor",
+                                      obs::AuditSite::kRequestor));
       located.server = *options_.requestor;
     }
     return located;
@@ -214,13 +214,25 @@ class Run {
     }
   }
 
+  /// Ships `batch` after materializing it, and rebinds the batch to the
+  /// materialized table so downstream operators reuse the shipped form
+  /// instead of re-gathering the view.
+  Status ShipBatch(int node_id, catalog::ServerId from, catalog::ServerId to,
+                   algebra::ColumnarBatch& batch, const authz::Profile& profile,
+                   std::string description,
+                   obs::AuditSite site = obs::AuditSite::kExecutor) {
+    std::shared_ptr<const storage::ColumnarTable> wire = batch.Materialize();
+    batch = algebra::ColumnarBatch::FromTable(wire);
+    return Ship(node_id, from, to, *wire, profile, std::move(description), site);
+  }
+
   /// Moves `table` from one server to another: accounts the transfer and,
   /// under enforcement, checks (and audits) that the receiver may view
   /// `profile`. The Def. 3.3 check runs before any delivery attempt — a
   /// denied transfer is never even offered to the network.
   Status Ship(int node_id, catalog::ServerId from, catalog::ServerId to,
-              const storage::Table& table, const authz::Profile& profile,
-              std::string description,
+              const storage::ColumnarTable& table,
+              const authz::Profile& profile, std::string description,
               obs::AuditSite site = obs::AuditSite::kExecutor) {
     CISQP_CHECK_MSG(from != to, "Ship called for a colocated transfer");
     CISQP_TRACE_SPAN(span, "exec.ship");
@@ -271,7 +283,8 @@ class Run {
                                       " not assigned to its home server");
         }
         Located leaf;
-        leaf.base = &cluster_.TableOf(node.relation);
+        leaf.batch = algebra::ColumnarBatch::FromTable(
+            cluster_.ColumnarOf(node.relation));
         leaf.server = home;
         return leaf;
       }
@@ -283,10 +296,10 @@ class Run {
         }
         const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
-            storage::Table out,
-            algebra::Project(child.table(), node.projection, node.distinct));
+            algebra::ColumnarBatch out,
+            algebra::ProjectBatch(child.batch, node.projection, node.distinct));
         Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), nullptr, child.server};
+        return Located{std::move(out), child.server};
       }
       case plan::PlanOp::kSelect: {
         CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
@@ -295,10 +308,10 @@ class Run {
                                       " must run at its operand's server");
         }
         const std::int64_t t0 = obs::NowMicros();
-        CISQP_ASSIGN_OR_RETURN(storage::Table out,
-                               algebra::Select(child.table(), node.predicate));
+        CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch out,
+                               algebra::SelectBatch(child.batch, node.predicate));
         Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), nullptr, child.server};
+        return Located{std::move(out), child.server};
       }
       case plan::PlanOp::kJoin:
         return ExecJoin(node, ex);
@@ -323,30 +336,39 @@ class Run {
         // The operand not computed by the master ships in full (Fig. 5 rows
         // [Sl,NULL] / [Sr,NULL]); a third-party master receives both.
         if (left.server != ex.master) {
-          CISQP_RETURN_IF_ERROR(Ship(node.id, left.server, ex.master,
-                                     left.table(), lp,
-                                     "regular join: left operand"));
+          CISQP_RETURN_IF_ERROR(ShipBatch(node.id, left.server, ex.master,
+                                          left.batch, lp,
+                                          "regular join: left operand"));
         }
         if (right.server != ex.master) {
-          CISQP_RETURN_IF_ERROR(Ship(node.id, right.server, ex.master,
-                                     right.table(), rp,
-                                     "regular join: right operand"));
+          CISQP_RETURN_IF_ERROR(ShipBatch(node.id, right.server, ex.master,
+                                          right.batch, rp,
+                                          "regular join: right operand"));
         }
         const std::int64_t t0 = obs::NowMicros();
-        CISQP_ASSIGN_OR_RETURN(storage::Table out,
-                               algebra::HashJoin(left.table(), right.table(),
-                                                 node.join_atoms));
+        CISQP_ASSIGN_OR_RETURN(
+            algebra::ColumnarBatch out,
+            algebra::JoinBatches(left.batch, right.batch, node.join_atoms));
         Account(ex.master, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), nullptr, ex.master};
+        return Located{std::move(out), ex.master};
       }
       case planner::ExecutionMode::kSemiJoin: {
         if (!ex.slave) {
           return InvalidArgumentError("semi-join n" + std::to_string(node.id) +
                                       " without a slave");
         }
+        if (*ex.slave == ex.master) {
+          // A malformed assignment, not a crash: the 5-step protocol ships
+          // between master and slave, and Ship CHECK-fails on a colocated
+          // transfer. Reject before any step runs.
+          return InvalidArgumentError(
+              "semi-join n" + std::to_string(node.id) +
+              " slave must differ from its master ('" +
+              cat().server(ex.master).name + "')");
+        }
         const bool master_is_left = ex.origin == planner::FromChild::kLeft;
-        const Located& master_op = master_is_left ? left : right;
-        const Located& slave_op = master_is_left ? right : left;
+        Located& master_op = master_is_left ? left : right;
+        Located& slave_op = master_is_left ? right : left;
         if (master_op.server != ex.master || slave_op.server != *ex.slave) {
           return InvalidArgumentError(
               "semi-join n" + std::to_string(node.id) +
@@ -359,12 +381,13 @@ class Run {
             master_is_left ? views.left_join_attrs.end() : views.right_join_attrs.end());
         const std::int64_t t1 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
-            storage::Table projected,
-            algebra::Project(master_op.table(), master_join_cols, /*distinct=*/true));
+            algebra::ColumnarBatch projected,
+            algebra::ProjectBatch(master_op.batch, master_join_cols,
+                                  /*distinct=*/true));
         Account(ex.master, projected.row_count(), obs::NowMicros() - t1);
 
         // Step 2: ship it to the slave.
-        CISQP_RETURN_IF_ERROR(Ship(
+        CISQP_RETURN_IF_ERROR(ShipBatch(
             node.id, ex.master, *ex.slave, projected,
             master_is_left ? views.right_slave_view : views.left_slave_view,
             "semi-join step 2: master join-attribute projection"));
@@ -377,12 +400,13 @@ class Run {
           for (algebra::EquiJoinAtom& atom : atoms) std::swap(atom.left, atom.right);
         }
         const std::int64_t t3 = obs::NowMicros();
-        CISQP_ASSIGN_OR_RETURN(storage::Table reduced,
-                               algebra::HashJoin(projected, slave_op.table(), atoms));
+        CISQP_ASSIGN_OR_RETURN(
+            algebra::ColumnarBatch reduced,
+            algebra::JoinBatches(projected, slave_op.batch, atoms));
         Account(*ex.slave, reduced.row_count(), obs::NowMicros() - t3);
 
         // Step 4: ship the reduced operand back to the master.
-        CISQP_RETURN_IF_ERROR(Ship(
+        CISQP_RETURN_IF_ERROR(ShipBatch(
             node.id, *ex.slave, ex.master, reduced,
             master_is_left ? views.left_master_view : views.right_master_view,
             "semi-join step 4: reduced slave operand"));
@@ -390,8 +414,8 @@ class Run {
         // Step 5: the master completes the join on the shared join columns.
         const std::int64_t t5 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
-            storage::Table joined,
-            algebra::NaturalJoinOnShared(master_op.table(), reduced));
+            algebra::ColumnarBatch joined,
+            algebra::NaturalJoinBatches(master_op.batch, reduced));
 
         // Restore the canonical left++right column order expected upstream.
         std::vector<catalog::AttributeId> out_cols =
@@ -399,10 +423,10 @@ class Run {
         const std::vector<catalog::AttributeId> right_cols =
             node.right->OutputAttributes(cat());
         out_cols.insert(out_cols.end(), right_cols.begin(), right_cols.end());
-        CISQP_ASSIGN_OR_RETURN(storage::Table out,
-                               algebra::Project(joined, out_cols));
+        CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch out,
+                               algebra::ProjectBatch(joined, out_cols));
         Account(ex.master, out.row_count(), obs::NowMicros() - t5);
-        return Located{std::move(out), nullptr, ex.master};
+        return Located{std::move(out), ex.master};
       }
     }
     return InternalError("unknown execution mode");
@@ -420,27 +444,28 @@ class Run {
   std::int64_t clock_us_ = 0;  ///< virtual query time (advanced by backoff)
 };
 
-Result<storage::Table> CentralizedRec(const Cluster& cluster,
-                                      const plan::PlanNode& node) {
+Result<algebra::ColumnarBatch> CentralizedRec(const Cluster& cluster,
+                                              const plan::PlanNode& node) {
   switch (node.op) {
     case plan::PlanOp::kRelation:
-      return cluster.TableOf(node.relation);
+      return algebra::ColumnarBatch::FromTable(
+          cluster.ColumnarOf(node.relation));
     case plan::PlanOp::kProject: {
-      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+      CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch child,
                              CentralizedRec(cluster, *node.left));
-      return algebra::Project(child, node.projection, node.distinct);
+      return algebra::ProjectBatch(child, node.projection, node.distinct);
     }
     case plan::PlanOp::kSelect: {
-      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+      CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch child,
                              CentralizedRec(cluster, *node.left));
-      return algebra::Select(child, node.predicate);
+      return algebra::SelectBatch(child, node.predicate);
     }
     case plan::PlanOp::kJoin: {
-      CISQP_ASSIGN_OR_RETURN(storage::Table left,
+      CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch left,
                              CentralizedRec(cluster, *node.left));
-      CISQP_ASSIGN_OR_RETURN(storage::Table right,
+      CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch right,
                              CentralizedRec(cluster, *node.right));
-      return algebra::HashJoin(left, right, node.join_atoms);
+      return algebra::JoinBatches(left, right, node.join_atoms);
     }
   }
   return InternalError("unknown plan operator");
@@ -464,7 +489,9 @@ Result<storage::Table> ExecuteCentralized(const Cluster& cluster,
                                           const plan::QueryPlan& plan) {
   if (plan.empty()) return InvalidArgumentError("empty plan");
   CISQP_RETURN_IF_ERROR(plan.Validate(cluster.catalog()));
-  return CentralizedRec(cluster, *plan.root());
+  CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch out,
+                         CentralizedRec(cluster, *plan.root()));
+  return out.MaterializeRows();
 }
 
 }  // namespace cisqp::exec

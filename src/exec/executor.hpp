@@ -72,9 +72,11 @@ struct ExecutionOptions {
   /// The executor adds the dead-server exclusions, the requestor above, and
   /// the kFailover audit site itself.
   planner::SafePlannerOptions failover_planner;
-  /// When set, receives the transfer log even on a failed execution —
+  /// When set, receives the transfer log of a FAILED execution —
   /// ExecutionResult only exists on success, but enforcement tests must be
-  /// able to assert what was (not) shipped before the error.
+  /// able to assert what was (not) shipped before the error. On success the
+  /// log lives solely in ExecutionResult::network and this sink is cleared,
+  /// never left holding a duplicate copy of the log.
   NetworkStats* network_out = nullptr;
 };
 

@@ -16,11 +16,21 @@ Table Table::ForRelation(const catalog::Catalog& cat, catalog::RelationId rel) {
   return Table(std::move(cols));
 }
 
-std::optional<std::size_t> Table::ColumnIndex(catalog::AttributeId attribute) const noexcept {
+void Table::BuildColumnIndex() {
+  column_index_.clear();
+  column_index_.reserve(columns_.size());
   for (std::size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].attribute == attribute) return i;
+    column_index_.emplace_back(columns_[i].attribute, i);
   }
-  return std::nullopt;
+  std::sort(column_index_.begin(), column_index_.end());
+}
+
+std::optional<std::size_t> Table::ColumnIndex(catalog::AttributeId attribute) const noexcept {
+  const auto it = std::lower_bound(
+      column_index_.begin(), column_index_.end(),
+      std::make_pair(attribute, std::size_t{0}));
+  if (it == column_index_.end() || it->first != attribute) return std::nullopt;
+  return it->second;
 }
 
 IdSet Table::AttributeSet() const {
@@ -55,23 +65,43 @@ std::size_t Table::WireSizeBytes() const noexcept {
   return total;
 }
 
+namespace {
+
+bool RowTotalLess(const Row& a, const Row& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = a[i].CompareTotal(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+std::vector<std::size_t> SortedRowPermutation(const std::vector<Row>& rows) {
+  std::vector<std::size_t> perm(rows.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&rows](std::size_t x, std::size_t y) {
+    return RowTotalLess(rows[x], rows[y]);
+  });
+  return perm;
+}
+
+}  // namespace
+
 Table Table::Canonicalized() const {
   Table out = *this;
-  std::sort(out.rows_.begin(), out.rows_.end(), [](const Row& a, const Row& b) {
-    const std::size_t n = std::min(a.size(), b.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      const int c = a[i].CompareTotal(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  });
+  std::sort(out.rows_.begin(), out.rows_.end(), RowTotalLess);
   return out;
 }
 
 bool Table::SameRowMultiset(const Table& a, const Table& b) {
   if (a.columns_ != b.columns_) return false;
   if (a.row_count() != b.row_count()) return false;
-  return a.Canonicalized().rows_ == b.Canonicalized().rows_;
+  const std::vector<std::size_t> pa = SortedRowPermutation(a.rows_);
+  const std::vector<std::size_t> pb = SortedRowPermutation(b.rows_);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (!(a.rows_[pa[i]] == b.rows_[pb[i]])) return false;
+  }
+  return true;
 }
 
 std::string Table::ToDisplayString(const catalog::Catalog& cat,

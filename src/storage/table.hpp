@@ -28,7 +28,9 @@ struct Column {
 class Table {
  public:
   Table() = default;
-  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {}
+  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {
+    BuildColumnIndex();
+  }
 
   /// Builds an empty table with the schema of base relation `rel`.
   static Table ForRelation(const catalog::Catalog& cat, catalog::RelationId rel);
@@ -41,7 +43,8 @@ class Table {
   const std::vector<Row>& rows() const noexcept { return rows_; }
   const Row& row(std::size_t i) const { CISQP_CHECK(i < rows_.size()); return rows_[i]; }
 
-  /// Column index carrying `attribute`, if present.
+  /// First column carrying `attribute`, if present — resolved against the
+  /// index precomputed at construction, not by scanning the header.
   std::optional<std::size_t> ColumnIndex(catalog::AttributeId attribute) const noexcept;
 
   /// The set of attribute ids in the header.
@@ -63,6 +66,7 @@ class Table {
   Table Canonicalized() const;
 
   /// True iff both tables have identical headers and equal row multisets.
+  /// Compares via sorted row-index permutations — no table or row copies.
   static bool SameRowMultiset(const Table& a, const Table& b);
 
   /// Renders an aligned ASCII table (examples / debugging).
@@ -70,8 +74,13 @@ class Table {
                               std::size_t max_rows = 20) const;
 
  private:
+  void BuildColumnIndex();
+
   std::vector<Column> columns_;
   std::vector<Row> rows_;
+  /// (attribute, column) pairs sorted by attribute then column, so the first
+  /// hit of a binary search is the first occurrence in the header.
+  std::vector<std::pair<catalog::AttributeId, std::size_t>> column_index_;
 };
 
 }  // namespace cisqp::storage

@@ -12,6 +12,7 @@
 #include "planner/plan_search.hpp"
 #include "planner/verifier.hpp"
 #include "testcheck/oracle.hpp"
+#include "testcheck/row_kernels.hpp"
 
 namespace cisqp::testcheck {
 namespace {
@@ -229,9 +230,11 @@ Result<CheckReport> CheckScenario(const Scenario& s,
   const exec::DistributedExecutor executor(cluster, *chosen_policy);
   obs::AuthzAuditLog& audit = obs::AuthzAuditLog::Get();
 
+  // The oracle runs the retained row-at-a-time kernels, so every seed also
+  // differentially validates the columnar engine the executor now runs on.
   Result<storage::Table> reference = InternalError("unset");
   Timed(report.oracle_us,
-        [&] { reference = exec::ExecuteCentralized(cluster, chosen->plan); });
+        [&] { reference = ReferenceEvaluate(cluster, chosen->plan); });
   CISQP_RETURN_IF_ERROR(reference.status());
 
   audit.Enable();

@@ -1,0 +1,246 @@
+#include "testcheck/row_kernels.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cisqp::testcheck {
+namespace {
+
+/// Hashable key for a tuple of join-column cells.
+struct KeyHash {
+  std::size_t operator()(const storage::Row& key) const noexcept {
+    return storage::HashRow(key);
+  }
+};
+
+struct KeyEq {
+  bool operator()(const storage::Row& a, const storage::Row& b) const noexcept {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Join keys never match on NULL (SQL semantics); NULL keys are filtered
+      // out before insertion, so plain equality suffices here.
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+bool HasNull(const storage::Row& key) noexcept {
+  for (const storage::Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+storage::Row ExtractKey(const storage::Row& row,
+                        const std::vector<std::size_t>& idx) {
+  storage::Row key;
+  key.reserve(idx.size());
+  for (std::size_t i : idx) key.push_back(row[i]);
+  return key;
+}
+
+}  // namespace
+
+Result<storage::Table> RowProject(const storage::Table& input,
+                                  const std::vector<catalog::AttributeId>& attrs,
+                                  bool distinct) {
+  if (attrs.empty()) return InvalidArgumentError("projection needs at least one attribute");
+  std::vector<std::size_t> idx;
+  std::vector<storage::Column> cols;
+  idx.reserve(attrs.size());
+  cols.reserve(attrs.size());
+  for (catalog::AttributeId a : attrs) {
+    const auto i = input.ColumnIndex(a);
+    if (!i) {
+      return InvalidArgumentError("projection attribute id " + std::to_string(a) +
+                                  " is not a column of the input");
+    }
+    idx.push_back(*i);
+    cols.push_back(input.columns()[*i]);
+  }
+  storage::Table out(std::move(cols));
+  out.Reserve(input.row_count());
+  for (const storage::Row& row : input.rows()) {
+    out.AppendRowUnchecked(ExtractKey(row, idx));
+  }
+  if (distinct) return RowDistinct(out);
+  return out;
+}
+
+Result<storage::Table> RowSelect(const storage::Table& input,
+                                 const algebra::Predicate& predicate) {
+  storage::Table out(input.columns());
+  out.Reserve(input.row_count());
+  for (const storage::Row& row : input.rows()) {
+    CISQP_ASSIGN_OR_RETURN(bool keep, predicate.Evaluate(input, row));
+    if (keep) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<storage::Table> RowHashJoin(const storage::Table& left,
+                                   const storage::Table& right,
+                                   const std::vector<algebra::EquiJoinAtom>& atoms) {
+  if (atoms.empty()) return InvalidArgumentError("equi-join needs at least one atom");
+  std::vector<std::size_t> lidx;
+  std::vector<std::size_t> ridx;
+  for (const algebra::EquiJoinAtom& atom : atoms) {
+    const auto li = left.ColumnIndex(atom.left);
+    const auto ri = right.ColumnIndex(atom.right);
+    if (!li || !ri) {
+      return InvalidArgumentError("join atom references attributes missing from operands");
+    }
+    lidx.push_back(*li);
+    ridx.push_back(*ri);
+  }
+
+  // Build on the smaller side, probe with the larger.
+  const bool build_left = left.row_count() <= right.row_count();
+  const storage::Table& build = build_left ? left : right;
+  const storage::Table& probe = build_left ? right : left;
+  const std::vector<std::size_t>& bidx = build_left ? lidx : ridx;
+  const std::vector<std::size_t>& pidx = build_left ? ridx : lidx;
+
+  std::unordered_map<storage::Row, std::vector<std::size_t>, KeyHash, KeyEq> ht;
+  ht.reserve(build.row_count());
+  for (std::size_t r = 0; r < build.row_count(); ++r) {
+    storage::Row key = ExtractKey(build.row(r), bidx);
+    if (HasNull(key)) continue;
+    ht[std::move(key)].push_back(r);
+  }
+
+  std::vector<storage::Column> cols = left.columns();
+  cols.insert(cols.end(), right.columns().begin(), right.columns().end());
+  storage::Table out(std::move(cols));
+
+  for (std::size_t pr = 0; pr < probe.row_count(); ++pr) {
+    storage::Row key = ExtractKey(probe.row(pr), pidx);
+    if (HasNull(key)) continue;
+    const auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (std::size_t br : it->second) {
+      const storage::Row& lrow = build_left ? build.row(br) : probe.row(pr);
+      const storage::Row& rrow = build_left ? probe.row(pr) : build.row(br);
+      storage::Row joined;
+      joined.reserve(lrow.size() + rrow.size());
+      joined.insert(joined.end(), lrow.begin(), lrow.end());
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.AppendRowUnchecked(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<storage::Table> RowNaturalJoinOnShared(const storage::Table& left,
+                                              const storage::Table& right) {
+  std::vector<std::size_t> lidx;
+  std::vector<std::size_t> ridx;
+  std::vector<bool> right_is_shared(right.column_count(), false);
+  for (std::size_t rc = 0; rc < right.column_count(); ++rc) {
+    const auto li = left.ColumnIndex(right.columns()[rc].attribute);
+    if (li) {
+      lidx.push_back(*li);
+      ridx.push_back(rc);
+      right_is_shared[rc] = true;
+    }
+  }
+  if (lidx.empty()) {
+    return InvalidArgumentError("natural join requires at least one shared attribute");
+  }
+
+  std::unordered_map<storage::Row, std::vector<std::size_t>, KeyHash, KeyEq> ht;
+  ht.reserve(right.row_count());
+  for (std::size_t r = 0; r < right.row_count(); ++r) {
+    storage::Row key = ExtractKey(right.row(r), ridx);
+    if (HasNull(key)) continue;
+    ht[std::move(key)].push_back(r);
+  }
+
+  std::vector<storage::Column> cols = left.columns();
+  for (std::size_t rc = 0; rc < right.column_count(); ++rc) {
+    if (!right_is_shared[rc]) cols.push_back(right.columns()[rc]);
+  }
+  storage::Table out(std::move(cols));
+
+  for (std::size_t lr = 0; lr < left.row_count(); ++lr) {
+    storage::Row key = ExtractKey(left.row(lr), lidx);
+    if (HasNull(key)) continue;
+    const auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (std::size_t rr : it->second) {
+      storage::Row joined = left.row(lr);
+      const storage::Row& rrow = right.row(rr);
+      for (std::size_t rc = 0; rc < rrow.size(); ++rc) {
+        if (!right_is_shared[rc]) joined.push_back(rrow[rc]);
+      }
+      out.AppendRowUnchecked(std::move(joined));
+    }
+  }
+  return out;
+}
+
+storage::Table RowDistinct(const storage::Table& input) {
+  // Hash row *indices* into the input instead of storing a second copy of
+  // every kept row (the historical kernel copied each row twice: once into
+  // the seen-set, once into the output).
+  struct IndexHash {
+    const storage::Table* table;
+    std::size_t operator()(std::size_t i) const noexcept {
+      return storage::HashRow(table->row(i));
+    }
+  };
+  struct IndexEq {
+    const storage::Table* table;
+    bool operator()(std::size_t a, std::size_t b) const noexcept {
+      return KeyEq{}(table->row(a), table->row(b));
+    }
+  };
+  std::unordered_set<std::size_t, IndexHash, IndexEq> seen(
+      /*bucket_count=*/input.row_count() + 1, IndexHash{&input},
+      IndexEq{&input});
+  storage::Table out(input.columns());
+  for (std::size_t r = 0; r < input.row_count(); ++r) {
+    if (seen.insert(r).second) out.AppendRowUnchecked(input.row(r));
+  }
+  return out;
+}
+
+namespace {
+
+Result<storage::Table> ReferenceRec(const exec::Cluster& cluster,
+                                    const plan::PlanNode& node) {
+  switch (node.op) {
+    case plan::PlanOp::kRelation:
+      return cluster.TableOf(node.relation);
+    case plan::PlanOp::kProject: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+                             ReferenceRec(cluster, *node.left));
+      return RowProject(child, node.projection, node.distinct);
+    }
+    case plan::PlanOp::kSelect: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table child,
+                             ReferenceRec(cluster, *node.left));
+      return RowSelect(child, node.predicate);
+    }
+    case plan::PlanOp::kJoin: {
+      CISQP_ASSIGN_OR_RETURN(storage::Table left,
+                             ReferenceRec(cluster, *node.left));
+      CISQP_ASSIGN_OR_RETURN(storage::Table right,
+                             ReferenceRec(cluster, *node.right));
+      return RowHashJoin(left, right, node.join_atoms);
+    }
+  }
+  return InternalError("unknown plan operator");
+}
+
+}  // namespace
+
+Result<storage::Table> ReferenceEvaluate(const exec::Cluster& cluster,
+                                         const plan::QueryPlan& plan) {
+  if (plan.empty()) return InvalidArgumentError("empty plan");
+  CISQP_RETURN_IF_ERROR(plan.Validate(cluster.catalog()));
+  return ReferenceRec(cluster, *plan.root());
+}
+
+}  // namespace cisqp::testcheck

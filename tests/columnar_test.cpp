@@ -1,0 +1,378 @@
+// Kernel-equivalence tests: the columnar engine vs the retained row kernels.
+//
+// The vectorized kernels (algebra/vectorized) must reproduce the row
+// kernels' output *exactly* — same header, same rows, same row order — on
+// every input, including the corners the sweep fixed bugs around: NULL join
+// keys, duplicate projection attributes, empty inputs, and distinct chained
+// after project. Randomized tables drive both engines through the
+// compatibility operator API and through the batch API directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "algebra/operators.hpp"
+#include "algebra/vectorized.hpp"
+#include "storage/column.hpp"
+#include "test_util.hpp"
+#include "testcheck/row_kernels.hpp"
+
+namespace cisqp::algebra {
+namespace {
+
+using storage::Column;
+using storage::ColumnarTable;
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+constexpr catalog::AttributeId kA = 1;
+constexpr catalog::AttributeId kB = 2;
+constexpr catalog::AttributeId kC = 3;
+constexpr catalog::AttributeId kD = 4;
+
+Table MakeTable(std::vector<Column> header, std::vector<Row> rows) {
+  Table t(std::move(header));
+  for (Row& r : rows) CISQP_CHECK(t.AppendRow(std::move(r)).ok());
+  return t;
+}
+
+/// Exact equality: header, row count, and cell-wise CompareTotal == 0 (so
+/// NULL == NULL and NaN == NaN, unlike Value::operator==).
+void ExpectExactlyEqual(const Table& got, const Table& want) {
+  ASSERT_EQ(got.columns(), want.columns());
+  ASSERT_EQ(got.row_count(), want.row_count());
+  for (std::size_t r = 0; r < got.row_count(); ++r) {
+    for (std::size_t c = 0; c < got.column_count(); ++c) {
+      EXPECT_EQ(got.row(r)[c].CompareTotal(want.row(r)[c]), 0)
+          << "row " << r << " col " << c << ": " << got.row(r)[c].ToString()
+          << " vs " << want.row(r)[c].ToString();
+    }
+  }
+}
+
+Value RandomCell(std::mt19937& rng, catalog::ValueType type, double null_prob) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng) < null_prob) return Value();
+  switch (type) {
+    case catalog::ValueType::kInt64:
+      return Value(std::int64_t{std::uniform_int_distribution<int>(0, 6)(rng)});
+    case catalog::ValueType::kDouble:
+      return Value(0.5 * std::uniform_int_distribution<int>(0, 6)(rng));
+    case catalog::ValueType::kString: {
+      static const char* kPool[] = {"", "a", "b", "gold", "silver", "flu"};
+      return Value(kPool[std::uniform_int_distribution<int>(0, 5)(rng)]);
+    }
+  }
+  return Value();
+}
+
+Table RandomTable(std::mt19937& rng, std::vector<Column> header,
+                  std::size_t rows, double null_prob = 0.2) {
+  Table t(std::move(header));
+  t.Reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.reserve(t.column_count());
+    for (const Column& c : t.columns()) {
+      row.push_back(RandomCell(rng, c.type, null_prob));
+    }
+    CISQP_CHECK(t.AppendRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+std::vector<Column> MixedHeader() {
+  return {Column{kA, catalog::ValueType::kInt64},
+          Column{kB, catalog::ValueType::kString},
+          Column{kC, catalog::ValueType::kDouble}};
+}
+
+// --- round trip & wire size ------------------------------------------------
+
+TEST(ColumnarTableTest, RoundTripPreservesRowsAndOrder) {
+  std::mt19937 rng(7);
+  const Table t = RandomTable(rng, MixedHeader(), 64, /*null_prob=*/0.3);
+  const ColumnarTable ct = ColumnarTable::FromRows(t);
+  EXPECT_EQ(ct.row_count(), t.row_count());
+  ExpectExactlyEqual(ct.MaterializeRows(), t);
+}
+
+TEST(ColumnarTableTest, CachedWireSizeMatchesRowFormula) {
+  std::mt19937 rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const Table t = RandomTable(rng, MixedHeader(), 32, /*null_prob=*/0.25);
+    EXPECT_EQ(ColumnarTable::FromRows(t).WireSizeBytes(), t.WireSizeBytes());
+  }
+  const Table empty(MixedHeader());
+  EXPECT_EQ(ColumnarTable::FromRows(empty).WireSizeBytes(), 0u);
+}
+
+TEST(ColumnarTableTest, IdentityBatchMaterializeSharesTheSource) {
+  std::mt19937 rng(3);
+  auto source = std::make_shared<const ColumnarTable>(
+      ColumnarTable::FromRows(RandomTable(rng, MixedHeader(), 8)));
+  const ColumnarBatch batch = ColumnarBatch::FromTable(source);
+  EXPECT_TRUE(batch.identity());
+  EXPECT_EQ(batch.Materialize().get(), source.get());
+}
+
+// --- storage satellite fixes -----------------------------------------------
+
+TEST(TableIndexTest, ColumnIndexReturnsFirstOccurrence) {
+  // Join outputs can carry the same attribute twice; the precomputed map
+  // must resolve to the first column like the old linear scan did.
+  const Table t({Column{kB, catalog::ValueType::kInt64},
+                 Column{kA, catalog::ValueType::kString},
+                 Column{kA, catalog::ValueType::kInt64}});
+  EXPECT_EQ(t.ColumnIndex(kA), std::size_t{1});
+  EXPECT_EQ(t.ColumnIndex(kB), std::size_t{0});
+  EXPECT_EQ(t.ColumnIndex(kC), std::nullopt);
+  EXPECT_EQ(Table().ColumnIndex(kA), std::nullopt);
+}
+
+TEST(TableMultisetTest, SameRowMultisetComparesPermutations) {
+  const std::vector<Column> header = MixedHeader();
+  const Table a = MakeTable(header, {{Value(std::int64_t{1}), Value("x"), Value(1.5)},
+                                     {Value(), Value("y"), Value()},
+                                     {Value(std::int64_t{1}), Value("x"), Value(1.5)}});
+  const Table b = MakeTable(header, {{Value(), Value("y"), Value()},
+                                     {Value(std::int64_t{1}), Value("x"), Value(1.5)},
+                                     {Value(std::int64_t{1}), Value("x"), Value(1.5)}});
+  EXPECT_TRUE(Table::SameRowMultiset(a, b));
+  EXPECT_TRUE(Table::SameRowMultiset(a, a));
+
+  // Same row *set*, different multiplicities: not the same multiset.
+  const Table c = MakeTable(header, {{Value(std::int64_t{1}), Value("x"), Value(1.5)},
+                                     {Value(), Value("y"), Value()},
+                                     {Value(), Value("y"), Value()}});
+  EXPECT_FALSE(Table::SameRowMultiset(a, c));
+
+  // Row-count and header mismatches short-circuit.
+  EXPECT_FALSE(Table::SameRowMultiset(a, Table(header)));
+  EXPECT_FALSE(Table::SameRowMultiset(
+      a, MakeTable({Column{kD, catalog::ValueType::kInt64}},
+                   {{Value(std::int64_t{1})}, {Value(std::int64_t{2})},
+                    {Value(std::int64_t{3})}})));
+}
+
+// --- kernel equivalence: project -------------------------------------------
+
+TEST(KernelEquivalenceTest, ProjectMatchesRowKernel) {
+  std::mt19937 rng(17);
+  // Duplicate attributes in the projection list are legal and must
+  // duplicate the column.
+  const std::vector<std::vector<catalog::AttributeId>> lists = {
+      {kA}, {kC, kA}, {kB, kB, kA}, {kA, kB, kC}, {kC, kC, kC}};
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table t = RandomTable(rng, MixedHeader(), 40);
+    for (const auto& attrs : lists) {
+      for (const bool distinct : {false, true}) {
+        ASSERT_OK_AND_ASSIGN(const Table want,
+                             testcheck::RowProject(t, attrs, distinct));
+        ASSERT_OK_AND_ASSIGN(const Table got, Project(t, attrs, distinct));
+        ExpectExactlyEqual(got, want);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, DistinctAfterProjectMatchesRowKernel) {
+  std::mt19937 rng(23);
+  const Table t = RandomTable(rng, MixedHeader(), 60, /*null_prob=*/0.4);
+  ASSERT_OK_AND_ASSIGN(const Table narrow, Project(t, {kB, kC}));
+  ASSERT_OK_AND_ASSIGN(const Table narrow_row, testcheck::RowProject(t, {kB, kC}));
+  ExpectExactlyEqual(Distinct(narrow), testcheck::RowDistinct(narrow_row));
+}
+
+TEST(KernelEquivalenceTest, ProjectErrorsMatchRowKernel) {
+  const Table t(MixedHeader());
+  EXPECT_EQ(Project(t, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Project(t, {}).status().message(),
+            testcheck::RowProject(t, {}).status().message());
+  EXPECT_EQ(Project(t, {kD}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Project(t, {kD}).status().message(),
+            testcheck::RowProject(t, {kD}).status().message());
+}
+
+// --- kernel equivalence: select --------------------------------------------
+
+std::vector<Predicate> SelectPredicates() {
+  std::vector<Predicate> preds;
+  preds.push_back(Predicate::True());
+  for (const CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    Predicate by_int;
+    by_int.And(Comparison{kA, op, Value(std::int64_t{3})});
+    preds.push_back(by_int);
+    Predicate by_str;
+    by_str.And(Comparison{kB, op, Value("gold")});
+    preds.push_back(by_str);
+    Predicate attr_attr;
+    attr_attr.And(Comparison{kA, op, kC});  // int column vs double column
+    preds.push_back(attr_attr);
+  }
+  Predicate null_literal;  // NULL literal: keeps nothing, any op
+  null_literal.And(Comparison{kA, CompareOp::kEq, Value()});
+  preds.push_back(null_literal);
+  Predicate type_mismatch;  // int column vs string literal: <> is TRUE
+  type_mismatch.And(Comparison{kA, CompareOp::kNe, Value("gold")});
+  preds.push_back(type_mismatch);
+  Predicate conjunction;
+  conjunction.And(Comparison{kA, CompareOp::kGe, Value(std::int64_t{1})});
+  conjunction.And(Comparison{kB, CompareOp::kEq, Value("a")});
+  preds.push_back(conjunction);
+  return preds;
+}
+
+TEST(KernelEquivalenceTest, SelectMatchesRowKernelAndPreservesOrder) {
+  std::mt19937 rng(29);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Table t = RandomTable(rng, MixedHeader(), 50);
+    for (const Predicate& p : SelectPredicates()) {
+      ASSERT_OK_AND_ASSIGN(const Table want, testcheck::RowSelect(t, p));
+      ASSERT_OK_AND_ASSIGN(const Table got, Select(t, p));
+      ExpectExactlyEqual(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SelectMissingAttributeErrorMatches) {
+  std::mt19937 rng(31);
+  const Table t = RandomTable(rng, MixedHeader(), 3);
+  Predicate p;
+  p.And(Comparison{kD, CompareOp::kEq, Value(std::int64_t{1})});
+  EXPECT_EQ(Select(t, p).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Select(t, p).status().message(),
+            testcheck::RowSelect(t, p).status().message());
+}
+
+// --- kernel equivalence: joins ---------------------------------------------
+
+TEST(KernelEquivalenceTest, HashJoinMatchesRowKernelWithNullKeys) {
+  std::mt19937 rng(37);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+  const std::vector<EquiJoinAtom> two_atoms = {{kA, kC}, {kB, kD}};
+  for (int iter = 0; iter < 10; ++iter) {
+    // Asymmetric sizes in both directions exercise both build sides; high
+    // null probability exercises NULL-key filtering on build and probe.
+    const Table l = RandomTable(rng, left_header, iter % 2 == 0 ? 12 : 40,
+                                /*null_prob=*/0.3);
+    const Table r = RandomTable(rng, right_header, iter % 2 == 0 ? 40 : 12,
+                                /*null_prob=*/0.3);
+    for (const auto& a : {atoms, two_atoms}) {
+      ASSERT_OK_AND_ASSIGN(const Table want, testcheck::RowHashJoin(l, r, a));
+      ASSERT_OK_AND_ASSIGN(const Table got, HashJoin(l, r, a));
+      ExpectExactlyEqual(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, NaturalJoinMatchesRowKernel) {
+  std::mt19937 rng(41);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kC, catalog::ValueType::kDouble}};
+  for (int iter = 0; iter < 10; ++iter) {
+    const Table l = RandomTable(rng, left_header, 25, /*null_prob=*/0.3);
+    const Table r = RandomTable(rng, right_header, 18, /*null_prob=*/0.3);
+    ASSERT_OK_AND_ASSIGN(const Table want,
+                         testcheck::RowNaturalJoinOnShared(l, r));
+    ASSERT_OK_AND_ASSIGN(const Table got, NaturalJoinOnShared(l, r));
+    ExpectExactlyEqual(got, want);
+  }
+}
+
+TEST(KernelEquivalenceTest, JoinErrorsMatchRowKernels) {
+  const Table l({Column{kA, catalog::ValueType::kInt64}});
+  const Table r({Column{kC, catalog::ValueType::kInt64}});
+  EXPECT_EQ(HashJoin(l, r, {}).status().message(),
+            testcheck::RowHashJoin(l, r, {}).status().message());
+  const std::vector<EquiJoinAtom> bad = {{kA, kD}};
+  EXPECT_EQ(HashJoin(l, r, bad).status().message(),
+            testcheck::RowHashJoin(l, r, bad).status().message());
+  EXPECT_EQ(NaturalJoinOnShared(l, r).status().message(),
+            testcheck::RowNaturalJoinOnShared(l, r).status().message());
+}
+
+// --- kernel equivalence: distinct ------------------------------------------
+
+TEST(KernelEquivalenceTest, DistinctMatchesRowKernelKeepsFirstOccurrence) {
+  std::mt19937 rng(43);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Few distinct cell values + high NULL rate → many exact-duplicate rows,
+    // including rows equal only through NULL == NULL.
+    const Table t = RandomTable(rng, MixedHeader(), 50, /*null_prob=*/0.5);
+    ExpectExactlyEqual(Distinct(t), testcheck::RowDistinct(t));
+  }
+}
+
+// --- empty inputs -----------------------------------------------------------
+
+TEST(KernelEquivalenceTest, EmptyInputsMatchRowKernels) {
+  const Table t(MixedHeader());
+  const Table r({Column{kD, catalog::ValueType::kInt64},
+                 Column{kA, catalog::ValueType::kInt64}});
+  ASSERT_OK_AND_ASSIGN(const Table p, Project(t, {kB, kA}, /*distinct=*/true));
+  ASSERT_OK_AND_ASSIGN(const Table p_row,
+                       testcheck::RowProject(t, {kB, kA}, /*distinct=*/true));
+  ExpectExactlyEqual(p, p_row);
+
+  Predicate pred;
+  pred.And(Comparison{kA, CompareOp::kLt, Value(std::int64_t{5})});
+  ASSERT_OK_AND_ASSIGN(const Table s, Select(t, pred));
+  ASSERT_OK_AND_ASSIGN(const Table s_row, testcheck::RowSelect(t, pred));
+  ExpectExactlyEqual(s, s_row);
+
+  const std::vector<EquiJoinAtom> atoms = {{kA, kD}};
+  ASSERT_OK_AND_ASSIGN(const Table j, HashJoin(t, r, atoms));
+  ASSERT_OK_AND_ASSIGN(const Table j_row, testcheck::RowHashJoin(t, r, atoms));
+  ExpectExactlyEqual(j, j_row);
+  ASSERT_OK_AND_ASSIGN(const Table n, NaturalJoinOnShared(t, r));
+  ASSERT_OK_AND_ASSIGN(const Table n_row,
+                       testcheck::RowNaturalJoinOnShared(t, r));
+  ExpectExactlyEqual(n, n_row);
+
+  ExpectExactlyEqual(Distinct(t), testcheck::RowDistinct(t));
+}
+
+// --- fixed row-kernel inefficiency contracts -------------------------------
+
+TEST(RowKernelContractTest, SelectReservesAndDistinctKeepsFirstOccurrence) {
+  // Pin the two behavioral contracts behind the fixed inefficiencies: σ
+  // preserves input order (reservation must not reorder), and Distinct's
+  // index-hashing rewrite still keeps exactly the first occurrence.
+  const std::vector<Column> header = {Column{kA, catalog::ValueType::kInt64},
+                                      Column{kB, catalog::ValueType::kString}};
+  const Table t = MakeTable(header, {{Value(std::int64_t{2}), Value("x")},
+                                     {Value(std::int64_t{1}), Value("first")},
+                                     {Value(std::int64_t{2}), Value("x")},
+                                     {Value(std::int64_t{1}), Value("second")},
+                                     {Value(), Value()},
+                                     {Value(), Value()}});
+  Predicate keep_ones;
+  keep_ones.And(Comparison{kA, CompareOp::kEq, Value(std::int64_t{1})});
+  ASSERT_OK_AND_ASSIGN(const Table sel, testcheck::RowSelect(t, keep_ones));
+  ASSERT_EQ(sel.row_count(), 2u);
+  EXPECT_EQ(sel.row(0)[1].CompareTotal(Value("first")), 0);
+  EXPECT_EQ(sel.row(1)[1].CompareTotal(Value("second")), 0);
+
+  const Table ded = testcheck::RowDistinct(t);
+  ASSERT_EQ(ded.row_count(), 4u);  // NULL rows compare equal → kept once
+  EXPECT_EQ(ded.row(0)[0].CompareTotal(Value(std::int64_t{2})), 0);
+  EXPECT_EQ(ded.row(1)[1].CompareTotal(Value("first")), 0);
+  EXPECT_EQ(ded.row(3)[0].CompareTotal(Value()), 0);
+  ExpectExactlyEqual(Distinct(t), ded);
+}
+
+}  // namespace
+}  // namespace cisqp::algebra

@@ -345,5 +345,35 @@ TEST_F(ExecTest, ExecutorRejectsMalformedInput) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(ExecTest, SemiJoinSlaveEqualToMasterIsRejectedNotFatal) {
+  // A malformed assignment with slave == master used to reach Ship's
+  // colocated-transfer CHECK and abort the process; it must instead come
+  // back as a typed kInvalidArgument through Execute.
+  planner::Assignment bad = assignment_;
+  const planner::Executor n1 = assignment_.Of(1);
+  ASSERT_EQ(n1.mode, ExecutionMode::kSemiJoin);
+  bad.Set(1, planner::Executor{n1.master, n1.master, n1.mode, n1.origin});
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  const auto result = executor.Execute(plan_, bad);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("slave must differ"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ExecTest, NetworkOutIsNotDuplicatedOnSuccess) {
+  // On success the transfer log lives solely in ExecutionResult::network;
+  // the failure-path sink must come back empty, not as a second copy.
+  NetworkStats observed;
+  observed.Record(TransferRecord{7, 0, 1, 1, 1, "stale from a prior run"});
+  ExecutionOptions options;
+  options.network_out = &observed;
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       executor.Execute(plan_, assignment_, options));
+  EXPECT_EQ(result.network.total_messages(), 3u);
+  EXPECT_EQ(observed.total_messages(), 0u);
+}
+
 }  // namespace
 }  // namespace cisqp::exec
