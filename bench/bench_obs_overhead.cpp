@@ -31,8 +31,18 @@ struct Pipeline {
   }
 
   // One end-to-end unit of work: safe planning plus distributed execution.
-  void RunOnce() {
+  // When `profile` is non-null the execution additionally fills it (the
+  // profiler arm); the profile is reset each run so it never accumulates.
+  void RunOnce(obs::QueryProfile* profile = nullptr) {
     const auto report = Unwrap(planner.Analyze(plan), "analyze");
+    if (profile != nullptr) {
+      *profile = obs::QueryProfile{};
+      exec::ExecutionOptions options;
+      options.profile = profile;
+      benchmark::DoNotOptimize(
+          executor.Execute(plan, report.plan->assignment, options));
+      return;
+    }
     benchmark::DoNotOptimize(
         executor.Execute(plan, report.plan->assignment));
   }
@@ -57,12 +67,13 @@ void ClearObs() {
 }
 
 // Best-of-repeats timing of `iters` pipeline runs, in microseconds.
-std::int64_t TimeBest(Pipeline& pipeline, int iters, int repeats) {
+std::int64_t TimeBest(Pipeline& pipeline, int iters, int repeats,
+                      obs::QueryProfile* profile = nullptr) {
   std::int64_t best = -1;
   for (int r = 0; r < repeats; ++r) {
     ClearObs();
     const std::int64_t start = obs::NowMicros();
-    for (int i = 0; i < iters; ++i) pipeline.RunOnce();
+    for (int i = 0; i < iters; ++i) pipeline.RunOnce(profile);
     const std::int64_t elapsed = obs::NowMicros() - start;
     if (best < 0 || elapsed < best) best = elapsed;
   }
@@ -87,6 +98,14 @@ void PrintOverheadTable() {
   EnableObs();
   pipeline.RunOnce();  // warm-up
   const std::int64_t on_us = TimeBest(pipeline, kIters, kRepeats);
+
+  // Profiler arm: obs fully enabled *plus* a QueryProfile attached to every
+  // execution. Its budget is <=5% over the spans-only enabled arm
+  // (scripts/check_bench_regression.sh gates on profiler_vs_enabled_pct).
+  obs::QueryProfile profile;
+  pipeline.RunOnce(&profile);  // warm-up
+  const std::int64_t prof_us = TimeBest(pipeline, kIters, kRepeats, &profile);
+  pipeline.RunOnce(&profile);  // a final profile for the artifact sample
   DisableObs();
   ClearObs();
 
@@ -95,14 +114,24 @@ void PrintOverheadTable() {
                                 static_cast<double>(off_us) -
                             1.0)
                  : 0.0;
-  std::printf("%-14s %-10s %-12s\n", "config", "iters", "best_us");
-  std::printf("%-14s %-10d %-12lld\n", "obs_disabled", kIters,
+  const double profiler_pct =
+      on_us > 0 ? 100.0 * (static_cast<double>(prof_us) /
+                               static_cast<double>(on_us) -
+                           1.0)
+                : 0.0;
+  std::printf("%-16s %-10s %-12s\n", "config", "iters", "best_us");
+  std::printf("%-16s %-10d %-12lld\n", "obs_disabled", kIters,
               static_cast<long long>(off_us));
-  std::printf("%-14s %-10d %-12lld\n", "obs_enabled", kIters,
+  std::printf("%-16s %-10d %-12lld\n", "obs_enabled", kIters,
               static_cast<long long>(on_us));
+  std::printf("%-16s %-10d %-12lld\n", "profiler_enabled", kIters,
+              static_cast<long long>(prof_us));
   std::printf("\nenabled-vs-disabled overhead: %.2f%% (disabled path is one "
               "branch per site; budget for the disabled build is <3%%)\n",
               overhead_pct);
+  std::printf("profiler-vs-enabled overhead: %.2f%% (per-operator counters on "
+              "top of spans; budget <=5%%)\n",
+              profiler_pct);
   artifact.Row()
       .Value("config", "obs_disabled")
       .Value("iterations", kIters)
@@ -112,6 +141,12 @@ void PrintOverheadTable() {
       .Value("iterations", kIters)
       .Value("best_us", on_us)
       .Value("overhead_pct", overhead_pct);
+  artifact.Row()
+      .Value("config", "profiler_enabled")
+      .Value("iterations", kIters)
+      .Value("best_us", prof_us)
+      .Value("profiler_vs_enabled_pct", profiler_pct)
+      .Json("sample_profile", profile.ToJson());
   artifact.Write();
   std::printf("\n");
 }
@@ -135,6 +170,19 @@ void BM_PipelineObsEnabled(benchmark::State& state) {
   ClearObs();
 }
 BENCHMARK(BM_PipelineObsEnabled);
+
+void BM_PipelineProfiler(benchmark::State& state) {
+  Pipeline pipeline;
+  EnableObs();
+  obs::QueryProfile profile;
+  for (auto _ : state) {
+    pipeline.RunOnce(&profile);
+    obs::Tracer::Get().Clear();
+  }
+  DisableObs();
+  ClearObs();
+}
+BENCHMARK(BM_PipelineProfiler);
 
 void BM_MetricIncDisabled(benchmark::State& state) {
   obs::MetricsRegistry::Get().Disable();

@@ -117,6 +117,11 @@ class Artifact {
   Artifact& Value(std::string_view key, bool v) {
     return Cell(key, v ? "true" : "false");
   }
+  /// Embeds `raw` verbatim as the cell value — it must already be valid JSON
+  /// (e.g. a QueryProfile::ToJson document).
+  Artifact& Json(std::string_view key, std::string raw) {
+    return Cell(key, std::move(raw));
+  }
 
   std::string ToJson() const {
     std::string out = "{\"experiment\":\"" + obs::JsonEscape(experiment_) +

@@ -12,6 +12,8 @@
 //   \schema           the catalog
 //   \policy           the authorizations
 //   \plan SQL         the query tree plan (Fig. 2 style)
+//   \profile SQL      execute with profiling, print EXPLAIN ANALYZE output
+//                     (plain SQL also accepts EXPLAIN [ANALYZE] SELECT ...)
 //   \trace SQL        execute with span tracing, print the span tree
 //   \tracejson SQL    execute with span tracing, print Chrome trace JSON
 //   \plantrace SQL    the Find_candidates / Assign_ex trace (Fig. 7 style)
@@ -38,6 +40,7 @@
 #include "common/strings.hpp"
 #include "dsl/federation_dsl.hpp"
 #include "exec/executor.hpp"
+#include "exec/explain.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +50,7 @@
 #include "planner/safe_planner.hpp"
 #include "planner/verifier.hpp"
 #include "sql/binder.hpp"
+#include "sql/parser.hpp"
 #include "workload/medical.hpp"
 
 using namespace cisqp;
@@ -60,6 +64,12 @@ class Shell {
       : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_),
         threads_(threads) {
     PopulateData();
+    // Exact statistics over the populated tables feed the EXPLAIN estimates
+    // and the cost-based planners; the feedback store accumulates measured
+    // cardinalities from every profiled execution in this session.
+    for (catalog::RelationId r = 0; r < cat_.relation_count(); ++r) {
+      stats_.Set(r, plan::StatsCatalog::FromTable(cluster_.TableOf(r)));
+    }
     // Metrics and the audit log accumulate across the whole session;
     // \metrics and \audit read them back. Span tracing is per-\trace.
     obs::MetricsRegistry::Get().Enable();
@@ -132,6 +142,8 @@ class Shell {
       WithPlan(arg, [&](const plan::QueryPlan& plan) {
         std::printf("%s", plan.ToString(cat_).c_str());
       });
+    } else if (cmd == "\\profile") {
+      ProfileSql(arg);
     } else if (cmd == "\\trace") {
       obs::Tracer::Get().Enable();
       ExecuteSql(arg);
@@ -185,7 +197,7 @@ class Shell {
       std::printf("error: %s\n", spec.status().ToString().c_str());
       return;
     }
-    auto plan = plan::PlanBuilder(cat_).Build(*spec);
+    auto plan = plan::PlanBuilder(cat_, &stats_, &feedback_).Build(*spec);
     if (!plan.ok()) {
       std::printf("error: %s\n", plan.status().ToString().c_str());
       return;
@@ -214,6 +226,23 @@ class Shell {
   }
 
   void ExecuteSql(std::string_view sql_text) {
+    auto ast = sql::Parse(sql_text);
+    if (!ast.ok()) {
+      std::printf("error: %s\n", ast.status().ToString().c_str());
+      return;
+    }
+    if (ast->explain) {
+      if (ast->analyze) {
+        ProfileSql(sql_text);
+      } else {
+        WithPlan(sql_text, [&](const plan::QueryPlan& plan) {
+          std::printf("%s", exec::RenderExplain(cat_, &stats_, &feedback_,
+                                                plan, nullptr)
+                                .c_str());
+        });
+      }
+      return;
+    }
     WithSafePlan(sql_text, [&](const plan::QueryPlan& plan,
                                const planner::SafePlan& sp) {
       std::printf("%s", sp.assignment.ToString(cat_, plan).c_str());
@@ -254,6 +283,41 @@ class Shell {
             excluded.empty() ? "" : "; excluded: ",
             excluded.c_str());
       }
+    });
+  }
+
+  /// EXPLAIN ANALYZE / \profile: execute with a QueryProfile attached, print
+  /// the annotated tree, then harvest the measured cardinalities into the
+  /// session feedback store (after rendering, so the drift column shows what
+  /// the planner believed *before* this run).
+  void ProfileSql(std::string_view sql_text) {
+    WithSafePlan(sql_text, [&](const plan::QueryPlan& plan,
+                               const planner::SafePlan& sp) {
+      exec::DistributedExecutor executor(cluster_, auths_);
+      exec::ExecutionOptions options;
+      options.enforce_releases = enforce_;
+      options.requestor = requestor_;
+      std::optional<exec::FaultModel> faults;
+      if (fault_options_) {
+        faults.emplace(*fault_options_);
+        options.faults = &*faults;
+        options.failover_planner = PlannerOptions();
+      }
+      obs::QueryProfile profile;
+      options.profile = &profile;
+      auto result = executor.Execute(plan, sp.assignment, options);
+      if (!result.ok()) {
+        std::printf("execution error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      exec::AnnotateEstimates(cat_, &stats_, &feedback_, plan, profile);
+      std::printf("%s", exec::RenderExplain(cat_, &stats_, &feedback_, plan,
+                                            &profile)
+                            .c_str());
+      const std::size_t harvested =
+          plan::HarvestActualCardinalities(cat_, plan, profile, feedback_);
+      std::printf("%zu cardinality(ies) fed back (%zu in the session store)\n",
+                  harvested, feedback_.size());
     });
   }
 
@@ -324,6 +388,9 @@ class Shell {
 
   static constexpr const char* kHelp =
       "  SQL                plan + execute safely\n"
+      "  EXPLAIN SQL        show the plan with estimated cardinalities\n"
+      "  EXPLAIN ANALYZE SQL  execute + show estimate-vs-actual drift\n"
+      "  \\profile SQL       same as EXPLAIN ANALYZE\n"
       "  \\schema            show the catalog\n"
       "  \\policy            show the authorizations\n"
       "  \\matrix            base-visibility matrix (who sees what)\n"
@@ -344,6 +411,8 @@ class Shell {
   catalog::Catalog cat_;
   authz::AuthorizationSet auths_;
   exec::Cluster cluster_;
+  plan::StatsCatalog stats_;      ///< exact stats over the populated tables
+  plan::StatsFeedback feedback_;  ///< measured cardinalities, session-wide
   std::size_t threads_ = 0;  ///< 0 = hardware concurrency
   std::optional<catalog::ServerId> requestor_;
   bool enforce_ = true;

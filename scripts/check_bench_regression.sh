@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI bench smoke gate for the columnar execution engine (E16).
+# CI bench smoke gates: the columnar execution engine (E16) and the
+# query-profiler overhead budget (E13).
 #
 # Runs bench_exec_kernels, then compares the freshly measured end-to-end
 # speedup (row kernels / columnar kernels) against the committed baseline in
@@ -9,6 +10,11 @@
 #   * the fresh speedup drops below HALF the committed baseline speedup
 #     (a >2x regression — generous enough for noisy CI runners, tight
 #     enough to catch an accidental de-vectorization).
+#
+# Then runs bench_obs_overhead and fails when the profiler-enabled arm costs
+# more than 5% over the spans-only enabled arm (profiler_vs_enabled_pct in
+# BENCH_obs_overhead.json), best result of up to three attempts to ride out
+# noisy runners.
 #
 #   scripts/check_bench_regression.sh [build-dir]
 set -euo pipefail
@@ -50,3 +56,38 @@ if fresh["speedup"] < floor:
              f"against the committed baseline {baseline['speedup']:.2f}x")
 print("OK: columnar engine within 2x of the committed baseline")
 PY
+
+# --- E13: profiler overhead budget -----------------------------------------
+OBS_BENCH="$BUILD_DIR/bench/bench_obs_overhead"
+if [ ! -x "$OBS_BENCH" ]; then
+  echo "error: $OBS_BENCH not built" >&2
+  exit 1
+fi
+
+PROFILER_BUDGET_PCT=5.0
+best_pct=""
+for attempt in 1 2 3; do
+  CISQP_BENCH_OUT_DIR="$OUT_DIR" "$OBS_BENCH" --benchmark_filter='^$' \
+      > /dev/null
+  pct="$(python3 -c '
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = next(r for r in rows if r["config"] == "profiler_enabled")
+print(row["profiler_vs_enabled_pct"])
+' "$OUT_DIR/BENCH_obs_overhead.json")"
+  echo "profiler-vs-enabled overhead, attempt $attempt: ${pct}%"
+  if [ -z "$best_pct" ] || \
+     python3 -c "import sys; sys.exit(0 if $pct < $best_pct else 1)"; then
+    best_pct="$pct"
+  fi
+  if python3 -c "import sys; sys.exit(0 if $best_pct <= $PROFILER_BUDGET_PCT else 1)"; then
+    break
+  fi
+done
+
+if python3 -c "import sys; sys.exit(0 if $best_pct <= $PROFILER_BUDGET_PCT else 1)"; then
+  echo "OK: profiler overhead ${best_pct}% within the ${PROFILER_BUDGET_PCT}% budget"
+else
+  echo "FAIL: profiler overhead ${best_pct}% exceeds the ${PROFILER_BUDGET_PCT}% budget" >&2
+  exit 1
+fi

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Render QueryProfile JSON as a markdown report.
+
+Input is either a bare QueryProfile document (the output of
+QueryProfile::ToJson()) or a bench artifact (BENCH_*.json) whose rows embed
+one under a "sample_profile" key — e.g. BENCH_obs_overhead.json or
+BENCH_profile_feedback.json, as written by scripts/run_experiments.sh.
+
+    scripts/profile2md.py artifacts/BENCH_profile_feedback.json [out.md]
+
+With no output path the markdown goes to stdout.
+"""
+import json
+import sys
+
+
+def fmt_rows(value):
+    return f"{value:,}"
+
+
+def fmt_drift(op):
+    if "est_rows" not in op:
+        return "-"
+    drift = (op.get("rows_out", 0) + 1.0) / (op["est_rows"] + 1.0)
+    flag = " (!)" if drift > 2.0 or drift < 0.5 else ""
+    return f"{drift:.2f}x{flag}"
+
+
+def profile_to_md(profile):
+    lines = []
+    qid = profile.get("query_id", -1)
+    lines.append(f"### Query profile #{qid}")
+    lines.append("")
+    query = profile.get("query", "")
+    if query:
+        lines.append(f"```sql\n{query}\n```")
+        lines.append("")
+    duration = profile.get("duration_us", 0)
+    shipped = sum(t.get("bytes", 0) for t in profile.get("transfers", []))
+    lines.append(f"*{duration:,} us wall, {shipped:,} B shipped over "
+                 f"{len(profile.get('transfers', []))} transfer(s)*")
+    lines.append("")
+
+    ops = [o for o in profile.get("operators", [])
+           if o.get("invocations", 0) > 0]
+    if ops:
+        lines.append("| node | op | server | rows in | rows out | est | "
+                     "drift | time (us) | shipped (B) |")
+        lines.append("|---:|---|---|---:|---:|---:|---:|---:|---:|")
+        for op in sorted(ops, key=lambda o: o.get("node", -1)):
+            rows_in = op.get("rows_in_left", 0) + op.get("rows_in_right", 0)
+            est_txt = ("-" if "est_rows" not in op
+                       else fmt_rows(round(op["est_rows"])))
+            lines.append(
+                f"| n{op.get('node', -1)} | {op.get('op', '?')} "
+                f"| {op.get('server', '?')} | {fmt_rows(rows_in)} "
+                f"| {fmt_rows(op.get('rows_out', 0))} | {est_txt} "
+                f"| {fmt_drift(op)} | {op.get('time_us', 0):,} "
+                f"| {fmt_rows(op.get('bytes_shipped', 0))} |")
+        lines.append("")
+
+    transfers = profile.get("transfers", [])
+    if transfers:
+        lines.append("| ship for | from | to | rows | bytes | payload |")
+        lines.append("|---|---|---|---:|---:|---|")
+        for t in transfers:
+            lines.append(
+                f"| n{t.get('node', -1)} | {t.get('from', '?')} "
+                f"| {t.get('to', '?')} | {fmt_rows(t.get('rows', 0))} "
+                f"| {fmt_rows(t.get('bytes', 0))} | {t.get('what', '')} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def extract_profiles(doc):
+    """Yields (context, profile) pairs from a bare profile or an artifact."""
+    if "operators" in doc:
+        yield "", doc
+        return
+    for i, row in enumerate(doc.get("rows", [])):
+        profile = row.get("sample_profile")
+        if isinstance(profile, dict):
+            name = doc.get("name", "artifact")
+            yield f"row {i} of {name}", profile
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+    sections = []
+    for context, profile in extract_profiles(doc):
+        md = profile_to_md(profile)
+        if context:
+            md = f"<!-- {context} -->\n{md}"
+        sections.append(md)
+    if not sections:
+        print(f"no query profile found in {argv[1]}", file=sys.stderr)
+        return 1
+    out = "\n---\n\n".join(sections) + "\n"
+    if len(argv) > 2:
+        with open(argv[2], "w") as f:
+            f.write(out)
+        print(f"wrote {argv[2]} ({len(sections)} profile(s))")
+    else:
+        sys.stdout.write(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -47,6 +47,15 @@ echo "### cisqp-fuzz (E15)" | tee -a bench_output.txt
 "$BUILD_DIR"/examples/cisqp-fuzz --seeds=500 2>&1 | tee -a bench_output.txt
 echo | tee -a bench_output.txt
 
+# Render the sample query profiles embedded in the artifacts (E13/E17) as
+# markdown reports next to the JSON.
+for artifact in "$ARTIFACT_DIR"/BENCH_obs_overhead.json \
+                "$ARTIFACT_DIR"/BENCH_profile_feedback.json; do
+  [ -f "$artifact" ] || continue
+  scripts/profile2md.py "$artifact" "${artifact%.json}_profile.md" || true
+done
+
 echo "collected artifacts:"
-ls -1 "$ARTIFACT_DIR"/BENCH_*.json 2>/dev/null || echo "  (none)"
+ls -1 "$ARTIFACT_DIR"/BENCH_*.json "$ARTIFACT_DIR"/*_profile.md 2>/dev/null \
+  || echo "  (none)"
 echo "done: test_output.txt, bench_output.txt, artifacts/BENCH_*.json"

@@ -5,6 +5,9 @@
 namespace cisqp::algebra {
 namespace {
 
+/// The calling thread's kernel-counter sink (see KernelStatsScope).
+thread_local KernelStats* active_kernel_stats = nullptr;
+
 using storage::ColumnVector;
 using storage::ColumnarTable;
 using storage::SelectionVector;
@@ -125,9 +128,14 @@ void FilterLiteral(const ColumnVector& col, CompareOp op,
       for (std::size_t c = 0; c < dict.size(); ++c) {
         pass[c] = ApplyOp(op, dict[c], v) ? 1 : 0;
       }
+      const std::size_t before = ids.size();
       Narrow(ids, [&](std::uint32_t id) {
         return !col.IsNull(id) && pass[col.CodeAt(id)] != 0;
       });
+      if (KernelStats* ks = active_kernel_stats; ks != nullptr) {
+        ks->dict_filter_lookups += before;
+        ks->dict_filter_hits += ids.size();
+      }
       break;
     }
   }
@@ -169,6 +177,15 @@ void FilterColumns(const ColumnVector& lhs, CompareOp op,
 }
 
 }  // namespace
+
+KernelStatsScope::KernelStatsScope(KernelStats* stats) noexcept
+    : previous_(active_kernel_stats) {
+  active_kernel_stats = stats;
+}
+
+KernelStatsScope::~KernelStatsScope() { active_kernel_stats = previous_; }
+
+KernelStats* KernelStatsScope::Active() noexcept { return active_kernel_stats; }
 
 ColumnarBatch ColumnarBatch::FromTable(
     std::shared_ptr<const ColumnarTable> table) {
@@ -402,6 +419,11 @@ void HashProbe(const ColumnarBatch& build, const std::vector<std::size_t>& bidx,
         probe_ids.push_back(id);
       }
     }
+  }
+  if (KernelStats* ks = active_kernel_stats; ks != nullptr) {
+    ks->hash_build_rows += bn;
+    for (const char v : pvalid) ks->hash_probe_rows += v != 0 ? 1 : 0;
+    ks->hash_matches += probe_ids.size();
   }
 }
 

@@ -10,6 +10,7 @@
 // row implementations as the differential oracle.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -19,6 +20,36 @@
 #include "storage/column.hpp"
 
 namespace cisqp::algebra {
+
+/// Work counters the kernels fill while a KernelStatsScope is active on the
+/// calling thread. Used by the query profiler to attribute hash-join and
+/// dictionary-filter work to plan operators without changing any kernel
+/// signature (the kernels are pinned by ColumnarBatch friendship).
+struct KernelStats {
+  std::uint64_t hash_build_rows = 0;     ///< rows inserted into join tables
+  std::uint64_t hash_probe_rows = 0;     ///< non-NULL-key rows probed
+  std::uint64_t hash_matches = 0;        ///< (build, probe) pairs emitted
+  std::uint64_t dict_filter_lookups = 0; ///< rows filtered via dictionary
+  std::uint64_t dict_filter_hits = 0;    ///< of those, rows that passed
+};
+
+/// RAII: routes this thread's kernel counters into `stats` for the scope's
+/// lifetime. Scopes nest (the inner sink wins); a null sink — and the
+/// default state — makes the kernels skip counting entirely. Thread-local,
+/// so concurrent queries on a shared pool never cross-contaminate.
+class KernelStatsScope {
+ public:
+  explicit KernelStatsScope(KernelStats* stats) noexcept;
+  ~KernelStatsScope();
+  KernelStatsScope(const KernelStatsScope&) = delete;
+  KernelStatsScope& operator=(const KernelStatsScope&) = delete;
+
+  /// The calling thread's active sink, or nullptr.
+  static KernelStats* Active() noexcept;
+
+ private:
+  KernelStats* previous_ = nullptr;
+};
 
 /// A lazy projection of selected rows of a shared columnar table.
 class ColumnarBatch {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "algebra/vectorized.hpp"
 #include "authz/audit.hpp"
@@ -20,6 +22,12 @@ struct Located {
   catalog::ServerId server = catalog::kInvalidId;
 };
 
+/// Chrome-export lane of a federation server. Lane 1 stays the default
+/// (coordinator/planner) process; servers get stable lanes above it.
+int LaneOf(catalog::ServerId server) noexcept {
+  return static_cast<int>(server) + 2;
+}
+
 class Run {
  public:
   Run(const Cluster& cluster, const authz::Policy& auths,
@@ -27,6 +35,7 @@ class Run {
       const ExecutionOptions& options)
       : cluster_(cluster), auths_(auths), plan_(plan),
         assignment_(std::move(assignment)), options_(options),
+        profile_(options.profile),
         profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {}
 
   Result<ExecutionResult> Execute(const plan::PlanNode& root) {
@@ -50,6 +59,25 @@ class Run {
   Result<ExecutionResult> ExecuteWithRecovery(const plan::PlanNode& root) {
     CISQP_TRACE_SPAN(span, "exec.execute");
     CISQP_METRIC_INC("exec.executions");
+    if (profile_ != nullptr || span.active()) {
+      // One query id shared by the profile, the root span, and every
+      // transfer's wire context — allocated lazily so unobserved executions
+      // never touch the counter.
+      query_id_ = profile_ != nullptr && profile_->query_id != 0
+                      ? profile_->query_id
+                      : obs::QueryProfile::NextQueryId();
+      if (profile_ != nullptr) profile_->query_id = query_id_;
+    }
+    if (span.active()) {
+      span.AddAttribute("query_id", query_id_);
+      // Name the per-server lanes so federation servers render as named
+      // processes in the Chrome export.
+      obs::Tracer& tracer = obs::Tracer::Get();
+      for (std::size_t s = 0; s < cat().server_count(); ++s) {
+        const auto id = static_cast<catalog::ServerId>(s);
+        tracer.SetProcessName(LaneOf(id), "server:" + cat().server(id).name);
+      }
+    }
     const std::int64_t start_us = obs::NowMicros();
     Result<Located> located = ExecOnce(root);
     // Authorization-aware failover: a permanent server failure excludes the
@@ -83,6 +111,7 @@ class Run {
     result.load = std::move(load_);
     result.duration_us = obs::NowMicros() - start_us;
     result.recovery = std::move(recovery_);
+    if (profile_ != nullptr) profile_->duration_us = result.duration_us;
     if (span.active()) {
       span.AddAttribute("result_rows", result.table.row_count());
       span.AddAttribute("transfers", result.network.total_messages());
@@ -158,6 +187,45 @@ class Run {
     load.rows_produced += rows;
     load.busy_us += busy_us;
     CISQP_METRIC_OBSERVE("exec.operator_rows", static_cast<double>(rows));
+  }
+
+  /// Fills the profile slot of `node` for one operator invocation, plus the
+  /// per-operator metrics histograms. Counters accumulate across failover
+  /// re-runs (invocations tells them apart).
+  void ProfileOp(const plan::PlanNode& node, std::string_view op,
+                 catalog::ServerId server, std::uint64_t rows_in_left,
+                 std::uint64_t rows_in_right, std::uint64_t rows_out,
+                 std::int64_t time_us,
+                 const algebra::KernelStats* kernels = nullptr) {
+    if (profile_ != nullptr) {
+      obs::OperatorStats& stats = profile_->OpAt(node.id);
+      stats.op = std::string(op);
+      stats.server = cat().server(server).name;
+      ++stats.invocations;
+      ++stats.batches;
+      stats.rows_in_left += rows_in_left;
+      stats.rows_in_right += rows_in_right;
+      stats.rows_out += rows_out;
+      stats.time_us += time_us;
+      if (kernels != nullptr) {
+        stats.hash_build_rows += kernels->hash_build_rows;
+        stats.hash_probe_rows += kernels->hash_probe_rows;
+        stats.hash_matches += kernels->hash_matches;
+        stats.dict_filter_lookups += kernels->dict_filter_lookups;
+        stats.dict_filter_hits += kernels->dict_filter_hits;
+      }
+    }
+    // Per-operator metric names are built dynamically, so guard explicitly:
+    // the CISQP_METRIC_OBSERVE macro would evaluate the concatenation even
+    // while metrics are disabled.
+    if constexpr (obs::kObsCompiledIn) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+      if (reg.enabled()) {
+        const std::string prefix = "exec.op." + std::string(op);
+        reg.Observe(prefix + ".rows_out", static_cast<double>(rows_out));
+        reg.Observe(prefix + ".time_us", static_cast<double>(time_us));
+      }
+    }
   }
 
   /// Runs one transfer through the fault model: transient drops re-send
@@ -239,12 +307,14 @@ class Run {
     const std::size_t rows = table.row_count();
     const std::size_t bytes = table.WireSizeBytes();
     if (span.active()) {
+      span.SetLane(LaneOf(from));
       span.AddAttribute("node", node_id);
       span.AddAttribute("from", cat().server(from).name);
       span.AddAttribute("to", cat().server(to).name);
       span.AddAttribute("rows", rows);
       span.AddAttribute("bytes", bytes);
       span.AddAttribute("what", description);
+      span.AddAttribute("query_id", query_id_);
     }
     if (options_.enforce_releases &&
         !authz::AuditedCanView(cat(), auths_, profile, to, site, node_id,
@@ -261,20 +331,34 @@ class Run {
     if (options_.faults != nullptr) {
       CISQP_RETURN_IF_ERROR(Deliver(span, from, to));
     }
+    if (profile_ != nullptr) {
+      obs::TransferStats transfer;
+      transfer.node_id = node_id;
+      transfer.from = cat().server(from).name;
+      transfer.to = cat().server(to).name;
+      transfer.rows = rows;
+      transfer.bytes = bytes;
+      transfer.query_id = query_id_;
+      transfer.parent_span = span.index();
+      transfer.what = description;
+      profile_->transfers.push_back(std::move(transfer));
+      profile_->OpAt(node_id).bytes_shipped += bytes;
+    }
     network_.Record(TransferRecord{node_id, from, to, rows, bytes,
-                                   std::move(description)});
+                                   std::move(description), query_id_,
+                                   span.index()});
     return Status::Ok();
   }
 
   Result<Located> Exec(const plan::PlanNode& node) {
     CISQP_TRACE_SPAN(span, "exec.node");
+    const planner::Executor& ex = assignment_.Of(node.id);
     if (span.active()) {
+      span.SetLane(LaneOf(ex.master));
       span.AddAttribute("node", node.id);
       span.AddAttribute("op", plan::PlanOpName(node.op));
-      span.AddAttribute("master",
-                        cat().server(assignment_.Of(node.id).master).name);
+      span.AddAttribute("master", cat().server(ex.master).name);
     }
-    const planner::Executor& ex = assignment_.Of(node.id);
     switch (node.op) {
       case plan::PlanOp::kRelation: {
         const catalog::ServerId home = cat().relation(node.relation).server;
@@ -286,6 +370,7 @@ class Run {
         leaf.batch = algebra::ColumnarBatch::FromTable(
             cluster_.ColumnarOf(node.relation));
         leaf.server = home;
+        ProfileOp(node, "relation", home, 0, 0, leaf.batch.row_count(), 0);
         return leaf;
       }
       case plan::PlanOp::kProject: {
@@ -294,12 +379,22 @@ class Run {
           return InvalidArgumentError("unary node n" + std::to_string(node.id) +
                                       " must run at its operand's server");
         }
+        const std::uint64_t in_rows = child.batch.row_count();
+        algebra::KernelStats kernels;
         const std::int64_t t0 = obs::NowMicros();
-        CISQP_ASSIGN_OR_RETURN(
-            algebra::ColumnarBatch out,
-            algebra::ProjectBatch(child.batch, node.projection, node.distinct));
-        Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), child.server};
+        {
+          const algebra::KernelStatsScope kernel_scope(
+              profile_ != nullptr ? &kernels : nullptr);
+          CISQP_ASSIGN_OR_RETURN(
+              algebra::ColumnarBatch out,
+              algebra::ProjectBatch(child.batch, node.projection,
+                                    node.distinct));
+          const std::int64_t dt = obs::NowMicros() - t0;
+          Account(child.server, out.row_count(), dt);
+          ProfileOp(node, "project", child.server, in_rows, 0, out.row_count(),
+                    dt, &kernels);
+          return Located{std::move(out), child.server};
+        }
       }
       case plan::PlanOp::kSelect: {
         CISQP_ASSIGN_OR_RETURN(Located child, Exec(*node.left));
@@ -307,11 +402,21 @@ class Run {
           return InvalidArgumentError("unary node n" + std::to_string(node.id) +
                                       " must run at its operand's server");
         }
+        const std::uint64_t in_rows = child.batch.row_count();
+        algebra::KernelStats kernels;
         const std::int64_t t0 = obs::NowMicros();
-        CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch out,
-                               algebra::SelectBatch(child.batch, node.predicate));
-        Account(child.server, out.row_count(), obs::NowMicros() - t0);
-        return Located{std::move(out), child.server};
+        {
+          const algebra::KernelStatsScope kernel_scope(
+              profile_ != nullptr ? &kernels : nullptr);
+          CISQP_ASSIGN_OR_RETURN(
+              algebra::ColumnarBatch out,
+              algebra::SelectBatch(child.batch, node.predicate));
+          const std::int64_t dt = obs::NowMicros() - t0;
+          Account(child.server, out.row_count(), dt);
+          ProfileOp(node, "select", child.server, in_rows, 0, out.row_count(),
+                    dt, &kernels);
+          return Located{std::move(out), child.server};
+        }
       }
       case plan::PlanOp::kJoin:
         return ExecJoin(node, ex);
@@ -327,6 +432,11 @@ class Run {
     const authz::Profile& rp = ProfileOf(node.right->id);
     const planner::JoinModeViews views =
         planner::ComputeJoinModeViews(lp, rp, node.join_atoms);
+    const std::uint64_t in_left = left.batch.row_count();
+    const std::uint64_t in_right = right.batch.row_count();
+    algebra::KernelStats kernels;
+    const algebra::KernelStatsScope kernel_scope(
+        profile_ != nullptr ? &kernels : nullptr);
 
     switch (ex.mode) {
       case planner::ExecutionMode::kLocal:
@@ -349,7 +459,10 @@ class Run {
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch out,
             algebra::JoinBatches(left.batch, right.batch, node.join_atoms));
-        Account(ex.master, out.row_count(), obs::NowMicros() - t0);
+        const std::int64_t dt = obs::NowMicros() - t0;
+        Account(ex.master, out.row_count(), dt);
+        ProfileOp(node, "join", ex.master, in_left, in_right, out.row_count(),
+                  dt, &kernels);
         return Located{std::move(out), ex.master};
       }
       case planner::ExecutionMode::kSemiJoin: {
@@ -384,7 +497,8 @@ class Run {
             algebra::ColumnarBatch projected,
             algebra::ProjectBatch(master_op.batch, master_join_cols,
                                   /*distinct=*/true));
-        Account(ex.master, projected.row_count(), obs::NowMicros() - t1);
+        std::int64_t op_time_us = obs::NowMicros() - t1;
+        Account(ex.master, projected.row_count(), op_time_us);
 
         // Step 2: ship it to the slave.
         CISQP_RETURN_IF_ERROR(ShipBatch(
@@ -403,7 +517,9 @@ class Run {
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch reduced,
             algebra::JoinBatches(projected, slave_op.batch, atoms));
-        Account(*ex.slave, reduced.row_count(), obs::NowMicros() - t3);
+        const std::int64_t dt3 = obs::NowMicros() - t3;
+        op_time_us += dt3;
+        Account(*ex.slave, reduced.row_count(), dt3);
 
         // Step 4: ship the reduced operand back to the master.
         CISQP_RETURN_IF_ERROR(ShipBatch(
@@ -425,7 +541,11 @@ class Run {
         out_cols.insert(out_cols.end(), right_cols.begin(), right_cols.end());
         CISQP_ASSIGN_OR_RETURN(algebra::ColumnarBatch out,
                                algebra::ProjectBatch(joined, out_cols));
-        Account(ex.master, out.row_count(), obs::NowMicros() - t5);
+        const std::int64_t dt5 = obs::NowMicros() - t5;
+        op_time_us += dt5;
+        Account(ex.master, out.row_count(), dt5);
+        ProfileOp(node, "semi_join", ex.master, in_left, in_right,
+                  out.row_count(), op_time_us, &kernels);
         return Located{std::move(out), ex.master};
       }
     }
@@ -437,6 +557,8 @@ class Run {
   const plan::QueryPlan& plan_;
   planner::Assignment assignment_;  ///< by value: failover replaces it
   const ExecutionOptions& options_;
+  obs::QueryProfile* profile_ = nullptr;   ///< opt-in per-query profile sink
+  std::int64_t query_id_ = -1;             ///< trace context on every transfer
   std::vector<authz::Profile> profiles_;
   NetworkStats network_;
   std::map<catalog::ServerId, ServerLoad> load_;

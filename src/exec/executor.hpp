@@ -26,6 +26,7 @@
 #include "exec/cluster.hpp"
 #include "exec/fault_model.hpp"
 #include "exec/network.hpp"
+#include "obs/profile.hpp"
 #include "planner/assignment.hpp"
 #include "planner/mode_views.hpp"
 #include "planner/safe_planner.hpp"
@@ -78,6 +79,11 @@ struct ExecutionOptions {
   /// log lives solely in ExecutionResult::network and this sink is cleared,
   /// never left holding a duplicate copy of the log.
   NetworkStats* network_out = nullptr;
+  /// When set, the execution fills one OperatorStats per plan node and one
+  /// TransferStats per shipment into this profile (EXPLAIN ANALYZE, benches,
+  /// stats feedback). Independent of the Tracer/MetricsRegistry enablement;
+  /// nullptr — the default — costs one pointer test per operator.
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// Compute performed at one server during a query (operator invocations, the

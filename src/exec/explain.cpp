@@ -1,0 +1,126 @@
+#include "exec/explain.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "plan/builder.hpp"
+
+namespace cisqp::exec {
+namespace {
+
+/// Rows render as integers (cardinalities), estimates rounded.
+std::string Rows(double value) {
+  std::ostringstream oss;
+  oss << static_cast<std::int64_t>(std::llround(value));
+  return oss.str();
+}
+
+std::string Ratio(double value) {
+  std::ostringstream oss;
+  oss.precision(2);
+  oss << std::fixed << value;
+  return oss.str();
+}
+
+/// The operator's own line, without annotations — same shape as
+/// QueryPlan::ToString so EXPLAIN and plain plan dumps read alike.
+void DescribeNode(const catalog::Catalog& cat, const plan::PlanNode& node,
+                  std::ostringstream& oss) {
+  oss << "n" << node.id << " " << plan::PlanOpName(node.op);
+  switch (node.op) {
+    case plan::PlanOp::kRelation:
+      oss << " " << cat.relation(node.relation).name << " @"
+          << cat.server(cat.relation(node.relation).server).name;
+      break;
+    case plan::PlanOp::kProject: {
+      if (node.distinct) oss << " distinct";
+      oss << " [";
+      for (std::size_t i = 0; i < node.projection.size(); ++i) {
+        if (i != 0) oss << ", ";
+        oss << cat.attribute(node.projection[i]).name;
+      }
+      oss << "]";
+      break;
+    }
+    case plan::PlanOp::kSelect:
+      oss << " (" << node.predicate.ToString(cat) << ")";
+      break;
+    case plan::PlanOp::kJoin:
+      oss << " on ";
+      for (std::size_t i = 0; i < node.join_atoms.size(); ++i) {
+        if (i != 0) oss << " AND ";
+        oss << cat.attribute(node.join_atoms[i].left).name << " = "
+            << cat.attribute(node.join_atoms[i].right).name;
+      }
+      break;
+  }
+}
+
+void RenderRec(const catalog::Catalog& cat, const plan::PlanBuilder& builder,
+               const plan::PlanNode* node, const obs::QueryProfile* profile,
+               const ExplainOptions& options, int depth,
+               std::ostringstream& oss) {
+  if (node == nullptr) return;
+  oss << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  DescribeNode(cat, *node, oss);
+  const double est = builder.EstimateCardinality(*node);
+  oss << "  (est=" << Rows(est);
+  const obs::OperatorStats* stats =
+      profile != nullptr ? profile->FindOp(node->id) : nullptr;
+  bool drifted = false;
+  if (stats != nullptr) {
+    oss << " actual=" << stats->rows_out;
+    // +1 smoothing matches OperatorStats::DriftRatio: defined at zero rows,
+    // 1.0 means the model was exact.
+    const double drift =
+        (static_cast<double>(stats->rows_out) + 1.0) / (est + 1.0);
+    oss << " drift=" << Ratio(drift) << "x";
+    oss << " time=" << stats->time_us << "us";
+    if (stats->bytes_shipped > 0) oss << " shipped=" << stats->bytes_shipped << "B";
+    drifted = drift > options.drift_threshold ||
+              drift < 1.0 / options.drift_threshold;
+  }
+  oss << ")";
+  if (stats != nullptr && !stats->server.empty()) oss << " @" << stats->server;
+  if (drifted) oss << "  <-- drift";
+  oss << "\n";
+  RenderRec(cat, builder, node->left.get(), profile, options, depth + 1, oss);
+  RenderRec(cat, builder, node->right.get(), profile, options, depth + 1, oss);
+}
+
+}  // namespace
+
+void AnnotateEstimates(const catalog::Catalog& cat,
+                       const plan::StatsCatalog* stats,
+                       const plan::StatsFeedback* feedback,
+                       const plan::QueryPlan& plan,
+                       obs::QueryProfile& profile) {
+  const plan::PlanBuilder builder(cat, stats, feedback);
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    if (profile.FindOp(node.id) == nullptr) return;
+    profile.OpAt(node.id).est_rows = builder.EstimateCardinality(node);
+  });
+}
+
+std::string RenderExplain(const catalog::Catalog& cat,
+                          const plan::StatsCatalog* stats,
+                          const plan::StatsFeedback* feedback,
+                          const plan::QueryPlan& plan,
+                          const obs::QueryProfile* profile,
+                          const ExplainOptions& options) {
+  const plan::PlanBuilder builder(cat, stats, feedback);
+  std::ostringstream oss;
+  RenderRec(cat, builder, plan.root(), profile, options, 0, oss);
+  if (profile != nullptr) {
+    oss << "query " << profile->query_id << ": " << profile->duration_us
+        << "us, " << profile->TotalBytesShipped() << "B shipped\n";
+    for (const obs::TransferStats& t : profile->transfers) {
+      oss << "  ship n" << t.node_id << ": " << t.from << " -> " << t.to
+          << "  " << t.rows << " rows, " << t.bytes << "B (" << t.what
+          << ")\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace cisqp::exec

@@ -1,0 +1,46 @@
+// EXPLAIN / EXPLAIN ANALYZE rendering: the plan tree annotated with the
+// optimizer's estimated cardinalities and — after a profiled execution — the
+// actual per-operator rows, wall time, and bytes shipped, with the
+// estimate-vs-actual drift ratio called out whenever it crosses a threshold.
+//
+// This is the human-facing surface of the profiler (DESIGN.md §13): the
+// estimates come from the same PlanBuilder cardinality model the planners
+// use (including feedback-store overrides), so what EXPLAIN prints is
+// exactly what the optimizer believed, and the drift column is exactly the
+// signal HarvestActualCardinalities feeds back.
+#pragma once
+
+#include <string>
+
+#include "obs/profile.hpp"
+#include "plan/plan_node.hpp"
+#include "plan/stats.hpp"
+
+namespace cisqp::exec {
+
+struct ExplainOptions {
+  /// Flag an operator when actual/estimated rows (smoothed, see
+  /// OperatorStats::DriftRatio) exceeds this factor in either direction.
+  double drift_threshold = 2.0;
+};
+
+/// Stamps `est_rows` on every profiled operator from the PlanBuilder
+/// cardinality model over `plan`, so QueryProfile::ToJson carries the
+/// estimate-vs-actual pair. `stats` and `feedback` may be null.
+void AnnotateEstimates(const catalog::Catalog& cat,
+                       const plan::StatsCatalog* stats,
+                       const plan::StatsFeedback* feedback,
+                       const plan::QueryPlan& plan, obs::QueryProfile& profile);
+
+/// Indented plan tree with per-node `est=` rows; when `profile` is non-null
+/// (EXPLAIN ANALYZE) each line adds actual rows, wall time, bytes shipped,
+/// and a `<-- drift` marker past the threshold, followed by a transfer
+/// summary footer. `stats`, `feedback`, and `profile` may be null.
+std::string RenderExplain(const catalog::Catalog& cat,
+                          const plan::StatsCatalog* stats,
+                          const plan::StatsFeedback* feedback,
+                          const plan::QueryPlan& plan,
+                          const obs::QueryProfile* profile,
+                          const ExplainOptions& options = {});
+
+}  // namespace cisqp::exec

@@ -10,6 +10,7 @@
 // backend for all transfer counters.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,7 +19,10 @@
 
 namespace cisqp::exec {
 
-/// One materialized shipment between two servers.
+/// One materialized shipment between two servers. Besides payload
+/// accounting, every record carries the trace context that travelled with
+/// the transfer on the (simulated) wire: the owning query's id and the span
+/// under which the receiving server's work nests causally.
 struct TransferRecord {
   int node_id = -1;
   catalog::ServerId from = catalog::kInvalidId;
@@ -26,6 +30,8 @@ struct TransferRecord {
   std::size_t rows = 0;
   std::size_t bytes = 0;
   std::string description;
+  std::int64_t query_id = -1;  ///< trace context: owning query, -1 unprofiled
+  int parent_span = -1;        ///< trace context: sending hop's span index
 };
 
 /// Per-directed-link aggregate over all transfers on that link.

@@ -25,6 +25,31 @@ std::string Compact(double value) {
 
 }  // namespace
 
+double HistogramData::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted observation, 1-based, in [1, count].
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (rank > static_cast<double>(seen)) continue;
+    // Interpolate within [lo, hi) = this bucket's value range by the
+    // fraction of the bucket's population below the wanted rank.
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(i));
+    const double fraction =
+        buckets[i] == 1
+            ? 0.0
+            : (rank - before - 1.0) / static_cast<double>(buckets[i] - 1);
+    const double value = lo + fraction * (hi - lo);
+    return std::clamp(value, min, max);
+  }
+  return max;
+}
+
 MetricsRegistry& MetricsRegistry::Get() {
   static MetricsRegistry registry;
   return registry;
@@ -106,7 +131,9 @@ std::string MetricsRegistry::ToText() const {
   for (const auto& [name, h] : histograms_) {
     oss << name << " count=" << h.count << " sum=" << Compact(h.sum)
         << " min=" << Compact(h.min) << " max=" << Compact(h.max)
-        << " mean=" << Compact(h.mean()) << "\n";
+        << " mean=" << Compact(h.mean()) << " p50=" << Compact(h.Percentile(0.5))
+        << " p95=" << Compact(h.Percentile(0.95))
+        << " p99=" << Compact(h.Percentile(0.99)) << "\n";
   }
   return oss.str();
 }
@@ -136,7 +163,9 @@ std::string MetricsRegistry::ToJson() const {
     oss << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
         << ",\"sum\":" << Compact(h.sum) << ",\"min\":" << Compact(h.min)
         << ",\"max\":" << Compact(h.max) << ",\"mean\":" << Compact(h.mean())
-        << "}";
+        << ",\"p50\":" << Compact(h.Percentile(0.5))
+        << ",\"p95\":" << Compact(h.Percentile(0.95))
+        << ",\"p99\":" << Compact(h.Percentile(0.99)) << "}";
   }
   oss << "}}";
   return oss.str();

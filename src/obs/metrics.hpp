@@ -41,6 +41,12 @@ struct HistogramData {
   std::uint64_t buckets[kBuckets] = {};
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Quantile `q` in [0, 1], linearly interpolated inside the power-of-two
+  /// bucket holding the q-th observation and clamped to [min, max]. Exact at
+  /// the extremes (q=0 → min, q=1 → max); in between the error is bounded by
+  /// the bucket width. Returns 0 on an empty histogram.
+  double Percentile(double q) const;
 };
 
 /// Process-wide metrics store. `Get()` returns the singleton; recording is a

@@ -1,0 +1,115 @@
+#include "obs/profile.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace cisqp::obs {
+namespace {
+
+/// Renders a double without trailing noise (matches the metrics exporter).
+std::string Compact(double value) {
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace
+
+double OperatorStats::Selectivity() const {
+  const double in = rows_in_right > 0
+                        ? static_cast<double>(rows_in_left) *
+                              static_cast<double>(rows_in_right)
+                        : static_cast<double>(rows_in_left);
+  if (in <= 0.0) return 1.0;
+  return static_cast<double>(rows_out) / in;
+}
+
+double OperatorStats::DriftRatio() const {
+  if (est_rows < 0.0) return -1.0;
+  // Both sides offset by one row so empty-vs-empty reads as drift 1 and
+  // empty-vs-estimated still shows the miss.
+  return (static_cast<double>(rows_out) + 1.0) / (est_rows + 1.0);
+}
+
+std::int64_t QueryProfile::NextQueryId() {
+  static std::atomic<std::int64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+OperatorStats& QueryProfile::OpAt(int node_id) {
+  if (node_id >= static_cast<int>(operators.size())) {
+    operators.resize(static_cast<std::size_t>(node_id) + 1);
+  }
+  OperatorStats& stats = operators[static_cast<std::size_t>(node_id)];
+  stats.node_id = node_id;
+  return stats;
+}
+
+const OperatorStats* QueryProfile::FindOp(int node_id) const {
+  if (node_id < 0 || node_id >= static_cast<int>(operators.size())) {
+    return nullptr;
+  }
+  const OperatorStats& stats = operators[static_cast<std::size_t>(node_id)];
+  return stats.node_id < 0 ? nullptr : &stats;
+}
+
+std::uint64_t QueryProfile::TotalBytesShipped() const {
+  std::uint64_t total = 0;
+  for (const TransferStats& t : transfers) total += t.bytes;
+  return total;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"query_id\":" << query_id << ",\"duration_us\":" << duration_us;
+  if (!query_text.empty()) {
+    oss << ",\"query\":\"" << JsonEscape(query_text) << "\"";
+  }
+  oss << ",\"operators\":[";
+  bool first = true;
+  for (const OperatorStats& op : operators) {
+    if (op.node_id < 0) continue;  // never-profiled slot
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"node\":" << op.node_id << ",\"op\":\"" << JsonEscape(op.op)
+        << "\",\"server\":\"" << JsonEscape(op.server)
+        << "\",\"invocations\":" << op.invocations
+        << ",\"batches\":" << op.batches
+        << ",\"rows_in_left\":" << op.rows_in_left
+        << ",\"rows_in_right\":" << op.rows_in_right
+        << ",\"rows_out\":" << op.rows_out << ",\"time_us\":" << op.time_us
+        << ",\"selectivity\":" << Compact(op.Selectivity());
+    if (op.est_rows >= 0.0) {
+      oss << ",\"est_rows\":" << Compact(op.est_rows)
+          << ",\"drift\":" << Compact(op.DriftRatio());
+    }
+    if (op.hash_build_rows + op.hash_probe_rows + op.hash_matches > 0) {
+      oss << ",\"hash_build_rows\":" << op.hash_build_rows
+          << ",\"hash_probe_rows\":" << op.hash_probe_rows
+          << ",\"hash_matches\":" << op.hash_matches;
+    }
+    if (op.dict_filter_lookups > 0) {
+      oss << ",\"dict_filter_lookups\":" << op.dict_filter_lookups
+          << ",\"dict_filter_hits\":" << op.dict_filter_hits;
+    }
+    if (op.bytes_shipped > 0) oss << ",\"bytes_shipped\":" << op.bytes_shipped;
+    oss << "}";
+  }
+  oss << "],\"transfers\":[";
+  first = true;
+  for (const TransferStats& t : transfers) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"node\":" << t.node_id << ",\"from\":\"" << JsonEscape(t.from)
+        << "\",\"to\":\"" << JsonEscape(t.to) << "\",\"rows\":" << t.rows
+        << ",\"bytes\":" << t.bytes << ",\"query_id\":" << t.query_id
+        << ",\"parent_span\":" << t.parent_span << ",\"what\":\""
+        << JsonEscape(t.what) << "\"}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace cisqp::obs

@@ -43,19 +43,59 @@ void Tracer::Enable() {
 void Tracer::Clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  metadata_.process_names.clear();
+  metadata_.thread_names.clear();
   open_span_stack.clear();
+}
+
+void Tracer::SetProcessName(int pid, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  metadata_.process_names[pid] = std::move(name);
+}
+
+void Tracer::SetThreadName(int pid, int tid, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  metadata_.thread_names[{pid, tid}] = std::move(name);
 }
 
 int Tracer::BeginSpan(std::string_view name) {
   SpanRecord record;
   record.name = std::string(name);
   record.start_us = NowMicros();
-  record.depth = static_cast<int>(open_span_stack.size());
-  record.parent = open_span_stack.empty() ? -1 : open_span_stack.back();
   record.tid = CurrentTid();
   const std::lock_guard<std::mutex> lock(mu_);
+  // Depth comes from the parent record, not the local stack size: a span
+  // opened on a worker thread under an explicit cross-thread parent (see
+  // BeginSpanWithParent) must keep nesting causally, not restart at the
+  // worker's own stack depth.
+  record.parent = open_span_stack.empty() ? -1 : open_span_stack.back();
+  if (record.parent >= 0) {
+    const SpanRecord& parent = spans_[static_cast<std::size_t>(record.parent)];
+    record.depth = parent.depth + 1;
+    record.pid = parent.pid;
+  }
   const int index = static_cast<int>(spans_.size());
   spans_.push_back(std::move(record));
+  open_span_stack.push_back(index);
+  return index;
+}
+
+int Tracer::BeginSpanWithParent(std::string_view name, int parent_index) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.start_us = NowMicros();
+  record.tid = CurrentTid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (parent_index >= 0 &&
+      static_cast<std::size_t>(parent_index) < spans_.size()) {
+    const SpanRecord& parent = spans_[static_cast<std::size_t>(parent_index)];
+    record.parent = parent_index;
+    record.depth = parent.depth + 1;
+    record.pid = parent.pid;
+  }
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(record));
+  // Children opened on this thread nest under the explicit-parent span.
   open_span_stack.push_back(index);
   return index;
 }
@@ -82,7 +122,15 @@ void Tracer::AddAttribute(int index, std::string_view key, std::string value) {
       .attributes.emplace_back(std::string(key), std::move(value));
 }
 
-std::string Tracer::ChromeTraceJson() const { return ToChromeTraceJson(spans_); }
+void Tracer::SetSpanLane(int index, int pid) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || static_cast<std::size_t>(index) >= spans_.size()) return;
+  spans_[static_cast<std::size_t>(index)].pid = pid;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  return ToChromeTraceJson(spans_, &metadata_);
+}
 
 std::string Tracer::TextTree() const { return ToTextTree(spans_); }
 
@@ -110,17 +158,37 @@ std::string JsonEscape(std::string_view text) {
   return out;
 }
 
-std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              const TraceMetadata* metadata) {
   std::ostringstream oss;
   oss << "{\"traceEvents\":[";
   bool first = true;
-  for (const SpanRecord& span : spans) {
+  const auto separator = [&] {
     if (!first) oss << ",";
     first = false;
+  };
+  // Lane-naming metadata first; every event carries ts/dur so the exported
+  // document satisfies ValidateChromeTraceJson's uniform schema.
+  if (metadata != nullptr) {
+    for (const auto& [pid, name] : metadata->process_names) {
+      separator();
+      oss << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"dur\":0,"
+          << "\"pid\":" << pid << ",\"tid\":0,\"args\":{\"name\":\""
+          << JsonEscape(name) << "\"}}";
+    }
+    for (const auto& [lane, name] : metadata->thread_names) {
+      separator();
+      oss << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"dur\":0,"
+          << "\"pid\":" << lane.first << ",\"tid\":" << lane.second
+          << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+    }
+  }
+  for (const SpanRecord& span : spans) {
+    separator();
     oss << "{\"name\":\"" << JsonEscape(span.name) << "\",\"ph\":\"X\","
         << "\"ts\":" << span.start_us << ",\"dur\":"
         << (span.duration_us < 0 ? 0 : span.duration_us)
-        << ",\"pid\":1,\"tid\":" << span.tid;
+        << ",\"pid\":" << span.pid << ",\"tid\":" << span.tid;
     if (!span.attributes.empty()) {
       oss << ",\"args\":{";
       bool first_attr = true;
@@ -132,6 +200,26 @@ std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
       oss << "}";
     }
     oss << "}";
+  }
+  // Flow arrows for cross-lane parentage: a span whose parent lives on a
+  // different (pid, tid) would otherwise render with no visible link to the
+  // query that caused it.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (span.parent < 0) continue;
+    const SpanRecord& parent = spans[static_cast<std::size_t>(span.parent)];
+    if (parent.tid == span.tid && parent.pid == span.pid) continue;
+    separator();
+    oss << "{\"name\":\"" << JsonEscape(parent.name) << "/"
+        << JsonEscape(span.name) << "\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+        << i << ",\"ts\":" << span.start_us << ",\"dur\":0,\"pid\":"
+        << parent.pid << ",\"tid\":" << parent.tid << "}";
+    separator();
+    oss << "{\"name\":\"" << JsonEscape(parent.name) << "/"
+        << JsonEscape(span.name)
+        << "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << i
+        << ",\"ts\":" << span.start_us << ",\"dur\":0,\"pid\":" << span.pid
+        << ",\"tid\":" << span.tid << "}";
   }
   oss << "],\"displayTimeUnit\":\"ms\"}";
   return oss.str();

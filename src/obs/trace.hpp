@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -53,7 +54,20 @@ struct SpanRecord {
   int depth = 0;                 ///< nesting level (root = 0, per thread)
   int parent = -1;               ///< index of the enclosing span, or -1
   int tid = 0;                   ///< small stable id of the recording thread
+  int pid = 1;                   ///< trace lane (federation server) id
   std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Lane naming for the Chrome export: Perfetto renders each pid as a named
+/// process track and each (pid, tid) as a named thread row, so federation
+/// servers show up as "server:Alice" lanes instead of bare integers.
+struct TraceMetadata {
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> thread_names;
+
+  bool empty() const noexcept {
+    return process_names.empty() && thread_names.empty();
+  }
 };
 
 /// Process-wide span recorder. Disabled by default; `Enable()` starts a
@@ -74,6 +88,13 @@ class Tracer {
   /// Read-only view of the recording; call only while no thread is
   /// recording (the exporters below do the same).
   const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  const TraceMetadata& metadata() const noexcept { return metadata_; }
+
+  /// Names the Chrome-export lane `pid` (e.g. a federation server). Cleared
+  /// by Enable()/Clear() together with the spans.
+  void SetProcessName(int pid, std::string name);
+  /// Names thread `tid` within lane `pid`.
+  void SetThreadName(int pid, int tid, std::string name);
 
   /// Chrome trace_event JSON of the current recording.
   std::string ChromeTraceJson() const;
@@ -82,13 +103,20 @@ class Tracer {
 
   // Internal API used by Span; index-based so Span stays trivially movable.
   int BeginSpan(std::string_view name);
+  /// Begins a span nested under `parent_index` (a span possibly opened on
+  /// another thread) instead of this thread's innermost open span. This is
+  /// how pool workers and remote servers attach causally to the query span
+  /// that dispatched them.
+  int BeginSpanWithParent(std::string_view name, int parent_index);
   void EndSpan(int index);
   void AddAttribute(int index, std::string_view key, std::string value);
+  void SetSpanLane(int index, int pid);
 
  private:
   std::atomic<bool> enabled_{false};
   std::mutex mu_;           ///< guards spans_ (the stacks are thread-local)
   std::vector<SpanRecord> spans_;
+  TraceMetadata metadata_;  ///< also guarded by mu_
 };
 
 /// RAII tracing region. Constructing while the tracer is disabled records
@@ -98,6 +126,17 @@ class Span {
   explicit Span(std::string_view name) {
     if constexpr (kObsCompiledIn) {
       if (Tracer::Get().enabled()) index_ = Tracer::Get().BeginSpan(name);
+    }
+  }
+  /// Opens a span nested under `parent` regardless of which thread opened
+  /// it; falls back to stack nesting when `parent` is not recording.
+  Span(std::string_view name, const Span& parent) {
+    if constexpr (kObsCompiledIn) {
+      if (Tracer::Get().enabled()) {
+        index_ = parent.index_ >= 0
+                     ? Tracer::Get().BeginSpanWithParent(name, parent.index_)
+                     : Tracer::Get().BeginSpan(name);
+      }
     }
   }
   ~Span() {
@@ -111,6 +150,15 @@ class Span {
   /// True when this span is being recorded — gate expensive attribute
   /// rendering on it.
   bool active() const noexcept { return index_ >= 0; }
+
+  /// Tracer-internal index of this span (-1 when not recording). Carried as
+  /// the parent-span trace context on inter-server transfers.
+  int index() const noexcept { return index_; }
+
+  /// Assigns this span to Chrome-export lane `pid` (a federation server).
+  void SetLane(int pid) {
+    if (index_ >= 0) Tracer::Get().SetSpanLane(index_, pid);
+  }
 
   void AddAttribute(std::string_view key, std::string value) {
     if (index_ >= 0) Tracer::Get().AddAttribute(index_, key, std::move(value));
@@ -154,8 +202,12 @@ class Span {
 #define CISQP_TRACE_SPAN(var, name) ::cisqp::obs::Span var{name}
 
 /// Chrome trace_event JSON ("X" complete events) for `spans`. Open spans
-/// (duration -1) export with zero duration.
-std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+/// (duration -1) export with zero duration. When `metadata` is non-null its
+/// process/thread names are emitted as "M" metadata events, and spans whose
+/// parent sits on a different (pid, tid) lane additionally get "s"/"f" flow
+/// events so cross-server causality renders as arrows in Perfetto.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              const TraceMetadata* metadata = nullptr);
 
 /// Indented per-span text tree: "name 123us k=v ...".
 std::string ToTextTree(const std::vector<SpanRecord>& spans);

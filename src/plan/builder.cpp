@@ -259,6 +259,15 @@ double PlanBuilder::EstimateCardinality(const PlanNode& node) const {
     return stats_ != nullptr ? stats_->Of(rel).DistinctOf(attr)
                              : RelationStats{}.DistinctOf(attr);
   };
+  // Measured beats modeled — but never for π: a plain π shares its child's
+  // signature (and count) while a DISTINCT π does not, so π always computes
+  // from its child (whose recursion consults the feedback itself).
+  if (feedback_ != nullptr && node.op != PlanOp::kProject) {
+    if (const std::optional<double> measured =
+            feedback_->Lookup(SubtreeSignature(cat_, node))) {
+      return *measured;
+    }
+  }
   switch (node.op) {
     case PlanOp::kRelation:
       return stats_ != nullptr ? stats_->Of(node.relation).rows

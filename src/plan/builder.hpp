@@ -29,8 +29,9 @@ struct BuildOptions {
 class PlanBuilder {
  public:
   explicit PlanBuilder(const catalog::Catalog& cat,
-                       const StatsCatalog* stats = nullptr)
-      : cat_(cat), stats_(stats) {}
+                       const StatsCatalog* stats = nullptr,
+                       const StatsFeedback* feedback = nullptr)
+      : cat_(cat), stats_(stats), feedback_(feedback) {}
 
   /// Builds and validates a plan for `spec`. Fails when the spec is invalid
   /// or (under kGreedyCost) when the join graph of the spec is disconnected.
@@ -46,12 +47,15 @@ class PlanBuilder {
                            const BuildOptions& options = {}) const;
 
   /// Estimated output cardinality of a plan subtree under this builder's
-  /// statistics (used by tests and the cost-based safe planner).
+  /// statistics (used by tests and the cost-based safe planner). A measured
+  /// cardinality from the feedback store, when attached and hit, overrides
+  /// the model estimate for the whole subtree.
   double EstimateCardinality(const PlanNode& node) const;
 
  private:
   const catalog::Catalog& cat_;
-  const StatsCatalog* stats_;  // may be null: defaults apply
+  const StatsCatalog* stats_;        // may be null: defaults apply
+  const StatsFeedback* feedback_;    // may be null: model estimates only
 };
 
 }  // namespace cisqp::plan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +32,7 @@ class Dp {
  public:
   Dp(const catalog::Catalog& cat, const StatsCatalog* stats,
      const QuerySpec& spec, const DpOptimizerOptions& options)
-      : cat_(cat), stats_(stats), options_(options),
+      : cat_(cat), stats_(stats), spec_(spec), options_(options),
         relations_(spec.Relations()) {
     for (std::size_t i = 0; i < relations_.size(); ++i) {
       index_of_[relations_[i]] = i;
@@ -50,13 +51,22 @@ class Dp {
     const std::size_t n = relations_.size();
     for (std::size_t i = 0; i < n; ++i) {
       const Mask mask = Mask{1} << i;
-      table_[mask] = Entry{0.0, RowsOf(relations_[i]), 0};
+      double rows = RowsOf(relations_[i]);
+      if (const std::optional<double> measured = MeasuredRows(mask)) {
+        rows = *measured;
+      }
+      table_[mask] = Entry{0.0, rows, 0};
       ++explored_;
     }
 
     const Mask full = static_cast<Mask>((std::size_t{1} << n) - 1);
     for (Mask mask = 1; mask <= full; ++mask) {
       if ((mask & (mask - 1)) == 0) continue;  // singleton, already seeded
+      // Measured output cardinality of this subset, if a profiled run fed it
+      // back. Applied uniformly across splits: the split choice inside the
+      // subset stays driven by the split costs, while every cost above the
+      // subset sees the corrected row count.
+      const std::optional<double> measured = MeasuredRows(mask);
       // Canonical split: the left side contains the subset's lowest bit, so
       // each unordered split is tried once with a fixed orientation.
       const Mask low = mask & static_cast<Mask>(-static_cast<std::int32_t>(mask));
@@ -71,7 +81,8 @@ class Dp {
         ++explored_;
         const double selectivity = CrossSelectivity(sub, rest);
         if (selectivity < 0.0) continue;  // no connecting edge: cross join
-        const double rows = l.rows * r.rows * selectivity;
+        const double rows =
+            measured ? *measured : l.rows * r.rows * selectivity;
         const double cost = l.cost + r.cost + rows;
         if (cost < best.cost) best = Entry{cost, rows, sub};
       }
@@ -98,6 +109,16 @@ class Dp {
 
   double RowsOf(catalog::RelationId rel) const {
     return stats_ != nullptr ? stats_->Of(rel).rows : RelationStats{}.rows;
+  }
+
+  /// Feedback-store row count of the subset `mask`, if recorded.
+  std::optional<double> MeasuredRows(Mask mask) const {
+    if (options_.feedback == nullptr) return std::nullopt;
+    std::vector<catalog::RelationId> subset;
+    for (std::size_t i = 0; i < relations_.size(); ++i) {
+      if (mask & (Mask{1} << i)) subset.push_back(relations_[i]);
+    }
+    return options_.feedback->Lookup(SpecSubsetSignature(cat_, spec_, subset));
   }
 
   double DistinctOf(catalog::AttributeId attr) const {
@@ -149,6 +170,7 @@ class Dp {
 
   const catalog::Catalog& cat_;
   const StatsCatalog* stats_;
+  const QuerySpec& spec_;
   const DpOptimizerOptions& options_;
   std::vector<catalog::RelationId> relations_;
   std::map<catalog::RelationId, std::size_t> index_of_;
@@ -178,7 +200,7 @@ Result<DpOptimizerResult> OptimizeJoinOrder(const catalog::Catalog& cat,
   CISQP_METRIC_ADD("dp.subsets_explored", result.subsets_explored);
   span.AddAttribute("subsets_explored", result.subsets_explored);
   span.AddAttribute("estimated_cost", result.estimated_cost);
-  PlanBuilder builder(cat, stats);
+  PlanBuilder builder(cat, stats, options.feedback);
   CISQP_ASSIGN_OR_RETURN(result.plan,
                          builder.Finish(dp.TakeTree(), spec, options.build_options));
   return result;

@@ -27,6 +27,12 @@ struct DpOptimizerOptions {
   std::size_t max_relations = 14;
   /// Finishing passes (pushdown etc.); join_order is ignored.
   BuildOptions build_options;
+  /// Measured cardinalities from profiled past executions. When a subset's
+  /// signature hits the store, the measured row count replaces the modeled
+  /// one for that subset — uniformly across its splits, so the split choice
+  /// within the subset is undistorted while the corrected cardinality
+  /// propagates to every cost above it.
+  const StatsFeedback* feedback = nullptr;
 };
 
 struct DpOptimizerResult {

@@ -3,14 +3,37 @@
 // it assigns operations to the servers"). Step one needs estimates; this is
 // the textbook System-R style model: per-relation row counts and per-column
 // distinct counts, uniformity and independence assumed.
+//
+// The StatsFeedback store below closes the estimate→execute loop (DESIGN.md
+// §13): a profiled execution harvests each operator's *actual* cardinality
+// keyed by its (relation set, predicate signature), and the next planning of
+// the same shape — PlanBuilder estimates, DP subset enumeration — prefers
+// the measured value over the model. The two signature functions are built
+// to coincide: the pushdown invariants (every WHERE conjunct sits at the
+// lowest subtree producing its attributes, every join atom inside a subtree
+// connects relations of that subtree) make the signature computed from an
+// executed plan subtree equal the one computed from the corresponding
+// relation subset of the spec.
 #pragma once
 
 #include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "catalog/catalog.hpp"
 #include "storage/table.hpp"
 
+namespace cisqp::obs {
+class QueryProfile;
+}  // namespace cisqp::obs
+
 namespace cisqp::plan {
+
+struct PlanNode;
+class QueryPlan;
+struct QuerySpec;
 
 /// Statistics of one relation instance.
 struct RelationStats {
@@ -48,5 +71,51 @@ class StatsCatalog {
  private:
   std::map<catalog::RelationId, RelationStats> stats_;
 };
+
+/// Measured cardinalities from past executions, keyed by the canonical
+/// (relation set, predicate signature) of the producing subtree. Owned by
+/// the caller (a shell session, a bench); not a process-wide singleton.
+class StatsFeedback {
+ public:
+  /// Records that the shape `signature` produced `rows` rows (latest wins).
+  void Record(std::string signature, double rows);
+
+  /// Measured cardinality of `signature`, if any execution recorded it.
+  std::optional<double> Lookup(std::string_view signature) const;
+
+  std::size_t size() const noexcept { return actual_rows_.size(); }
+  bool empty() const noexcept { return actual_rows_.empty(); }
+
+  const std::map<std::string, double, std::less<>>& entries() const noexcept {
+    return actual_rows_;
+  }
+
+ private:
+  std::map<std::string, double, std::less<>> actual_rows_;
+};
+
+/// Canonical signature of the plan subtree rooted at `node`: sorted relation
+/// names, sorted selection-conjunct tokens, sorted (normalized) join-atom
+/// tokens. π nodes are transparent — they share their child's signature.
+std::string SubtreeSignature(const catalog::Catalog& cat, const PlanNode& node);
+
+/// The signature the subtree over exactly `subset` would have under this
+/// spec: the subset's relations, every WHERE conjunct whose attributes all
+/// live in the subset, every join atom connecting two subset relations.
+/// Equals SubtreeSignature of the corresponding executed subtree (pushdown
+/// invariants above).
+std::string SpecSubsetSignature(const catalog::Catalog& cat,
+                                const QuerySpec& spec,
+                                const std::vector<catalog::RelationId>& subset);
+
+/// Harvests every profiled operator's actual cardinality from `profile` into
+/// `feedback`. π nodes are skipped (plain π preserves counts and shares its
+/// child's signature; DISTINCT π would distort it); when two nodes share a
+/// signature the topmost (pre-order first) wins. Returns the number of
+/// signatures recorded.
+std::size_t HarvestActualCardinalities(const catalog::Catalog& cat,
+                                       const QueryPlan& plan,
+                                       const obs::QueryProfile& profile,
+                                       StatsFeedback& feedback);
 
 }  // namespace cisqp::plan

@@ -22,8 +22,12 @@ struct CostModelOptions {
 class CostModel {
  public:
   CostModel(const catalog::Catalog& cat, const plan::StatsCatalog* stats,
-            CostModelOptions options = {})
-      : cat_(cat), builder_(cat, stats), stats_(stats), options_(options) {}
+            CostModelOptions options = {},
+            const plan::StatsFeedback* feedback = nullptr)
+      : cat_(cat),
+        builder_(cat, stats, feedback),
+        stats_(stats),
+        options_(options) {}
 
   /// Estimated row count of a subtree's result.
   double EstimateRows(const plan::PlanNode& node) const {

@@ -27,8 +27,11 @@ class MinCostSafePlanner {
   MinCostSafePlanner(const catalog::Catalog& cat,
                      const authz::Policy& auths,
                      const plan::StatsCatalog* stats = nullptr,
-                     CostModelOptions cost_options = {})
-      : cat_(cat), auths_(auths), model_(cat, stats, cost_options) {}
+                     CostModelOptions cost_options = {},
+                     const plan::StatsFeedback* feedback = nullptr)
+      : cat_(cat),
+        auths_(auths),
+        model_(cat, stats, cost_options, feedback) {}
 
   /// The cheapest safe assignment, or kInfeasible when none exists.
   Result<CostedPlan> Plan(const plan::QueryPlan& plan) const;

@@ -170,9 +170,14 @@ Result<PlanSearchResult> FeasiblePlanSearch::Search(
   {
     ThreadPool pool(std::min(threads, orders.size()));
     pool.ParallelFor(orders.size(), [&](std::size_t i) {
-      plan::PlanBuilder builder(cat_, stats_);
+      // Explicitly parent the per-order span to the search root: pool
+      // workers have empty thread-local span stacks, so without this every
+      // worker would start a disjoint root lane in the Chrome export.
+      obs::Span order_span("planner.plan_search.order", span);
+      order_span.AddAttribute("order", i);
+      plan::PlanBuilder builder(cat_, stats_, feedback_);
       SafePlanner planner(cat_, policy_, options.planner_options);
-      MinCostSafePlanner cost_scorer(cat_, policy_, stats_);
+      MinCostSafePlanner cost_scorer(cat_, policy_, stats_, {}, feedback_);
       auto built = builder.Build(orders[i], build_options);
       if (!built.ok()) return;  // tried, but this order is not buildable
       auto report = planner.Analyze(*built);

@@ -58,8 +58,9 @@ struct PlanSearchResult {
 class FeasiblePlanSearch {
  public:
   FeasiblePlanSearch(const catalog::Catalog& cat, const authz::Policy& policy,
-                     const plan::StatsCatalog* stats = nullptr)
-      : cat_(cat), policy_(policy), stats_(stats) {}
+                     const plan::StatsCatalog* stats = nullptr,
+                     const plan::StatsFeedback* feedback = nullptr)
+      : cat_(cat), policy_(policy), stats_(stats), feedback_(feedback) {}
 
   /// Finds the cheapest feasible left-deep ordering of `spec`, or
   /// kInfeasible when no examined order admits a safe assignment.
@@ -75,6 +76,7 @@ class FeasiblePlanSearch {
   const catalog::Catalog& cat_;
   const authz::Policy& policy_;
   const plan::StatsCatalog* stats_;
+  const plan::StatsFeedback* feedback_;  // may be null: model estimates only
 };
 
 }  // namespace cisqp::planner

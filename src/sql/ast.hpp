@@ -38,6 +38,8 @@ struct AstCondition {
 };
 
 struct AstQuery {
+  bool explain = false;                 ///< EXPLAIN <select>: plan only
+  bool analyze = false;                 ///< EXPLAIN ANALYZE: execute + profile
   bool distinct = false;                ///< SELECT DISTINCT
   bool select_star = false;             ///< SELECT *
   std::vector<std::string> select_list; ///< empty when select_star

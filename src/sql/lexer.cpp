@@ -9,7 +9,8 @@ namespace {
 
 bool IsKeyword(std::string_view upper) {
   return upper == "SELECT" || upper == "DISTINCT" || upper == "FROM" ||
-         upper == "JOIN" || upper == "ON" || upper == "WHERE" || upper == "AND";
+         upper == "JOIN" || upper == "ON" || upper == "WHERE" ||
+         upper == "AND" || upper == "EXPLAIN" || upper == "ANALYZE";
 }
 
 std::string ToUpperAscii(std::string_view text) {

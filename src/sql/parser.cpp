@@ -134,9 +134,14 @@ Result<AstQuery> Parse(std::string_view text) {
   Cursor cur(std::move(tokens));
   AstQuery query;
 
+  if (cur.ConsumeKeyword("EXPLAIN")) {
+    query.explain = true;
+    query.analyze = cur.ConsumeKeyword("ANALYZE");
+  }
   if (!cur.ConsumeKeyword("SELECT")) {
-    return InvalidArgumentError("query must start with SELECT (offset " +
-                                std::to_string(cur.Peek().offset) + ")");
+    return InvalidArgumentError(
+        "query must start with SELECT or EXPLAIN [ANALYZE] (offset " +
+        std::to_string(cur.Peek().offset) + ")");
   }
   query.distinct = cur.ConsumeKeyword("DISTINCT");
   if (cur.At(TokenKind::kStar)) {

@@ -48,6 +48,55 @@ std::size_t DeniedEnforcementEntries() {
   return denied;
 }
 
+/// Exact (ordered, total-order cell comparison) table equality — stricter
+/// than SameRowMultiset: profiling must not even reorder the result.
+bool TablesByteIdentical(const storage::Table& a, const storage::Table& b) {
+  if (a.columns() != b.columns() || a.row_count() != b.row_count()) {
+    return false;
+  }
+  for (std::size_t r = 0; r < a.row_count(); ++r) {
+    const storage::Row& ra = a.rows()[r];
+    const storage::Row& rb = b.rows()[r];
+    for (std::size_t c = 0; c < ra.size(); ++c) {
+      if (ra[c].CompareTotal(rb[c]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Flow conservation over the profiled plan: every child's recorded rows_out
+/// must equal the parent's observed rows_in on that side. Returns the first
+/// violation as a message, or empty when conserved.
+std::string CheckRowConservation(const plan::QueryPlan& plan,
+                                 const obs::QueryProfile& profile) {
+  std::string violation;
+  plan.ForEachPreOrder([&](const plan::PlanNode& node) {
+    if (!violation.empty()) return;
+    const obs::OperatorStats* stats = profile.FindOp(node.id);
+    if (stats == nullptr) return;
+    const auto check = [&](const plan::PlanNode* child, std::uint64_t rows_in,
+                           const char* side) {
+      if (child == nullptr || !violation.empty()) return;
+      const obs::OperatorStats* child_stats = profile.FindOp(child->id);
+      if (child_stats == nullptr) {
+        violation = "node n" + std::to_string(node.id) + " has a profiled " +
+                    side + " input but child n" + std::to_string(child->id) +
+                    " recorded no stats";
+        return;
+      }
+      if (child_stats->rows_out != rows_in) {
+        violation = "node n" + std::to_string(child->id) + " produced " +
+                    std::to_string(child_stats->rows_out) + " rows but parent n" +
+                    std::to_string(node.id) + " observed " +
+                    std::to_string(rows_in) + " on its " + side + " input";
+      }
+    };
+    check(node.left.get(), stats->rows_in_left, "left");
+    check(node.right.get(), stats->rows_in_right, "right");
+  });
+  return violation;
+}
+
 }  // namespace
 
 std::string_view MismatchKindName(MismatchKind kind) noexcept {
@@ -60,6 +109,7 @@ std::string_view MismatchKindName(MismatchKind kind) noexcept {
     case MismatchKind::kResultMultiset: return "result-multiset";
     case MismatchKind::kAuditViolation: return "audit-violation";
     case MismatchKind::kFaultSafety: return "fault-safety";
+    case MismatchKind::kProfileDivergence: return "profile-divergence";
     case MismatchKind::kPipelineError: return "pipeline-error";
   }
   return "unknown";
@@ -254,6 +304,33 @@ Result<CheckReport> CheckScenario(const Scenario& s,
       fail(MismatchKind::kAuditViolation,
            std::to_string(denied) +
                " denied executor/requestor audit entries on a successful run");
+    }
+
+    // --- profile arm: observation only, and flow conservation --------------
+    obs::QueryProfile profile;
+    exec::ExecutionOptions profiled_options;
+    profiled_options.profile = &profile;
+    Result<exec::ExecutionResult> profiled = InternalError("unset");
+    Timed(report.production_us, [&] {
+      profiled = executor.Execute(chosen->plan, chosen->safe_plan.assignment,
+                                  profiled_options);
+    });
+    if (!profiled.ok()) {
+      fail(MismatchKind::kProfileDivergence,
+           "profiled re-execution failed where the unprofiled run succeeded: " +
+               profiled.status().ToString());
+    } else {
+      if (!TablesByteIdentical(executed->table, profiled->table)) {
+        fail(MismatchKind::kProfileDivergence,
+             "profiled re-execution returned a different table (profiling "
+             "must be observation only)");
+      }
+      const std::string violation =
+          CheckRowConservation(chosen->plan, profile);
+      if (!violation.empty()) {
+        fail(MismatchKind::kProfileDivergence,
+             "row conservation violated: " + violation);
+      }
     }
   } else if (executed.status().code() == StatusCode::kUnauthorized) {
     fail(MismatchKind::kUnsafePlan,

@@ -19,7 +19,11 @@
 //              reference evaluation;
 //   faults     under every configured fault seed, execution either returns
 //              the identical multiset or a typed kUnavailable — never
-//              kUnauthorized, never wrong rows.
+//              kUnauthorized, never wrong rows;
+//   profile    re-executing with a QueryProfile attached returns the
+//              byte-identical table (profiling is observation only), and the
+//              recorded per-operator cardinalities conserve: every child's
+//              rows_out equals its parent's observed rows_in.
 //
 // Disagreements are reported as typed Mismatches, never as errors: an error
 // return means the harness itself could not run (malformed scenario), which
@@ -45,6 +49,7 @@ enum class MismatchKind : std::uint8_t {
   kResultMultiset,   ///< distributed result != reference evaluation
   kAuditViolation,   ///< denied executor/requestor entry on a success
   kFaultSafety,      ///< faulted run returned wrong rows or kUnauthorized
+  kProfileDivergence,///< profiling changed the result, or rows don't conserve
   kPipelineError,    ///< a production stage failed with an unexpected status
 };
 

@@ -3,6 +3,11 @@
 // audit log at every check site, and the disabled-by-default contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
 #include "authz/chase.hpp"
 #include "exec/executor.hpp"
 #include "obs/audit.hpp"
@@ -96,6 +101,81 @@ TEST_F(ObsTest, ChromeTraceJsonRoundTripValidates) {
   EXPECT_EQ(json, ToChromeTraceJson(Tracer::Get().spans()));
 }
 
+TEST_F(ObsTest, ChromeTraceMetadataNamesLanesAndEmitsFlows) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable();
+  tracer.SetProcessName(2, "server:S_I");
+  tracer.SetThreadName(2, 0, "operators");
+  const int root = tracer.BeginSpan("query");
+  const int child = tracer.BeginSpanWithParent("exec.node", root);
+  tracer.SetSpanLane(child, 2);  // parent stays on lane 1 -> cross-lane edge
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+  tracer.Disable();
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].parent, root);
+  EXPECT_EQ(tracer.spans()[1].depth, 1);
+  EXPECT_EQ(tracer.spans()[1].pid, 2);
+  EXPECT_EQ(tracer.metadata().process_names.at(2), "server:S_I");
+
+  const std::string json = tracer.ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(ValidateChromeTraceJson(json, &error)) << error;
+  // Lane-naming metadata events for the server process and its thread row.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("server:S_I"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  // The cross-lane parent renders as a flow start/finish arrow pair.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Same-lane nesting (none crossed here besides child) emits no extra
+  // arrows: exactly one flow id.
+  EXPECT_EQ(json.find("\"cat\":\"flow\",\"ph\":\"s\""),
+            json.rfind("\"cat\":\"flow\",\"ph\":\"s\""));
+
+  // Clear() drops the metadata together with the spans.
+  tracer.Clear();
+  EXPECT_TRUE(tracer.metadata().empty());
+}
+
+TEST_F(ObsTest, BeginSpanWithParentNestsAcrossThreads) {
+  Tracer::Get().Enable();
+  {
+    Span root("root");
+    ASSERT_TRUE(root.active());
+    std::thread worker([&root] {
+      // A pool worker's stack is empty; the explicit parent attaches its
+      // span causally under the dispatching query span.
+      Span child("worker", root);
+      Span grandchild("inner");  // stack-nests under `child` on this thread
+      EXPECT_TRUE(child.active());
+      EXPECT_TRUE(grandchild.active());
+    });
+    worker.join();
+  }
+  Tracer::Get().Disable();
+
+  const auto& spans = Tracer::Get().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[1].name, "worker");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_NE(spans[1].tid, spans[0].tid);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].parent, 1);
+  EXPECT_EQ(spans[2].depth, 2);
+
+  // The cross-thread edge shows up as a flow pair in the export.
+  const std::string json = Tracer::Get().ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTraceJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("root/worker"), std::string::npos);
+}
+
 TEST_F(ObsTest, ValidateChromeTraceJsonRejectsGarbage) {
   std::string error;
   EXPECT_FALSE(ValidateChromeTraceJson("", &error));
@@ -153,6 +233,58 @@ TEST_F(ObsTest, MetricsSnapshotIsCorrect) {
   reg.Reset();
   EXPECT_EQ(reg.Counter("test.counter"), 0u);
   EXPECT_TRUE(reg.counters().empty());
+}
+
+TEST_F(ObsTest, HistogramPercentileTracksExactQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Enable();
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  for (double v : values) CISQP_METRIC_OBSERVE("test.pct", v);
+  reg.Disable();
+  std::sort(values.begin(), values.end());
+
+  const HistogramData h = reg.Histogram("test.pct");
+  ASSERT_EQ(h.count, 100u);
+  // Exact at the extremes.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+  // Out-of-range quantiles clamp.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 100.0);
+
+  // In between, the interpolated value stays within the power-of-two bucket
+  // holding the exact (linearly interpolated) quantile.
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double exact = values[lo] + (rank - static_cast<double>(lo)) *
+                                          (values[hi] - values[lo]);
+    const double bucket_width =
+        std::exp2(std::max(0.0, std::ceil(std::log2(exact)) - 1.0));
+    EXPECT_NEAR(h.Percentile(q), exact, bucket_width) << "q=" << q;
+    EXPECT_GE(h.Percentile(q), h.min) << "q=" << q;
+    EXPECT_LE(h.Percentile(q), h.max) << "q=" << q;
+  }
+
+  // Monotone in q.
+  double prev = h.Percentile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    EXPECT_GE(h.Percentile(q) + 1e-9, prev) << "q=" << q;
+    prev = h.Percentile(q);
+  }
+
+  // Degenerate histograms: empty -> 0; a single value is every quantile.
+  EXPECT_DOUBLE_EQ(HistogramData{}.Percentile(0.5), 0.0);
+  reg.Enable();
+  CISQP_METRIC_OBSERVE("test.single", 7.0);
+  reg.Disable();
+  EXPECT_DOUBLE_EQ(reg.Histogram("test.single").Percentile(0.5), 7.0);
+
+  // The snapshots carry the percentile columns.
+  EXPECT_NE(reg.ToText().find("p95="), std::string::npos);
+  EXPECT_NE(reg.ToJson().find("\"p99\":"), std::string::npos);
 }
 
 TEST_F(ObsTest, DisabledObsRecordsNothing) {

@@ -1,0 +1,273 @@
+// Tests for the per-operator query profiler: golden rows/bytes over the
+// paper's 3-server query, parity with the row-at-a-time oracle kernels,
+// trace-context propagation on transfers, EXPLAIN rendering, and
+// cross-contamination freedom under concurrent profiled executions (the
+// latter runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "exec/executor.hpp"
+#include "exec/explain.hpp"
+#include "obs/trace.hpp"
+#include "planner/safe_planner.hpp"
+#include "testcheck/row_kernels.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::exec {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+
+class QueryProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(fix_.cat);
+    Rng rng(2026);
+    ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+        *cluster_, workload::MedicalScenario::DataConfig{200, 0.4, 0.6, 30},
+        rng));
+    plan_ = fix_.PaperPlan();
+    planner::SafePlanner planner(fix_.cat, fix_.auths);
+    auto sp = planner.Plan(plan_);
+    ASSERT_OK(sp.status());
+    assignment_ = sp->assignment;
+  }
+
+  Result<ExecutionResult> ExecuteProfiled(obs::QueryProfile& profile) {
+    DistributedExecutor executor(*cluster_, fix_.auths);
+    ExecutionOptions options;
+    options.profile = &profile;
+    return executor.Execute(plan_, assignment_, options);
+  }
+
+  /// Row-kernel evaluation of the subtree rooted at `node` — the oracle the
+  /// profiled columnar counts must agree with.
+  Result<storage::Table> RowEval(const plan::PlanNode& node) {
+    switch (node.op) {
+      case plan::PlanOp::kRelation:
+        return cluster_->TableOf(node.relation);
+      case plan::PlanOp::kProject: {
+        CISQP_ASSIGN_OR_RETURN(storage::Table child, RowEval(*node.left));
+        return testcheck::RowProject(child, node.projection, node.distinct);
+      }
+      case plan::PlanOp::kSelect: {
+        CISQP_ASSIGN_OR_RETURN(storage::Table child, RowEval(*node.left));
+        return testcheck::RowSelect(child, node.predicate);
+      }
+      case plan::PlanOp::kJoin: {
+        CISQP_ASSIGN_OR_RETURN(storage::Table left, RowEval(*node.left));
+        CISQP_ASSIGN_OR_RETURN(storage::Table right, RowEval(*node.right));
+        return testcheck::RowHashJoin(left, right, node.join_atoms);
+      }
+    }
+    return InternalError("unknown op");
+  }
+
+  MedicalFixture fix_;
+  std::unique_ptr<Cluster> cluster_;
+  plan::QueryPlan plan_;
+  planner::Assignment assignment_;
+};
+
+TEST_F(QueryProfileTest, GoldenRowsAndBytesPerOperator) {
+  obs::QueryProfile profile;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result, ExecuteProfiled(profile));
+
+  EXPECT_GT(profile.query_id, 0);
+  EXPECT_GE(profile.duration_us, 0);
+
+  // Every plan node ran exactly once and has a filled slot.
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    const obs::OperatorStats* stats = profile.FindOp(node.id);
+    ASSERT_NE(stats, nullptr) << "node n" << node.id << " unprofiled";
+    EXPECT_EQ(stats->invocations, 1u) << "node n" << node.id;
+    EXPECT_FALSE(stats->op.empty());
+    EXPECT_FALSE(stats->server.empty());
+  });
+
+  // Leaves produce exactly their table's rows; the root produces the result.
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    if (node.op != plan::PlanOp::kRelation) return;
+    EXPECT_EQ(profile.FindOp(node.id)->rows_out,
+              cluster_->TableOf(node.relation).row_count())
+        << "leaf n" << node.id;
+  });
+  EXPECT_EQ(profile.FindOp(plan_.root()->id)->rows_out,
+            result.table.row_count());
+
+  // Flow conservation: every child's rows_out is the parent's rows_in.
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    const obs::OperatorStats* stats = profile.FindOp(node.id);
+    if (node.left != nullptr) {
+      EXPECT_EQ(stats->rows_in_left, profile.FindOp(node.left->id)->rows_out)
+          << "node n" << node.id;
+    }
+    if (node.right != nullptr) {
+      EXPECT_EQ(stats->rows_in_right, profile.FindOp(node.right->id)->rows_out)
+          << "node n" << node.id;
+    }
+  });
+
+  // The transfer log agrees byte-for-byte with the network accounting, and
+  // every hop names real servers of the 3-server query.
+  EXPECT_EQ(profile.transfers.size(), result.network.total_messages());
+  EXPECT_EQ(profile.TotalBytesShipped(), result.network.total_bytes());
+  for (const obs::TransferStats& t : profile.transfers) {
+    EXPECT_OK(fix_.cat.FindServer(t.from).status());
+    EXPECT_OK(fix_.cat.FindServer(t.to).status());
+    EXPECT_NE(t.from, t.to);
+    EXPECT_GT(t.bytes, 0u);
+    EXPECT_EQ(t.query_id, profile.query_id);
+    EXPECT_FALSE(t.what.empty());
+  }
+
+  // The paper's assignment ships the semi-join flows: bytes must land on the
+  // join nodes that shipped them.
+  std::uint64_t join_bytes = 0;
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    if (node.op == plan::PlanOp::kJoin) {
+      join_bytes += profile.FindOp(node.id)->bytes_shipped;
+    }
+  });
+  EXPECT_EQ(join_bytes, profile.TotalBytesShipped());
+
+  // The JSON export carries the operators and transfers.
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"operators\""), std::string::npos);
+  EXPECT_NE(json.find("\"transfers\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_out\""), std::string::npos);
+}
+
+TEST_F(QueryProfileTest, ProfiledCountsMatchRowKernelOracle) {
+  obs::QueryProfile profile;
+  ASSERT_OK(ExecuteProfiled(profile).status());
+  // The columnar engine's per-operator output cardinality must equal the
+  // row-at-a-time oracle's, node by node.
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    auto oracle = RowEval(node);
+    ASSERT_OK(oracle.status());
+    EXPECT_EQ(profile.FindOp(node.id)->rows_out, oracle->row_count())
+        << "node n" << node.id << " (" << profile.FindOp(node.id)->op << ")";
+  });
+}
+
+TEST_F(QueryProfileTest, ProfilingIsObservationOnly) {
+  DistributedExecutor executor(*cluster_, fix_.auths);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult plain,
+                       executor.Execute(plan_, assignment_));
+  obs::QueryProfile profile;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult profiled, ExecuteProfiled(profile));
+  ASSERT_EQ(plain.table.row_count(), profiled.table.row_count());
+  for (std::size_t r = 0; r < plain.table.row_count(); ++r) {
+    const storage::Row& a = plain.table.rows()[r];
+    const storage::Row& b = profiled.table.rows()[r];
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].CompareTotal(b[c]), 0) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_F(QueryProfileTest, TransfersCarrySpanContextWhenTracing) {
+  obs::Tracer::Get().Enable();
+  obs::QueryProfile profile;
+  ASSERT_OK(ExecuteProfiled(profile).status());
+  obs::Tracer::Get().Disable();
+
+  const std::vector<obs::SpanRecord>& spans = obs::Tracer::Get().spans();
+  ASSERT_FALSE(spans.empty());
+  for (const obs::TransferStats& t : profile.transfers) {
+    ASSERT_GE(t.parent_span, 0);
+    ASSERT_LT(static_cast<std::size_t>(t.parent_span), spans.size());
+    EXPECT_EQ(spans[static_cast<std::size_t>(t.parent_span)].name, "exec.ship");
+  }
+
+  // Server lanes are named, and every ship span sits on its sender's lane —
+  // cross-server causality instead of disjoint per-thread rows.
+  const obs::TraceMetadata& metadata = obs::Tracer::Get().metadata();
+  EXPECT_EQ(metadata.process_names.size(), fix_.cat.server_count());
+  for (const auto& [pid, name] : metadata.process_names) {
+    EXPECT_GE(pid, 2);  // lane 1 is the coordinator
+    EXPECT_EQ(name.rfind("server:", 0), 0u) << name;
+  }
+  std::string error;
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(obs::Tracer::Get().ChromeTraceJson(),
+                                           &error))
+      << error;
+  obs::Tracer::Get().Clear();
+}
+
+TEST_F(QueryProfileTest, ExplainAnalyzeRendersEstimatesAndDrift) {
+  obs::QueryProfile profile;
+  ASSERT_OK(ExecuteProfiled(profile).status());
+
+  const plan::StatsCatalog stats =
+      workload::MedicalScenario::ComputeStats(*cluster_);
+  AnnotateEstimates(fix_.cat, &stats, nullptr, plan_, profile);
+  plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+    EXPECT_GE(profile.FindOp(node.id)->est_rows, 0.0) << "node n" << node.id;
+  });
+
+  const std::string analyze =
+      RenderExplain(fix_.cat, &stats, nullptr, plan_, &profile);
+  EXPECT_NE(analyze.find("est="), std::string::npos);
+  EXPECT_NE(analyze.find("actual="), std::string::npos);
+  EXPECT_NE(analyze.find("drift="), std::string::npos);
+  EXPECT_NE(analyze.find("time="), std::string::npos);
+  EXPECT_NE(analyze.find("ship n"), std::string::npos);
+
+  // Plain EXPLAIN renders estimates but no actuals.
+  const std::string explain =
+      RenderExplain(fix_.cat, &stats, nullptr, plan_, nullptr);
+  EXPECT_NE(explain.find("est="), std::string::npos);
+  EXPECT_EQ(explain.find("actual="), std::string::npos);
+}
+
+TEST_F(QueryProfileTest, ConcurrentProfilesDoNotCrossContaminate) {
+  // Two profiled executions of the same plan race on the shared cluster;
+  // each must fill its own profile with the identical (deterministic)
+  // counts. TSan covers the kernel-counter and tracer paths here.
+  obs::QueryProfile baseline;
+  ASSERT_OK(ExecuteProfiled(baseline).status());
+
+  constexpr int kThreads = 2;
+  std::vector<obs::QueryProfile> profiles(kThreads);
+  std::vector<Status> statuses(kThreads, InternalError("unset"));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      workers.emplace_back([&, i] {
+        statuses[static_cast<std::size_t>(i)] =
+            ExecuteProfiled(profiles[static_cast<std::size_t>(i)]).status();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_OK(statuses[static_cast<std::size_t>(i)]);
+    const obs::QueryProfile& p = profiles[static_cast<std::size_t>(i)];
+    EXPECT_NE(p.query_id, baseline.query_id);
+    plan_.ForEachPreOrder([&](const plan::PlanNode& node) {
+      const obs::OperatorStats* got = p.FindOp(node.id);
+      const obs::OperatorStats* want = baseline.FindOp(node.id);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->invocations, want->invocations) << "node n" << node.id;
+      EXPECT_EQ(got->rows_out, want->rows_out) << "node n" << node.id;
+      EXPECT_EQ(got->rows_in_left, want->rows_in_left) << "node n" << node.id;
+      EXPECT_EQ(got->rows_in_right, want->rows_in_right)
+          << "node n" << node.id;
+      EXPECT_EQ(got->hash_matches, want->hash_matches) << "node n" << node.id;
+      EXPECT_EQ(got->bytes_shipped, want->bytes_shipped)
+          << "node n" << node.id;
+    });
+    EXPECT_EQ(p.TotalBytesShipped(), baseline.TotalBytesShipped());
+    EXPECT_EQ(p.transfers.size(), baseline.transfers.size());
+  }
+  // Distinct executions, distinct query ids.
+  EXPECT_NE(profiles[0].query_id, profiles[1].query_id);
+}
+
+}  // namespace
+}  // namespace cisqp::exec

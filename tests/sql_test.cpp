@@ -114,6 +114,46 @@ TEST(ParserTest, WhereAttrAttr) {
   EXPECT_EQ(std::get<std::string>(q.where[0].rhs), "Plan");
 }
 
+TEST(ParserTest, ExplainAndExplainAnalyze) {
+  // Plain query: both flags off.
+  ASSERT_OK_AND_ASSIGN(AstQuery plain, Parse("SELECT Plan FROM Insurance"));
+  EXPECT_FALSE(plain.explain);
+  EXPECT_FALSE(plain.analyze);
+
+  // EXPLAIN wraps an otherwise-unchanged query.
+  ASSERT_OK_AND_ASSIGN(
+      AstQuery q, Parse("EXPLAIN SELECT Plan FROM Insurance JOIN Hospital "
+                        "ON Holder = Patient WHERE Plan = 'gold'"));
+  EXPECT_TRUE(q.explain);
+  EXPECT_FALSE(q.analyze);
+  EXPECT_EQ(q.first_relation, "Insurance");
+  ASSERT_EQ(q.joins.size(), 1u);
+  ASSERT_EQ(q.where.size(), 1u);
+
+  // EXPLAIN ANALYZE sets both; keywords are case-insensitive.
+  ASSERT_OK_AND_ASSIGN(AstQuery qa,
+                       Parse("explain analyze select Plan from Insurance"));
+  EXPECT_TRUE(qa.explain);
+  EXPECT_TRUE(qa.analyze);
+  EXPECT_EQ(qa.select_list, (std::vector<std::string>{"Plan"}));
+
+  // EXPLAIN composes with DISTINCT.
+  ASSERT_OK_AND_ASSIGN(
+      AstQuery qd, Parse("EXPLAIN SELECT DISTINCT Plan FROM Insurance"));
+  EXPECT_TRUE(qd.explain);
+  EXPECT_TRUE(qd.distinct);
+
+  // EXPLAIN needs a query behind it; ANALYZE alone is not a prefix, and the
+  // keywords cannot be used as plain identifiers.
+  EXPECT_EQ(Parse("EXPLAIN").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("EXPLAIN ANALYZE").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("ANALYZE SELECT Plan FROM Insurance").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("EXPLAIN EXPLAIN SELECT Plan FROM Insurance").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ParserTest, SyntaxErrors) {
   EXPECT_EQ(Parse("FROM x").status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(Parse("SELECT FROM x").status().code(), StatusCode::kInvalidArgument);
