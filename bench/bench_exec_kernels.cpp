@@ -16,6 +16,7 @@
 #include <random>
 
 #include "algebra/vectorized.hpp"
+#include "common/thread_pool.hpp"
 #include "storage/column.hpp"
 #include "testcheck/row_kernels.hpp"
 
@@ -203,6 +204,47 @@ void PrintKernelTable() {
               w.fact.row_count(), w.dim.row_count(), col_out.row_count(),
               identical ? "yes" : "NO");
 
+  // The radix-partitioned join must reuse the cached per-column hashes: each
+  // input row is hashed exactly once, so the hash count is O(build + probe) —
+  // never O(matches), never re-hashed per partition. Checked against the
+  // sequential join too, which shares the same contract.
+  std::uint64_t seq_hashed = 0;
+  std::uint64_t par_hashed = 0;
+  std::uint64_t hash_budget = 0;
+  {
+    const ColumnarBatch filtered = Unwrap(
+        algebra::SelectBatch(ColumnarBatch::FromTable(fact), w.filter),
+        "select");
+    hash_budget = filtered.row_count() + w.dim.row_count();
+    {
+      algebra::KernelStats stats;
+      const algebra::KernelStatsScope scope(&stats);
+      ColumnarBatch joined = Unwrap(
+          algebra::JoinBatches(filtered, ColumnarBatch::FromTable(dim),
+                               w.atoms),
+          "sequential join");
+      benchmark::DoNotOptimize(joined);
+      seq_hashed = stats.rows_hashed;
+    }
+    {
+      ThreadPool pool(4);
+      algebra::MorselContext ctx;
+      ctx.pool = &pool;
+      algebra::KernelStats stats;
+      const algebra::KernelStatsScope scope(&stats);
+      ColumnarBatch joined = Unwrap(
+          algebra::JoinBatches(filtered, ColumnarBatch::FromTable(dim),
+                               w.atoms, ctx),
+          "partitioned join");
+      benchmark::DoNotOptimize(joined);
+      par_hashed = stats.rows_hashed;
+    }
+  }
+  std::printf("rows_hashed sequential=%llu partitioned=%llu build+probe=%llu\n",
+              static_cast<unsigned long long>(seq_hashed),
+              static_cast<unsigned long long>(par_hashed),
+              static_cast<unsigned long long>(hash_budget));
+
   Artifact artifact("exec_kernels",
                     "E16: columnar batch engine vs row kernels",
                     ">=5x speedup on the 100k-row join-heavy pipeline with "
@@ -220,11 +262,23 @@ void PrintKernelTable() {
       .Value("columnar_project_us", col_t.project_us)
       .Value("columnar_total_us", col_t.total_us)
       .Value("speedup", speedup)
-      .Value("identical", identical);
+      .Value("identical", identical)
+      .Value("rows_hashed_sequential", seq_hashed)
+      .Value("rows_hashed_partitioned", par_hashed)
+      .Value("rows_hashed_budget", hash_budget);
   artifact.Write();
 
   if (!identical) {
     std::fprintf(stderr, "FATAL: columnar output differs from row output\n");
+    std::abort();
+  }
+  if (seq_hashed != hash_budget || par_hashed != hash_budget) {
+    std::fprintf(stderr,
+                 "FATAL: join hashed %llu/%llu rows (seq/partitioned), "
+                 "expected exactly build+probe = %llu\n",
+                 static_cast<unsigned long long>(seq_hashed),
+                 static_cast<unsigned long long>(par_hashed),
+                 static_cast<unsigned long long>(hash_budget));
     std::abort();
   }
 }

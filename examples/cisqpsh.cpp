@@ -250,6 +250,7 @@ class Shell {
       exec::ExecutionOptions options;
       options.enforce_releases = enforce_;
       options.requestor = requestor_;
+      options.threads = ExecThreads();
       // Each query replays the installed schedule from a fresh fault model,
       // so the same seed reproduces the same drops and recoveries.
       std::optional<exec::FaultModel> faults;
@@ -297,6 +298,7 @@ class Shell {
       exec::ExecutionOptions options;
       options.enforce_releases = enforce_;
       options.requestor = requestor_;
+      options.threads = ExecThreads();
       std::optional<exec::FaultModel> faults;
       if (fault_options_) {
         faults.emplace(*fault_options_);
@@ -413,6 +415,11 @@ class Shell {
   exec::Cluster cluster_;
   plan::StatsCatalog stats_;      ///< exact stats over the populated tables
   plan::StatsFeedback feedback_;  ///< measured cardinalities, session-wide
+  /// --threads resolved for operator execution (0 = hardware concurrency).
+  std::size_t ExecThreads() const {
+    return threads_ == 0 ? ThreadPool::HardwareConcurrency() : threads_;
+  }
+
   std::size_t threads_ = 0;  ///< 0 = hardware concurrency
   std::optional<catalog::ServerId> requestor_;
   bool enforce_ = true;

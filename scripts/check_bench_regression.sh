@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI bench smoke gates: the columnar execution engine (E16) and the
-# query-profiler overhead budget (E13).
+# CI bench smoke gates: the columnar execution engine (E16), the
+# query-profiler overhead budget (E13), and morsel-driven parallel
+# execution (E18).
 #
 # Runs bench_exec_kernels, then compares the freshly measured end-to-end
 # speedup (row kernels / columnar kernels) against the committed baseline in
@@ -15,6 +16,13 @@
 # more than 5% over the spans-only enabled arm (profiler_vs_enabled_pct in
 # BENCH_obs_overhead.json), best result of up to three attempts to ride out
 # noisy runners.
+#
+# Then runs bench_exec_threads (E18). Determinism is unconditional: the
+# binary aborts unless every thread count reproduces the sequential bytes.
+# The threads=1 arm must stay within 5% of the no-pool engine (best of
+# three). The >=3x 8-thread speedup floor applies only when the runner has
+# >=4 hardware threads — a single-core runner can prove determinism but
+# not scaling, and the artifact records hw_threads so that skip is visible.
 #
 #   scripts/check_bench_regression.sh [build-dir]
 set -euo pipefail
@@ -91,3 +99,70 @@ else
   echo "FAIL: profiler overhead ${best_pct}% exceeds the ${PROFILER_BUDGET_PCT}% budget" >&2
   exit 1
 fi
+
+# --- E18: morsel-driven parallel execution ----------------------------------
+THREADS_BENCH="$BUILD_DIR/bench/bench_exec_threads"
+if [ ! -x "$THREADS_BENCH" ]; then
+  echo "error: $THREADS_BENCH not built" >&2
+  exit 1
+fi
+
+# Determinism needs no JSON check: the binary aborts (failing this step)
+# unless every thread count returned the byte-identical table.
+OVERHEAD_BUDGET_PCT=5.0
+best_overhead=""
+for attempt in 1 2 3; do
+  CISQP_BENCH_OUT_DIR="$OUT_DIR" "$THREADS_BENCH" --benchmark_filter='^$' \
+      > /dev/null
+  overhead="$(python3 -c '
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = next(r for r in rows if r["threads"] == 1)
+print(100.0 * row["total_us"] / row["sequential_total_us"] - 100.0)
+' "$OUT_DIR/BENCH_exec_threads.json")"
+  echo "threads=1 vs sequential overhead, attempt $attempt: ${overhead}%"
+  if [ -z "$best_overhead" ] || \
+     python3 -c "import sys; sys.exit(0 if $overhead < $best_overhead else 1)"; then
+    best_overhead="$overhead"
+  fi
+  if python3 -c "import sys; sys.exit(0 if $best_overhead <= $OVERHEAD_BUDGET_PCT else 1)"; then
+    break
+  fi
+done
+
+if python3 -c "import sys; sys.exit(0 if $best_overhead <= $OVERHEAD_BUDGET_PCT else 1)"; then
+  echo "OK: threads=1 overhead ${best_overhead}% within the ${OVERHEAD_BUDGET_PCT}% budget"
+else
+  echo "FAIL: threads=1 overhead ${best_overhead}% exceeds the ${OVERHEAD_BUDGET_PCT}% budget (the single-thread context must take the exact sequential path)" >&2
+  exit 1
+fi
+
+python3 - "$OUT_DIR/BENCH_exec_threads.json" \
+    bench/baselines/BENCH_exec_threads.json <<'PY'
+import json
+import sys
+
+fresh = next(r for r in json.load(open(sys.argv[1]))["rows"]
+             if r["threads"] == 8)
+base = next(r for r in json.load(open(sys.argv[2]))["rows"]
+            if r["threads"] == 8)
+
+hw = fresh["hw_threads"]
+if hw < 4:
+    print(f"SKIP: 8-thread speedup floor needs >=4 hardware threads, runner "
+          f"has {hw} (measured {fresh['speedup']:.2f}x; determinism and the "
+          f"threads=1 budget were still enforced)")
+    sys.exit(0)
+
+floor = 3.0
+if base["hw_threads"] >= 4:
+    # A committed baseline from real parallel hardware tightens the floor.
+    floor = max(floor, base["speedup"] / 2.0)
+print(f"fresh 8-thread speedup: {fresh['speedup']:.2f}x "
+      f"(floor {floor:.2f}x, baseline {base['speedup']:.2f}x "
+      f"on {base['hw_threads']} hw threads)")
+if fresh["speedup"] < floor:
+    sys.exit(f"FAIL: 8-thread speedup {fresh['speedup']:.2f}x below the "
+             f"{floor:.2f}x floor")
+print("OK: morsel-parallel speedup within the gate")
+PY

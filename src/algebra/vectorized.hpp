@@ -17,9 +17,41 @@
 
 #include "algebra/expr.hpp"
 #include "algebra/operators.hpp"
+#include "common/thread_pool.hpp"
 #include "storage/column.hpp"
 
 namespace cisqp::algebra {
+
+/// Rows per morsel when the caller doesn't say otherwise: large enough that
+/// dispatch cost vanishes, small enough that a morsel's working set stays
+/// cache-resident. Always rounded up to a multiple of 64 internally so each
+/// morsel owns whole null-bitmap words.
+inline constexpr std::size_t kDefaultMorselRows = 4096;
+
+/// Intra-operator parallelism knobs for the vectorized kernels (DESIGN.md
+/// §14). A default-constructed context — or any context whose pool has one
+/// thread — makes every kernel take the exact sequential code path, so
+/// `threads=1` is byte-for-byte (and instruction-for-instruction) the PR 5
+/// engine.
+struct MorselContext {
+  /// Shared worker pool; nullptr means sequential.
+  ThreadPool* pool = nullptr;
+  /// Rows per morsel (rounded up to a multiple of 64; 0 = default).
+  std::size_t morsel_rows = kDefaultMorselRows;
+  /// log2 of the radix fan-out for partitioned join/distinct; 0 picks a
+  /// fan-out from the build size and pool width.
+  std::size_t radix_bits = 0;
+  /// Inputs smaller than this stay on the sequential path even with a pool
+  /// attached (morsel dispatch would cost more than it buys). Tests set 0 to
+  /// force the parallel path onto tiny tables.
+  std::size_t min_parallel_rows = 256;
+
+  /// True when the kernels should fan out over `rows` work items.
+  bool ShouldParallelize(std::size_t rows) const noexcept {
+    return pool != nullptr && pool->thread_count() > 1 &&
+           rows >= min_parallel_rows;
+  }
+};
 
 /// Work counters the kernels fill while a KernelStatsScope is active on the
 /// calling thread. Used by the query profiler to attribute hash-join and
@@ -31,6 +63,17 @@ struct KernelStats {
   std::uint64_t hash_matches = 0;        ///< (build, probe) pairs emitted
   std::uint64_t dict_filter_lookups = 0; ///< rows filtered via dictionary
   std::uint64_t dict_filter_hits = 0;    ///< of those, rows that passed
+  std::uint64_t rows_hashed = 0;         ///< row-hash computations performed
+  std::uint64_t morsels = 0;             ///< morsels dispatched in parallel
+  std::uint64_t partitions = 0;          ///< radix partitions fanned out
+  /// Busy microseconds per pool worker inside parallel kernel sections
+  /// (index = ThreadPool worker id; 0 is the participating caller). Only
+  /// filled while a stats sink is active, like every other counter.
+  std::vector<std::int64_t> worker_busy_us;
+
+  /// Accumulates `other` into this (element-wise; worker_busy_us grows to
+  /// the longer of the two).
+  void MergeFrom(const KernelStats& other);
 };
 
 /// RAII: routes this thread's kernel counters into `stats` for the scope's
@@ -98,42 +141,59 @@ class ColumnarBatch {
 
  private:
   friend Result<ColumnarBatch> SelectBatch(const ColumnarBatch&,
-                                           const Predicate&);
+                                           const Predicate&,
+                                           const MorselContext&);
   friend Result<ColumnarBatch> ProjectBatch(
-      const ColumnarBatch&, const std::vector<catalog::AttributeId>&, bool);
-  friend ColumnarBatch DistinctBatch(const ColumnarBatch&);
+      const ColumnarBatch&, const std::vector<catalog::AttributeId>&, bool,
+      const MorselContext&);
+  friend ColumnarBatch DistinctBatch(const ColumnarBatch&,
+                                     const MorselContext&);
 
   std::shared_ptr<const storage::ColumnarTable> source_;
   std::vector<std::size_t> col_map_;
   std::optional<storage::SelectionVector> sel_;
 };
 
+// Every kernel takes an optional MorselContext. The default (no pool) — and
+// any context that fails MorselContext::ShouldParallelize — runs the exact
+// sequential code the PR 5 engine ran; a context with a multi-thread pool
+// fans the kernel's row loops out in morsels and reduces per-morsel results
+// in morsel order, producing byte-identical batches at any thread count
+// (DESIGN.md §14).
+
 /// σ: narrows the selection vector to rows satisfying `predicate`; never
 /// copies cells. Same SQL NULL semantics as the row kernel.
 Result<ColumnarBatch> SelectBatch(const ColumnarBatch& input,
-                                  const Predicate& predicate);
+                                  const Predicate& predicate,
+                                  const MorselContext& ctx = {});
 
 /// π: remaps the column map (zero-copy); with `distinct`, additionally
 /// narrows the selection to first occurrences (hashing raw column data).
 Result<ColumnarBatch> ProjectBatch(const ColumnarBatch& input,
                                    const std::vector<catalog::AttributeId>& attrs,
-                                   bool distinct = false);
+                                   bool distinct = false,
+                                   const MorselContext& ctx = {});
 
 /// ⋈: hash equi-join on raw column data. Builds on the smaller input, emits
 /// a gather list in probe order, and materializes the output once. Output
-/// header and row order match the row kernel exactly.
+/// header and row order match the row kernel exactly. Parallel contexts use
+/// a radix-partitioned build/probe (partition by low hash bits, per-partition
+/// bucket-chained tables) with morsel-ordered output concatenation.
 Result<ColumnarBatch> JoinBatches(const ColumnarBatch& left,
                                   const ColumnarBatch& right,
-                                  const std::vector<EquiJoinAtom>& atoms);
+                                  const std::vector<EquiJoinAtom>& atoms,
+                                  const MorselContext& ctx = {});
 
 /// Natural join on every shared attribute; shared columns appear once (from
 /// the left). Builds on the right, probes the left in order (row-kernel
 /// output order).
 Result<ColumnarBatch> NaturalJoinBatches(const ColumnarBatch& left,
-                                         const ColumnarBatch& right);
+                                         const ColumnarBatch& right,
+                                         const MorselContext& ctx = {});
 
 /// Removes duplicate view rows, keeping first occurrences (NULLs compare
 /// equal, as in the row kernel).
-ColumnarBatch DistinctBatch(const ColumnarBatch& input);
+ColumnarBatch DistinctBatch(const ColumnarBatch& input,
+                            const MorselContext& ctx = {});
 
 }  // namespace cisqp::algebra

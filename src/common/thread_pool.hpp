@@ -15,6 +15,7 @@
 // guarantees only that all indices ran; it promises nothing about order.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -28,6 +29,18 @@
 #include <vector>
 
 namespace cisqp {
+
+/// One cache line, the unit of false sharing the padded slot types guard
+/// against.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A cache-line-aligned (and therefore cache-line-padded) value slot. Used
+/// for per-worker accumulators: adjacent slots written by different workers
+/// never share a line, so concurrent updates don't ping-pong the cache.
+template <typename T>
+struct alignas(kCacheLineBytes) PaddedSlot {
+  T value{};
+};
 
 class ThreadPool {
  public:
@@ -63,44 +76,79 @@ class ThreadPool {
 
   /// Invokes `fn(i)` for every i in [0, n), distributing indices across the
   /// workers and the calling thread; returns when all n invocations
-  /// finished. The first exception thrown by any invocation is rethrown on
-  /// the caller (remaining indices still run). With no workers (or n == 1)
-  /// the loop runs inline in index order.
+  /// finished. An exception thrown by any invocation is rethrown on the
+  /// caller (remaining indices still run). With no workers (or n == 1) the
+  /// loop runs inline in index order.
   template <typename F>
   void ParallelFor(std::size_t n, F fn) {
+    ParallelFor(n, /*grain=*/1, std::move(fn));
+  }
+
+  /// Grain-size-aware variant: indices are dispensed in contiguous chunks of
+  /// up to `grain` so tiny per-index bodies don't pay one atomic fetch per
+  /// index. A range that fits a single chunk runs inline on the caller — no
+  /// dispatch at all.
+  template <typename F>
+  void ParallelFor(std::size_t n, std::size_t grain, F fn) {
+    ParallelForChunks(n, grain,
+                      [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) fn(i);
+                      });
+  }
+
+  /// The chunked core: invokes `fn(worker, begin, end)` over contiguous
+  /// chunks [begin, end) of [0, n), each at most `grain` long, claimed from
+  /// an atomic dispenser. `worker` is a dense id in [0, thread_count()) —
+  /// 0 is the participating caller — stable for the whole call, so callers
+  /// can accumulate into per-worker `PaddedSlot`s without synchronization.
+  /// Inline execution (no workers, or a single chunk) visits chunks in
+  /// ascending order on the caller as worker 0, reproducing the sequential
+  /// loop exactly. Exceptions park in per-worker padded slots (no shared
+  /// error mutex to contend or false-share) and the first, in worker order,
+  /// is rethrown after every chunk ran.
+  template <typename F>
+  void ParallelForChunks(std::size_t n, std::size_t grain, F fn) {
     if (n == 0) return;
-    if (workers_.empty() || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (workers_.empty() || chunks == 1) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * grain;
+        fn(std::size_t{0}, begin, std::min(n, begin + grain));
+      }
       return;
     }
     std::atomic<std::size_t> next{0};
-    std::mutex error_mu;
-    std::exception_ptr error;
-    auto drain = [&]() {
+    // One helper per worker, capped by the chunk count; the caller drains
+    // alongside them, so small ranges never pay for idle helpers.
+    const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+    std::vector<PaddedSlot<std::exception_ptr>> errors(helpers + 1);
+    auto drain = [&](std::size_t worker) {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) return;
+        const std::size_t begin = c * grain;
         try {
-          fn(i);
+          fn(worker, begin, std::min(n, begin + grain));
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!error) error = std::current_exception();
+          if (!errors[worker].value) {
+            errors[worker].value = std::current_exception();
+          }
         }
       }
     };
-    // One helper per worker, capped by the index count; the caller drains
-    // alongside them, so small ranges never pay for idle helpers.
-    const std::size_t helpers = std::min(workers_.size(), n - 1);
     Latch done(helpers);
     for (std::size_t h = 0; h < helpers; ++h) {
-      Enqueue([&] {
-        drain();
+      Enqueue([&, h] {
+        drain(h + 1);
         done.CountDown();
       });
     }
-    drain();
+    drain(0);
     done.Wait();
-    if (error) std::rethrow_exception(error);
+    for (const PaddedSlot<std::exception_ptr>& slot : errors) {
+      if (slot.value) std::rethrow_exception(slot.value);
+    }
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -36,7 +37,17 @@ class Run {
       : cluster_(cluster), auths_(auths), plan_(plan),
         assignment_(std::move(assignment)), options_(options),
         profile_(options.profile),
-        profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {}
+        profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {
+    // Resolve the kernel parallelism once per execution: an explicit shared
+    // pool wins, otherwise threads>1 spawns a pool owned by this run.
+    // threads=1 leaves ctx_.pool null — the kernels' exact sequential path.
+    ctx_ = options.morsel;
+    ctx_.pool = options.pool;
+    if (ctx_.pool == nullptr && options.threads > 1) {
+      owned_pool_.emplace(options.threads);
+      ctx_.pool = &*owned_pool_;
+    }
+  }
 
   Result<ExecutionResult> Execute(const plan::PlanNode& root) {
     Result<ExecutionResult> result = ExecuteWithRecovery(root);
@@ -213,6 +224,15 @@ class Run {
         stats.hash_matches += kernels->hash_matches;
         stats.dict_filter_lookups += kernels->dict_filter_lookups;
         stats.dict_filter_hits += kernels->dict_filter_hits;
+        stats.rows_hashed += kernels->rows_hashed;
+        stats.morsels += kernels->morsels;
+        stats.partitions += kernels->partitions;
+        if (stats.worker_busy_us.size() < kernels->worker_busy_us.size()) {
+          stats.worker_busy_us.resize(kernels->worker_busy_us.size(), 0);
+        }
+        for (std::size_t w = 0; w < kernels->worker_busy_us.size(); ++w) {
+          stats.worker_busy_us[w] += kernels->worker_busy_us[w];
+        }
       }
     }
     // Per-operator metric names are built dynamically, so guard explicitly:
@@ -388,7 +408,7 @@ class Run {
           CISQP_ASSIGN_OR_RETURN(
               algebra::ColumnarBatch out,
               algebra::ProjectBatch(child.batch, node.projection,
-                                    node.distinct));
+                                    node.distinct, ctx_));
           const std::int64_t dt = obs::NowMicros() - t0;
           Account(child.server, out.row_count(), dt);
           ProfileOp(node, "project", child.server, in_rows, 0, out.row_count(),
@@ -410,7 +430,7 @@ class Run {
               profile_ != nullptr ? &kernels : nullptr);
           CISQP_ASSIGN_OR_RETURN(
               algebra::ColumnarBatch out,
-              algebra::SelectBatch(child.batch, node.predicate));
+              algebra::SelectBatch(child.batch, node.predicate, ctx_));
           const std::int64_t dt = obs::NowMicros() - t0;
           Account(child.server, out.row_count(), dt);
           ProfileOp(node, "select", child.server, in_rows, 0, out.row_count(),
@@ -458,7 +478,8 @@ class Run {
         const std::int64_t t0 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch out,
-            algebra::JoinBatches(left.batch, right.batch, node.join_atoms));
+            algebra::JoinBatches(left.batch, right.batch, node.join_atoms,
+                                 ctx_));
         const std::int64_t dt = obs::NowMicros() - t0;
         Account(ex.master, out.row_count(), dt);
         ProfileOp(node, "join", ex.master, in_left, in_right, out.row_count(),
@@ -496,7 +517,7 @@ class Run {
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch projected,
             algebra::ProjectBatch(master_op.batch, master_join_cols,
-                                  /*distinct=*/true));
+                                  /*distinct=*/true, ctx_));
         std::int64_t op_time_us = obs::NowMicros() - t1;
         Account(ex.master, projected.row_count(), op_time_us);
 
@@ -516,7 +537,7 @@ class Run {
         const std::int64_t t3 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch reduced,
-            algebra::JoinBatches(projected, slave_op.batch, atoms));
+            algebra::JoinBatches(projected, slave_op.batch, atoms, ctx_));
         const std::int64_t dt3 = obs::NowMicros() - t3;
         op_time_us += dt3;
         Account(*ex.slave, reduced.row_count(), dt3);
@@ -531,7 +552,7 @@ class Run {
         const std::int64_t t5 = obs::NowMicros();
         CISQP_ASSIGN_OR_RETURN(
             algebra::ColumnarBatch joined,
-            algebra::NaturalJoinBatches(master_op.batch, reduced));
+            algebra::NaturalJoinBatches(master_op.batch, reduced, ctx_));
 
         // Restore the canonical left++right column order expected upstream.
         std::vector<catalog::AttributeId> out_cols =
@@ -557,6 +578,8 @@ class Run {
   const plan::QueryPlan& plan_;
   planner::Assignment assignment_;  ///< by value: failover replaces it
   const ExecutionOptions& options_;
+  std::optional<ThreadPool> owned_pool_;   ///< spawned when threads>1, no pool
+  algebra::MorselContext ctx_;             ///< kernel parallelism, resolved
   obs::QueryProfile* profile_ = nullptr;   ///< opt-in per-query profile sink
   std::int64_t query_id_ = -1;             ///< trace context on every transfer
   std::vector<authz::Profile> profiles_;

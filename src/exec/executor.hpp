@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "algebra/vectorized.hpp"
 #include "authz/authorization.hpp"
 #include "exec/cluster.hpp"
 #include "exec/fault_model.hpp"
@@ -84,6 +85,19 @@ struct ExecutionOptions {
   /// stats feedback). Independent of the Tracer/MetricsRegistry enablement;
   /// nullptr — the default — costs one pointer test per operator.
   obs::QueryProfile* profile = nullptr;
+  /// Intra-operator parallelism for the vectorized kernels (DESIGN.md §14):
+  /// target thread count including the caller. 1 — the default — runs the
+  /// exact sequential kernel paths; >1 spawns a pool for the execution
+  /// (unless `pool` below is set) and fans operators out in morsels. Results
+  /// are byte-identical at any thread count.
+  std::size_t threads = 1;
+  /// Shared worker pool to use instead of spawning one per execution (e.g.
+  /// the benches' long-lived pool). Overrides `threads`.
+  ThreadPool* pool = nullptr;
+  /// Kernel tiling knobs (morsel_rows, radix_bits, min_parallel_rows). The
+  /// pool field inside is ignored — the executor installs the pool resolved
+  /// from `pool`/`threads` above.
+  algebra::MorselContext morsel;
 };
 
 /// Compute performed at one server during a query (operator invocations, the

@@ -77,6 +77,8 @@ void RenderRec(const catalog::Catalog& cat, const plan::PlanBuilder& builder,
     oss << " drift=" << Ratio(drift) << "x";
     oss << " time=" << stats->time_us << "us";
     if (stats->bytes_shipped > 0) oss << " shipped=" << stats->bytes_shipped << "B";
+    if (stats->morsels > 0) oss << " morsels=" << stats->morsels;
+    if (stats->partitions > 0) oss << " partitions=" << stats->partitions;
     drifted = drift > options.drift_threshold ||
               drift < 1.0 / options.drift_threshold;
   }

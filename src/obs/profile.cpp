@@ -94,6 +94,16 @@ std::string QueryProfile::ToJson() const {
       oss << ",\"dict_filter_lookups\":" << op.dict_filter_lookups
           << ",\"dict_filter_hits\":" << op.dict_filter_hits;
     }
+    if (op.rows_hashed > 0) oss << ",\"rows_hashed\":" << op.rows_hashed;
+    if (op.morsels + op.partitions > 0) {
+      oss << ",\"morsels\":" << op.morsels
+          << ",\"partitions\":" << op.partitions << ",\"worker_busy_us\":[";
+      for (std::size_t w = 0; w < op.worker_busy_us.size(); ++w) {
+        if (w > 0) oss << ",";
+        oss << op.worker_busy_us[w];
+      }
+      oss << "]";
+    }
     if (op.bytes_shipped > 0) oss << ",\"bytes_shipped\":" << op.bytes_shipped;
     oss << "}";
   }

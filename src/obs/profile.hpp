@@ -43,6 +43,13 @@ struct OperatorStats {
   std::uint64_t hash_matches = 0;
   std::uint64_t dict_filter_lookups = 0;
   std::uint64_t dict_filter_hits = 0;
+  std::uint64_t rows_hashed = 0;  ///< row-hash computations (O(build+probe))
+  // Morsel-parallel execution counters (zero on the sequential path).
+  std::uint64_t morsels = 0;      ///< morsels dispatched across all regions
+  std::uint64_t partitions = 0;   ///< radix partitions fanned out (joins/distinct)
+  /// Busy microseconds per pool worker inside this operator's parallel
+  /// sections (index = worker id; 0 = the participating caller thread).
+  std::vector<std::int64_t> worker_busy_us;
   /// Bytes shipped by this node's transfers (semi-join steps, operand moves).
   std::uint64_t bytes_shipped = 0;
 

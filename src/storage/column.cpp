@@ -166,6 +166,72 @@ void ColumnVector::GatherFrom(const ColumnVector& src,
   }
 }
 
+void ColumnVector::GatherFromParallel(const ColumnVector& src,
+                                      const SelectionVector& ids,
+                                      ThreadPool& pool,
+                                      std::size_t morsel_rows) {
+  CISQP_CHECK(src.type_ == type_);
+  CISQP_CHECK_MSG(size_ == 0, "parallel gather requires an empty column");
+  CISQP_CHECK(morsel_rows > 0);
+  // Morsels own whole 64-bit null-bitmap words, so two workers never write
+  // the same word.
+  morsel_rows = (morsel_rows + 63) / 64 * 64;
+  const std::size_t n = ids.size();
+  null_words_.assign((n + 63) / 64, 0);
+
+  // Strings: intern the source dictionary serially first (same order as the
+  // sequential GatherFrom's remap loop → identical output dictionary); the
+  // parallel fill then only translates codes.
+  std::vector<std::uint32_t> remap;
+  switch (type_) {
+    case catalog::ValueType::kInt64: ints_.resize(n); break;
+    case catalog::ValueType::kDouble: doubles_.resize(n); break;
+    case catalog::ValueType::kString:
+      remap.resize(src.dict_.size());
+      for (std::size_t c = 0; c < src.dict_.size(); ++c) {
+        remap[c] = InternString(src.dict_[c]);
+      }
+      codes_.resize(n);
+      break;
+  }
+
+  const std::size_t morsels = n == 0 ? 0 : (n + morsel_rows - 1) / morsel_rows;
+  std::vector<PaddedSlot<std::size_t>> wire(morsels == 0 ? 1 : morsels);
+  pool.ParallelForChunks(
+      n, morsel_rows, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::size_t bytes = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint32_t id = ids[i];
+          if (src.IsNull(id)) {
+            null_words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+            bytes += 1;
+            // The matching data slot keeps its zero sentinel (resize()
+            // value-initialized it), exactly like AppendNull.
+            continue;
+          }
+          switch (type_) {
+            case catalog::ValueType::kInt64:
+              ints_[i] = src.ints_[id];
+              bytes += 8;
+              break;
+            case catalog::ValueType::kDouble:
+              doubles_[i] = src.doubles_[id];
+              bytes += 8;
+              break;
+            case catalog::ValueType::kString: {
+              const std::uint32_t code = remap[src.codes_[id]];
+              codes_[i] = code;
+              bytes += dict_[code].size() + 4;
+              break;
+            }
+          }
+        }
+        wire[begin / morsel_rows].value += bytes;
+      });
+  size_ = n;
+  for (std::size_t m = 0; m < morsels; ++m) wire_bytes_ += wire[m].value;
+}
+
 std::uint32_t ColumnVector::InternString(const std::string& s) {
   const auto it = dict_index_.find(s);
   if (it != dict_index_.end()) return it->second;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "catalog/catalog.hpp"
+#include "common/thread_pool.hpp"
 #include "storage/table.hpp"
 #include "storage/value.hpp"
 
@@ -79,6 +80,15 @@ class ColumnVector {
   /// a per-call code translation table — one intern per *distinct* source
   /// value, not per gathered cell.
   void GatherFrom(const ColumnVector& src, const SelectionVector& ids);
+
+  /// GatherFrom fanned across `pool` in morsels of `morsel_rows` (rounded up
+  /// to a multiple of 64 so each morsel owns whole null-bitmap words).
+  /// Preconditions: the column is empty, and `morsel_rows > 0`. Produces a
+  /// column bit-identical to the sequential GatherFrom: the dictionary is
+  /// interned serially (in source-code order) before the parallel fill, and
+  /// the wire size is reduced from per-morsel partials in morsel order.
+  void GatherFromParallel(const ColumnVector& src, const SelectionVector& ids,
+                          ThreadPool& pool, std::size_t morsel_rows);
 
   const std::vector<std::string>& dictionary() const noexcept { return dict_; }
 

@@ -332,6 +332,33 @@ Result<CheckReport> CheckScenario(const Scenario& s,
              "row conservation violated: " + violation);
       }
     }
+
+    // --- morsel arm: parallel execution is byte-identical ------------------
+    // Re-run the distributed pipeline with a worker pool and tiny morsels
+    // (so even fuzz-sized tables fan out) — the vectorized kernels promise
+    // the exact sequential bytes at any thread count.
+    if (options.threads > 1) {
+      exec::ExecutionOptions parallel_options;
+      parallel_options.threads = options.threads;
+      parallel_options.morsel.morsel_rows = 64;
+      parallel_options.morsel.min_parallel_rows = 0;
+      Result<exec::ExecutionResult> parallel = InternalError("unset");
+      Timed(report.production_us, [&] {
+        parallel = executor.Execute(chosen->plan, chosen->safe_plan.assignment,
+                                    parallel_options);
+      });
+      if (!parallel.ok()) {
+        fail(MismatchKind::kThreadDivergence,
+             "morsel-parallel execution failed where the sequential run "
+             "succeeded: " +
+                 parallel.status().ToString());
+      } else if (!TablesByteIdentical(executed->table, parallel->table)) {
+        fail(MismatchKind::kThreadDivergence,
+             "morsel-parallel execution (threads=" +
+                 std::to_string(options.threads) +
+                 ") returned a different table than the sequential run");
+      }
+    }
   } else if (executed.status().code() == StatusCode::kUnauthorized) {
     fail(MismatchKind::kUnsafePlan,
          "runtime enforcement blocked a planner-approved assignment: " +

@@ -16,7 +16,8 @@
 //              verifier, and a successful execution leaves zero denied
 //              executor/requestor audit entries;
 //   results    the distributed result multiset equals the single-site
-//              reference evaluation;
+//              reference evaluation, and re-executing with a morsel-parallel
+//              worker pool returns the byte-identical table;
 //   faults     under every configured fault seed, execution either returns
 //              the identical multiset or a typed kUnavailable — never
 //              kUnauthorized, never wrong rows;
@@ -69,8 +70,9 @@ struct CheckOptions {
   std::size_t chase_max_path_atoms = 3;
   /// Join orders examined by both the production search and the oracle.
   std::size_t max_orders = 24;
-  /// The parallel arm: every parallelizable stage additionally runs with
-  /// this thread count and must reproduce the sequential result exactly.
+  /// The parallel arms: every parallelizable stage (chase, plan search,
+  /// morsel-driven execution) additionally runs with this thread count and
+  /// must reproduce the sequential result exactly — execution byte-for-byte.
   std::size_t threads = 2;
   /// Fault schedules for the fault arm (empty disables it). Each seed runs
   /// one execution with this per-link drop probability.

@@ -374,5 +374,271 @@ TEST(RowKernelContractTest, SelectReservesAndDistinctKeepsFirstOccurrence) {
   ExpectExactlyEqual(Distinct(t), ded);
 }
 
+// --- morsel-parallel parity (DESIGN.md §14) --------------------------------
+//
+// Every vectorized operator run under a multi-thread MorselContext must
+// produce byte-identical output to the sequential kernel — same rows, same
+// order, same wire size — at every thread count. morsel_rows=64 (the
+// minimum tile) and min_parallel_rows=0 force real morsel fan-out even on
+// test-sized tables; threads=1 exercises the contract that a single-thread
+// pool takes the exact sequential path.
+
+MorselContext ForcedCtx(ThreadPool& pool, std::size_t radix_bits = 0) {
+  MorselContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_rows = 64;
+  ctx.min_parallel_rows = 0;
+  ctx.radix_bits = radix_bits;
+  return ctx;
+}
+
+std::shared_ptr<const ColumnarTable> Shared(const Table& t) {
+  return std::make_shared<const ColumnarTable>(ColumnarTable::FromRows(t));
+}
+
+/// Byte-identity: exact rows in exact order, and the same wire size (the
+/// parallel gather's wire-byte reduction must match the sequential sum).
+void ExpectBatchesIdentical(const ColumnarBatch& got,
+                            const ColumnarBatch& want) {
+  ExpectExactlyEqual(got.MaterializeRows(), want.MaterializeRows());
+  EXPECT_EQ(got.Materialize()->WireSizeBytes(),
+            want.Materialize()->WireSizeBytes());
+}
+
+constexpr std::size_t kParityThreads[] = {1, 2, 3, 8};
+
+TEST(MorselParityTest, SelectMatchesSequentialAtEveryThreadCount) {
+  std::mt19937 rng(53);
+  const Table t = RandomTable(rng, MixedHeader(), 300);
+  const ColumnarBatch batch = ColumnarBatch::FromTable(Shared(t));
+  for (const Predicate& p : SelectPredicates()) {
+    ASSERT_OK_AND_ASSIGN(const ColumnarBatch want, SelectBatch(batch, p));
+    for (const std::size_t threads : kParityThreads) {
+      ThreadPool pool(threads);
+      ASSERT_OK_AND_ASSIGN(const ColumnarBatch got,
+                           SelectBatch(batch, p, ForcedCtx(pool)));
+      ExpectBatchesIdentical(got, want);
+    }
+  }
+}
+
+TEST(MorselParityTest, JoinMatchesSequentialWithNullKeys) {
+  std::mt19937 rng(59);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+  const std::vector<EquiJoinAtom> two_atoms = {{kA, kC}, {kB, kD}};
+  for (int iter = 0; iter < 4; ++iter) {
+    const Table l = RandomTable(rng, left_header, iter % 2 == 0 ? 80 : 300,
+                                /*null_prob=*/0.3);
+    const Table r = RandomTable(rng, right_header, iter % 2 == 0 ? 300 : 80,
+                                /*null_prob=*/0.3);
+    const ColumnarBatch lb = ColumnarBatch::FromTable(Shared(l));
+    const ColumnarBatch rb = ColumnarBatch::FromTable(Shared(r));
+    for (const auto& a : {atoms, two_atoms}) {
+      ASSERT_OK_AND_ASSIGN(const ColumnarBatch want, JoinBatches(lb, rb, a));
+      for (const std::size_t threads : kParityThreads) {
+        ThreadPool pool(threads);
+        ASSERT_OK_AND_ASSIGN(const ColumnarBatch got,
+                             JoinBatches(lb, rb, a, ForcedCtx(pool)));
+        ExpectBatchesIdentical(got, want);
+      }
+    }
+  }
+}
+
+TEST(MorselParityTest, NaturalJoinMatchesSequential) {
+  std::mt19937 rng(61);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kC, catalog::ValueType::kDouble}};
+  const Table l = RandomTable(rng, left_header, 200, /*null_prob=*/0.3);
+  const Table r = RandomTable(rng, right_header, 150, /*null_prob=*/0.3);
+  const ColumnarBatch lb = ColumnarBatch::FromTable(Shared(l));
+  const ColumnarBatch rb = ColumnarBatch::FromTable(Shared(r));
+  ASSERT_OK_AND_ASSIGN(const ColumnarBatch want, NaturalJoinBatches(lb, rb));
+  for (const std::size_t threads : kParityThreads) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(const ColumnarBatch got,
+                         NaturalJoinBatches(lb, rb, ForcedCtx(pool)));
+    ExpectBatchesIdentical(got, want);
+  }
+}
+
+TEST(MorselParityTest, DistinctAndProjectDistinctMatchSequential) {
+  std::mt19937 rng(67);
+  // Few distinct values + NULLs → heavy duplication across morsels, the
+  // case where a wrong first-occurrence rule would show.
+  const Table t = RandomTable(rng, MixedHeader(), 400, /*null_prob=*/0.4);
+  const ColumnarBatch batch = ColumnarBatch::FromTable(Shared(t));
+  const ColumnarBatch want_distinct = DistinctBatch(batch);
+  ASSERT_OK_AND_ASSIGN(const ColumnarBatch want_proj,
+                       ProjectBatch(batch, {kB, kC}, /*distinct=*/true));
+  for (const std::size_t threads : kParityThreads) {
+    ThreadPool pool(threads);
+    ExpectBatchesIdentical(DistinctBatch(batch, ForcedCtx(pool)),
+                           want_distinct);
+    ASSERT_OK_AND_ASSIGN(
+        const ColumnarBatch got_proj,
+        ProjectBatch(batch, {kB, kC}, /*distinct=*/true, ForcedCtx(pool)));
+    ExpectBatchesIdentical(got_proj, want_proj);
+  }
+}
+
+TEST(MorselParityTest, EmptyPartitionsAndEmptyInputs) {
+  std::mt19937 rng(71);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+  // radix_bits=6 → 64 partitions over ≤8 build rows: most partitions empty.
+  const Table small_l = RandomTable(rng, left_header, 8, /*null_prob=*/0.2);
+  const Table small_r = RandomTable(rng, right_header, 40, /*null_prob=*/0.2);
+  const Table empty_l(left_header);
+  const ColumnarBatch slb = ColumnarBatch::FromTable(Shared(small_l));
+  const ColumnarBatch srb = ColumnarBatch::FromTable(Shared(small_r));
+  const ColumnarBatch elb = ColumnarBatch::FromTable(Shared(empty_l));
+  ASSERT_OK_AND_ASSIGN(const ColumnarBatch want, JoinBatches(slb, srb, atoms));
+  ASSERT_OK_AND_ASSIGN(const ColumnarBatch want_empty,
+                       JoinBatches(elb, srb, atoms));
+  for (const std::size_t threads : kParityThreads) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(
+        const ColumnarBatch got,
+        JoinBatches(slb, srb, atoms, ForcedCtx(pool, /*radix_bits=*/6)));
+    ExpectBatchesIdentical(got, want);
+    ASSERT_OK_AND_ASSIGN(
+        const ColumnarBatch got_empty,
+        JoinBatches(elb, srb, atoms, ForcedCtx(pool, /*radix_bits=*/6)));
+    ExpectBatchesIdentical(got_empty, want_empty);
+    ExpectBatchesIdentical(DistinctBatch(elb, ForcedCtx(pool)),
+                           DistinctBatch(elb));
+  }
+}
+
+TEST(MorselParityTest, AllRowsInOnePartitionSkew) {
+  // Every row carries the same join key: the whole build side lands in one
+  // radix partition and every probe row matches every build row. Output
+  // order (probe-major, build rows ascending) must survive the skew.
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  Table l(left_header);
+  Table r(right_header);
+  for (int i = 0; i < 40; ++i) {
+    CISQP_CHECK(l.AppendRow({Value(std::int64_t{7}),
+                             Value("l" + std::to_string(i))}).ok());
+  }
+  for (int i = 0; i < 90; ++i) {
+    CISQP_CHECK(r.AppendRow({Value(std::int64_t{7}),
+                             Value("r" + std::to_string(i))}).ok());
+  }
+  const ColumnarBatch lb = ColumnarBatch::FromTable(Shared(l));
+  const ColumnarBatch rb = ColumnarBatch::FromTable(Shared(r));
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+  ASSERT_OK_AND_ASSIGN(const ColumnarBatch want, JoinBatches(lb, rb, atoms));
+  ASSERT_EQ(want.row_count(), 40u * 90u);
+  for (const std::size_t threads : kParityThreads) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(
+        const ColumnarBatch got,
+        JoinBatches(lb, rb, atoms, ForcedCtx(pool, /*radix_bits=*/4)));
+    ExpectBatchesIdentical(got, want);
+  }
+}
+
+TEST(MorselParityTest, GoldenJoinOutputAtEveryThreadCount) {
+  // Hand-written golden: row order pinned to the row-kernel contract
+  // (probe-major; among equal keys, build rows in input order).
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  // Build = left (2 rows < 3 rows). Probe rows: k=1 matches both left
+  // 1-rows in input order; NULL key never matches.
+  const Table l = MakeTable(left_header, {{Value(std::int64_t{1}), Value("x")},
+                                          {Value(std::int64_t{1}), Value("y")}});
+  const Table r = MakeTable(right_header,
+                            {{Value(std::int64_t{1}), Value("p")},
+                             {Value(), Value("q")},
+                             {Value(std::int64_t{1}), Value("s")}});
+  std::vector<Column> out_header = left_header;
+  out_header.insert(out_header.end(), right_header.begin(), right_header.end());
+  const Table golden = MakeTable(
+      out_header,
+      {{Value(std::int64_t{1}), Value("x"), Value(std::int64_t{1}), Value("p")},
+       {Value(std::int64_t{1}), Value("y"), Value(std::int64_t{1}), Value("p")},
+       {Value(std::int64_t{1}), Value("x"), Value(std::int64_t{1}), Value("s")},
+       {Value(std::int64_t{1}), Value("y"), Value(std::int64_t{1}), Value("s")}});
+  const ColumnarBatch lb = ColumnarBatch::FromTable(Shared(l));
+  const ColumnarBatch rb = ColumnarBatch::FromTable(Shared(r));
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+  for (const std::size_t threads : kParityThreads) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(const ColumnarBatch got,
+                         JoinBatches(lb, rb, atoms, ForcedCtx(pool, 2)));
+    ExpectExactlyEqual(got.MaterializeRows(), golden);
+  }
+}
+
+TEST(MorselParityTest, JoinStatsCountHashesMorselsAndPartitions) {
+  std::mt19937 rng(73);
+  const std::vector<Column> left_header = {
+      Column{kA, catalog::ValueType::kInt64},
+      Column{kB, catalog::ValueType::kString}};
+  const std::vector<Column> right_header = {
+      Column{kC, catalog::ValueType::kInt64},
+      Column{kD, catalog::ValueType::kString}};
+  const Table l = RandomTable(rng, left_header, 200, /*null_prob=*/0.1);
+  const Table r = RandomTable(rng, right_header, 300, /*null_prob=*/0.1);
+  const ColumnarBatch lb = ColumnarBatch::FromTable(Shared(l));
+  const ColumnarBatch rb = ColumnarBatch::FromTable(Shared(r));
+  const std::vector<EquiJoinAtom> atoms = {{kA, kC}};
+
+  // The dictionary-hash reuse contract, sequential and partitioned alike:
+  // each row is hashed exactly once — hash count is O(build + probe), never
+  // O(matches) and never re-hashed during partitioning.
+  KernelStats seq;
+  {
+    const KernelStatsScope scope(&seq);
+    ASSERT_OK_AND_ASSIGN(const ColumnarBatch out, JoinBatches(lb, rb, atoms));
+    (void)out;
+  }
+  EXPECT_EQ(seq.rows_hashed, 500u);
+  EXPECT_EQ(seq.morsels, 0u);     // sequential path: no morsel dispatch
+  EXPECT_EQ(seq.partitions, 0u);  // and no radix fan-out
+
+  ThreadPool pool(3);
+  KernelStats par;
+  {
+    const KernelStatsScope scope(&par);
+    ASSERT_OK_AND_ASSIGN(const ColumnarBatch out,
+                         JoinBatches(lb, rb, atoms, ForcedCtx(pool, 3)));
+    (void)out;
+  }
+  EXPECT_EQ(par.rows_hashed, 500u);
+  EXPECT_GT(par.morsels, 0u);
+  EXPECT_EQ(par.partitions, 8u);  // radix_bits=3
+  EXPECT_EQ(par.worker_busy_us.size(), pool.thread_count());
+  EXPECT_EQ(par.hash_build_rows, seq.hash_build_rows);
+  EXPECT_EQ(par.hash_probe_rows, seq.hash_probe_rows);
+  EXPECT_EQ(par.hash_matches, seq.hash_matches);
+}
+
 }  // namespace
 }  // namespace cisqp::algebra
