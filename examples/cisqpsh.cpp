@@ -5,6 +5,7 @@
 //   ./build/examples/cisqpsh --threads 4     # parallelism for \search
 //                                            # (default: hardware concurrency;
 //                                            # 1 = sequential, same results)
+//   ./build/examples/cisqpsh --clients 8     # concurrent clients for \serve
 //
 // Type SQL to plan + execute it safely; backslash commands inspect the
 // federation and the planner:
@@ -21,6 +22,8 @@
 //   \audit            the authorization-decision audit log
 //   \releases SQL     the data releases a safe execution entails
 //   \search SQL       feasibility-aware join-order search
+//   \serve SQL        fire the query from --clients concurrent clients
+//                     through the serving front door (plan + CanView caches)
 //   \requestor NAME   deliver results to this server ('none' to reset)
 //   \enforce on|off   toggle runtime release enforcement
 //   \faults SPEC|off  inject faults (seed=N,drop=P,down=S@A..B,kill=S@A)
@@ -32,9 +35,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "authz/analysis.hpp"
 #include "common/strings.hpp"
@@ -49,6 +55,7 @@
 #include "planner/report.hpp"
 #include "planner/safe_planner.hpp"
 #include "planner/verifier.hpp"
+#include "serve/front_door.hpp"
 #include "sql/binder.hpp"
 #include "sql/parser.hpp"
 #include "workload/medical.hpp"
@@ -60,9 +67,9 @@ namespace {
 class Shell {
  public:
   Shell(catalog::Catalog cat, authz::AuthorizationSet auths,
-        std::size_t threads)
+        std::size_t threads, std::size_t clients)
       : cat_(std::move(cat)), auths_(std::move(auths)), cluster_(cat_),
-        threads_(threads) {
+        threads_(threads), clients_(clients == 0 ? 1 : clients) {
     PopulateData();
     // Exact statistics over the populated tables feed the EXPLAIN estimates
     // and the cost-based planners; the feedback store accumulates measured
@@ -178,6 +185,8 @@ class Shell {
       });
     } else if (cmd == "\\search") {
       SearchOrders(arg);
+    } else if (cmd == "\\serve") {
+      ServeSql(arg);
     } else if (cmd == "\\requestor") {
       SetRequestor(arg);
     } else if (cmd == "\\enforce") {
@@ -343,6 +352,68 @@ class Shell {
                 result->estimated_bytes, result->plan.ToString(cat_).c_str());
   }
 
+  /// \serve: the same query from `clients_` concurrent client threads
+  /// through the session's FrontDoor. The first request of a shape plans
+  /// cold; the rest hit the plan cache, so the printed per-request stats
+  /// show the cold/cached split directly.
+  void ServeSql(std::string_view sql_text) {
+    if (front_door_ == nullptr) {
+      serve::ServeOptions options;
+      options.max_concurrent = clients_;
+      options.exec_threads = 1;
+      front_door_ = std::make_unique<serve::FrontDoor>(cat_, auths_, cluster_,
+                                                       &stats_, options);
+    }
+    const std::string sql(sql_text);
+    const std::size_t n = clients_;
+    std::vector<Result<serve::Response>> responses(n, InternalError("unset"));
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        clients.emplace_back([&, i] {
+          serve::Request request;
+          request.sql = sql;
+          request.requestor = requestor_;
+          request.enforce_releases = enforce_;
+          responses[i] = front_door_->Serve(request);
+        });
+      }
+      for (std::thread& t : clients) t.join();
+    }
+    std::size_t ok = 0, hits = 0;
+    std::int64_t min_us = 0, max_us = 0;
+    const serve::Response* shown = nullptr;
+    for (const Result<serve::Response>& r : responses) {
+      if (!r.ok()) continue;
+      ++ok;
+      if (r->plan_cache_hit) ++hits;
+      if (shown == nullptr || r->total_us < min_us) min_us = r->total_us;
+      if (shown == nullptr || r->total_us > max_us) max_us = r->total_us;
+      if (shown == nullptr) shown = &*r;
+    }
+    if (shown == nullptr) {
+      std::printf("serve error: %s\n",
+                  responses[0].status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", shown->table.ToDisplayString(cat_, 12).c_str());
+    std::printf(
+        "%zu/%zu request(s) ok, %zu plan-cache hit(s); latency %ld..%ldus; "
+        "epoch %llu\n",
+        ok, n, hits, static_cast<long>(min_us), static_cast<long>(max_us),
+        static_cast<unsigned long long>(shown->policy_epoch));
+    const serve::FrontDoorStats stats = front_door_->Stats();
+    std::printf(
+        "front door: %llu request(s), plan cache %llu hit(s)/%llu miss(es), "
+        "CanView memo %llu hit(s)/%llu miss(es)\n",
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.plan_cache_hits),
+        static_cast<unsigned long long>(stats.plan_cache_misses),
+        static_cast<unsigned long long>(stats.canview_hits),
+        static_cast<unsigned long long>(stats.canview_misses));
+  }
+
   void SetFaults(std::string_view arg) {
     if (arg.empty() || arg == "off") {
       fault_options_.reset();
@@ -405,6 +476,8 @@ class Shell {
       "  \\releases SQL      show the releases of the safe assignment\n"
       "  \\dot SQL           Graphviz DOT of the assigned plan\n"
       "  \\search SQL        feasibility-aware join-order search\n"
+      "  \\serve SQL         the query from --clients concurrent clients via\n"
+      "                     the serving front door (plan + CanView caches)\n"
       "  \\requestor NAME    deliver results to this server (or 'none')\n"
       "  \\enforce on|off    toggle runtime enforcement\n"
       "  \\faults SPEC|off   inject faults: seed=N,drop=P,down=S@A..B,kill=S@A\n"
@@ -421,6 +494,10 @@ class Shell {
   }
 
   std::size_t threads_ = 0;  ///< 0 = hardware concurrency
+  std::size_t clients_ = 8;  ///< concurrent clients (and slots) for \serve
+  /// Built on first \serve; persists so the plan/CanView caches accumulate
+  /// across the session.
+  std::unique_ptr<serve::FrontDoor> front_door_;
   std::optional<catalog::ServerId> requestor_;
   bool enforce_ = true;
   /// Installed fault schedule; every query replays it from a fresh model.
@@ -439,11 +516,23 @@ class Shell {
 
 int main(int argc, char** argv) {
   std::size_t threads = 0;  // 0 = hardware concurrency
+  std::size_t clients = 8;
   const char* fed_path = nullptr;
   const char* fault_spec = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--threads") {
+    if (arg == "--clients") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--clients requires a count\n");
+        return 1;
+      }
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--clients must be a positive integer\n");
+        return 1;
+      }
+      clients = static_cast<std::size_t>(parsed);
+    } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads requires a count\n");
         return 1;
@@ -466,13 +555,13 @@ int main(int argc, char** argv) {
       fed_path = argv[i];
     } else {
       std::fprintf(stderr,
-                   "usage: cisqpsh [--threads N] [--faults SPEC] "
-                   "[federation.fed]\n");
+                   "usage: cisqpsh [--threads N] [--clients N] "
+                   "[--faults SPEC] [federation.fed]\n");
       return 1;
     }
   }
   const auto run = [&](catalog::Catalog cat, authz::AuthorizationSet auths) {
-    Shell shell(std::move(cat), std::move(auths), threads);
+    Shell shell(std::move(cat), std::move(auths), threads, clients);
     if (fault_spec != nullptr && !shell.InstallFaultSpec(fault_spec)) return 1;
     return shell.Run();
   };

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI bench smoke gates: the columnar execution engine (E16), the
-# query-profiler overhead budget (E13), and morsel-driven parallel
-# execution (E18).
+# query-profiler overhead budget (E13), morsel-driven parallel
+# execution (E18), and the serving front door's caches (E19).
 #
 # Runs bench_exec_kernels, then compares the freshly measured end-to-end
 # speedup (row kernels / columnar kernels) against the committed baseline in
@@ -165,4 +165,55 @@ if fresh["speedup"] < floor:
     sys.exit(f"FAIL: 8-thread speedup {fresh['speedup']:.2f}x below the "
              f"{floor:.2f}x floor")
 print("OK: morsel-parallel speedup within the gate")
+PY
+
+# --- E19: multi-query serving front door --------------------------------
+SERVE_BENCH="$BUILD_DIR/bench/bench_serving"
+if [ ! -x "$SERVE_BENCH" ]; then
+  echo "error: $SERVE_BENCH not built" >&2
+  exit 1
+fi
+
+# Byte-identity is unconditional: the binary aborts (failing this step)
+# when any cached answer differs from its cold reference. The committed
+# baseline documents the >=5x E19 claim; CI only enforces half of it
+# (best of three) so loaded runners don't flake while an accidental
+# de-caching still fails loudly.
+SERVE_FLOOR=3.0
+best_speedup=""
+for attempt in 1 2 3; do
+  CISQP_BENCH_OUT_DIR="$OUT_DIR" "$SERVE_BENCH" --benchmark_filter='^$' \
+      > /dev/null
+  speedup="$(python3 -c '
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = next(r for r in rows if r["mode"] == "summary")
+if not row["identical"]:
+    sys.exit("FAIL: a cached answer differed from its cold reference")
+print(row["speedup"])
+' "$OUT_DIR/BENCH_serving.json")"
+  echo "1-client cached speedup, attempt $attempt: ${speedup}x"
+  if [ -z "$best_speedup" ] || \
+     python3 -c "import sys; sys.exit(0 if $speedup > $best_speedup else 1)"; then
+    best_speedup="$speedup"
+  fi
+  if python3 -c "import sys; sys.exit(0 if $best_speedup >= $SERVE_FLOOR else 1)"; then
+    break
+  fi
+done
+
+python3 - "$best_speedup" bench/baselines/BENCH_serving.json <<'PY'
+import json
+import sys
+
+fresh = float(sys.argv[1])
+base = next(r for r in json.load(open(sys.argv[2]))["rows"]
+            if r["mode"] == "summary")
+floor = base["speedup"] / 2.0
+print(f"fresh serving speedup: {fresh:.2f}x "
+      f"(floor {floor:.2f}x, baseline {base['speedup']:.2f}x)")
+if fresh < floor:
+    sys.exit(f"FAIL: cached-hit speedup {fresh:.2f}x below the "
+             f"{floor:.2f}x floor")
+print("OK: serving cache speedup within the gate")
 PY

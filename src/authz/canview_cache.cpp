@@ -1,0 +1,71 @@
+#include "authz/canview_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace cisqp::authz {
+
+std::string ProfileCacheKey(const Profile& profile, catalog::ServerId server) {
+  // Ids rendered with unambiguous separators: IdSet and JoinPath are both
+  // canonically sorted, so equal profiles encode identically and distinct
+  // profiles cannot collide (every component is delimited).
+  std::string key = "v" + std::to_string(server) + "|p";
+  for (const IdSet::value_type id : profile.pi) {
+    key += std::to_string(id);
+    key += ",";
+  }
+  key += "|j";
+  for (const JoinAtom& atom : profile.join.atoms()) {
+    key += std::to_string(atom.first);
+    key += "-";
+    key += std::to_string(atom.second);
+    key += ",";
+  }
+  key += "|s";
+  for (const IdSet::value_type id : profile.sigma) {
+    key += std::to_string(id);
+    key += ",";
+  }
+  return key;
+}
+
+CanViewExplanation CachingPolicy::Explain(const Profile& profile,
+                                          catalog::ServerId server) const {
+  const std::string key = ProfileCacheKey(profile, server);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      CISQP_METRIC_INC("authz.canview_cache.hit");
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CISQP_METRIC_INC("authz.canview_cache.miss");
+  CanViewExplanation explanation = base_.ExplainCanView(profile, server);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    memo_.emplace(std::move(key), explanation);
+  }
+  return explanation;
+}
+
+void CachingPolicy::BumpEpoch() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Every entry carries the pre-bump epoch's verdicts; all are affected.
+  memo_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  CISQP_METRIC_INC("authz.canview_cache.epoch_bumps");
+}
+
+void CachingPolicy::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  memo_.clear();
+}
+
+std::size_t CachingPolicy::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+}  // namespace cisqp::authz

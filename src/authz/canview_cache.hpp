@@ -1,0 +1,85 @@
+// CachingPolicy: a memoizing decorator over any Policy (DESIGN.md §15.3).
+//
+// The planner's hot loop is CanView (Def. 3.3) — one probe per (candidate
+// server, node profile) pair, repeated across every join order the plan
+// search examines and again by runtime enforcement on every shipment. Under
+// a serving workload the same probes recur across requests, so this
+// decorator memoizes the full CanViewExplanation keyed by the canonical
+// profile encoding plus the probed server. Explanations — not just the
+// boolean — are cached so the audit log records byte-identical evidence on
+// a hit and a miss.
+//
+// Epoch stamping is the invalidation contract: every entry is implicitly
+// stamped with the epoch current at insertion, and BumpEpoch() discards
+// exactly the entries of older epochs (all of them — a policy edit can
+// change any verdict). The decorated policy itself is immutable through
+// this class; the owner swaps/edits it and then bumps.
+//
+// Thread-safe: lookups and inserts serialize on one mutex (probes are
+// microseconds; the memo's win is skipping the rule-index walk, not lock
+// elision). Hit/miss counters are atomics readable without the lock, and
+// are mirrored into the metrics registry as authz.canview_cache.{hit,miss}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "authz/policy.hpp"
+
+namespace cisqp::authz {
+
+/// Canonical, collision-free encoding of (profile, server) — the memo key.
+std::string ProfileCacheKey(const Profile& profile, catalog::ServerId server);
+
+class CachingPolicy : public Policy {
+ public:
+  /// Decorates `base`, which must outlive this object and must not change
+  /// between BumpEpoch calls.
+  explicit CachingPolicy(const Policy& base) : base_(base) {}
+
+  bool CanView(const Profile& profile,
+               catalog::ServerId server) const override {
+    return Explain(profile, server).allowed;
+  }
+
+  CanViewExplanation ExplainCanView(const Profile& profile,
+                                    catalog::ServerId server) const override {
+    return Explain(profile, server);
+  }
+
+  /// Current policy epoch (starts at 0).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Invalidates every memo entry of the current epoch and advances the
+  /// stamp. Call after any change to the decorated policy.
+  void BumpEpoch();
+
+  /// Drops all entries without advancing the epoch (bench cold paths).
+  void Clear();
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  CanViewExplanation Explain(const Profile& profile,
+                             catalog::ServerId server) const;
+
+  const Policy& base_;
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::mutex mu_;  ///< guards memo_
+  mutable std::unordered_map<std::string, CanViewExplanation> memo_;
+};
+
+}  // namespace cisqp::authz

@@ -9,7 +9,16 @@ std::size_t ThreadPool::HardwareConcurrency() noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+namespace {
+std::atomic<std::uint64_t> g_pools_constructed{0};
+}  // namespace
+
+std::uint64_t ThreadPool::constructed_count() noexcept {
+  return g_pools_constructed.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  g_pools_constructed.fetch_add(1, std::memory_order_relaxed);
   const std::size_t target = threads == 0 ? HardwareConcurrency() : threads;
   workers_.reserve(target - std::min<std::size_t>(target, 1));
   for (std::size_t i = 1; i < target; ++i) {

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -58,6 +59,11 @@ class ThreadPool {
 
   /// `std::thread::hardware_concurrency()`, clamped to at least 1.
   static std::size_t HardwareConcurrency() noexcept;
+
+  /// Process-wide count of ThreadPool constructions, ever. Regression guard
+  /// for paths that must reuse a shared pool instead of respawning one per
+  /// call (the executor's SharedQueryPool; see serving_test).
+  static std::uint64_t constructed_count() noexcept;
 
   /// Runs `fn` on a worker and returns its future. With no workers the task
   /// runs inline before Submit returns (still observable via the future).

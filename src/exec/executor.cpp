@@ -1,7 +1,9 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +25,24 @@ struct Located {
   catalog::ServerId server = catalog::kInvalidId;
 };
 
+/// Process-shared worker pools, one per requested thread count, built on
+/// first use and reused for the life of the process. Executions that ask
+/// for `threads` parallelism without supplying ExecutionOptions::pool all
+/// share one pool here instead of spawning (and joining) a private pool per
+/// query — under a concurrent serving workload the per-query spawn cost and
+/// the thread-count blow-up (N requests × M workers) were both bugs.
+/// ThreadPool is thread-safe for concurrent ParallelFor callers: each call
+/// enqueues its own tasks and blocks on its own completion latch.
+ThreadPool& SharedQueryPool(std::size_t threads) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>>* pools =
+      new std::map<std::size_t, std::unique_ptr<ThreadPool>>();
+  const std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& slot = (*pools)[threads];
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
+}
+
 /// Chrome-export lane of a federation server. Lane 1 stays the default
 /// (coordinator/planner) process; servers get stable lanes above it.
 int LaneOf(catalog::ServerId server) noexcept {
@@ -39,13 +59,14 @@ class Run {
         profile_(options.profile),
         profiles_(planner::ComputeNodeProfiles(cluster.catalog(), plan)) {
     // Resolve the kernel parallelism once per execution: an explicit shared
-    // pool wins, otherwise threads>1 spawns a pool owned by this run.
+    // pool wins, otherwise threads>1 borrows the process-shared pool for
+    // that thread count — never a private pool per query (concurrent
+    // requests would each respawn workers; see SharedQueryPool above).
     // threads=1 leaves ctx_.pool null — the kernels' exact sequential path.
     ctx_ = options.morsel;
     ctx_.pool = options.pool;
     if (ctx_.pool == nullptr && options.threads > 1) {
-      owned_pool_.emplace(options.threads);
-      ctx_.pool = &*owned_pool_;
+      ctx_.pool = &SharedQueryPool(options.threads);
     }
   }
 
@@ -578,7 +599,6 @@ class Run {
   const plan::QueryPlan& plan_;
   planner::Assignment assignment_;  ///< by value: failover replaces it
   const ExecutionOptions& options_;
-  std::optional<ThreadPool> owned_pool_;   ///< spawned when threads>1, no pool
   algebra::MorselContext ctx_;             ///< kernel parallelism, resolved
   obs::QueryProfile* profile_ = nullptr;   ///< opt-in per-query profile sink
   std::int64_t query_id_ = -1;             ///< trace context on every transfer

@@ -24,6 +24,8 @@
 // (DESIGN.md §9).
 #pragma once
 
+#include <memory>
+
 #include "planner/cost_planner.hpp"
 #include "planner/safe_planner.hpp"
 #include "plan/builder.hpp"
@@ -54,6 +56,12 @@ struct PlanSearchResult {
   std::size_t orders_tried = 0;
   std::size_t orders_feasible = 0;
 };
+
+/// A cacheable, immutable handle to a finished search: the serving layer's
+/// plan cache hands the same result to many concurrent requests, and the
+/// executor only ever reads the plan/assignment, so shared const ownership
+/// is safe (DESIGN.md §15.2).
+using PlanHandle = std::shared_ptr<const PlanSearchResult>;
 
 class FeasiblePlanSearch {
  public:

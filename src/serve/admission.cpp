@@ -1,0 +1,76 @@
+#include "serve/admission.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cisqp::serve {
+
+AdmissionController::AdmissionController(std::size_t max_concurrent,
+                                         std::size_t max_queue)
+    : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+      max_queue_(max_queue) {}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    std::int64_t* queue_wait_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool must_wait = running_ >= max_concurrent_ || queued_ > 0;
+  if (must_wait && queued_ >= max_queue_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    CISQP_METRIC_INC("serve.rejected");
+    return ResourceExhaustedError(
+        "admission queue full (" + std::to_string(queued_) + " waiting, " +
+        std::to_string(running_) + " running)");
+  }
+  const std::uint64_t seq = next_ticket_++;
+  std::int64_t waited_us = 0;
+  if (must_wait) {
+    ++queued_;
+    CISQP_METRIC_SET("serve.queued", static_cast<double>(queued_));
+    const std::int64_t start = obs::NowMicros();
+    cv_.wait(lock, [&] {
+      return seq == now_serving_ && running_ < max_concurrent_;
+    });
+    waited_us = obs::NowMicros() - start;
+    --queued_;
+    CISQP_METRIC_SET("serve.queued", static_cast<double>(queued_));
+  }
+  ++now_serving_;
+  ++running_;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  CISQP_METRIC_INC("serve.admitted");
+  CISQP_METRIC_SET("serve.running", static_cast<double>(running_));
+  lock.unlock();
+  // FIFO hand-off: the successor's seq just became now_serving_; it may be
+  // admissible already when slots remain.
+  cv_.notify_all();
+  if (queue_wait_us != nullptr) *queue_wait_us = waited_us;
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    CISQP_METRIC_SET("serve.running", static_cast<double>(running_));
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (owner_ != nullptr) {
+    owner_->ReleaseSlot();
+    owner_ = nullptr;
+  }
+}
+
+std::size_t AdmissionController::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::size_t AdmissionController::queued() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace cisqp::serve

@@ -1,0 +1,85 @@
+// AdmissionController: the front door's bounded request scheduler
+// (DESIGN.md §15.1).
+//
+// Serving is synchronous — each client thread calls FrontDoor::Serve and
+// blocks for its answer — so admission control is a counting gate, not a
+// task queue: at most `max_concurrent` requests execute at once, at most
+// `max_queue` more wait their turn, and anything beyond that is rejected
+// immediately with kResourceExhausted (fail fast beats unbounded queueing;
+// the caller can retry with backoff). Waiters are admitted in FIFO order
+// via ticket numbers, so no request starves under sustained load.
+//
+// The controller publishes its state as metrics: serve.admitted /
+// serve.rejected counters and serve.running / serve.queued gauges.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.hpp"
+
+namespace cisqp::serve {
+
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t max_concurrent, std::size_t max_queue);
+
+  /// RAII admission slot: releasing it (destruction) wakes the next waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* owner) : owner_(owner) {}
+    Ticket(Ticket&& other) noexcept : owner_(other.owner_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+   private:
+    void Release();
+    AdmissionController* owner_ = nullptr;
+  };
+
+  /// Blocks until a slot frees (FIFO among waiters), or fails immediately
+  /// with kResourceExhausted when the wait queue is already full. On
+  /// success `queue_wait_us` (when non-null) receives the time spent
+  /// queued.
+  Result<Ticket> Admit(std::int64_t* queue_wait_us = nullptr);
+
+  std::size_t running() const;
+  std::size_t queued() const;
+  std::uint64_t admitted() const noexcept {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot();
+
+  const std::size_t max_concurrent_;
+  const std::size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t running_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t next_ticket_ = 0;   ///< next sequence number to hand out
+  std::uint64_t now_serving_ = 0;   ///< lowest not-yet-admitted sequence
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace cisqp::serve

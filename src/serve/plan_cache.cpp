@@ -1,0 +1,87 @@
+#include "serve/plan_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace cisqp::serve {
+
+void PlanCache::Touch(Slot& slot, const std::string& key) {
+  lru_.erase(slot.lru_it);
+  lru_.push_front(key);
+  slot.lru_it = lru_.begin();
+}
+
+std::optional<CachedPlanEntry> PlanCache::Lookup(const std::string& key,
+                                                 std::uint64_t epoch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CISQP_METRIC_INC("serve.plan_cache.miss");
+    return std::nullopt;
+  }
+  if (it->second.entry.epoch != epoch) {
+    // A policy epoch bump made this entry unservable; evict eagerly so the
+    // cache never holds plans no current request could use.
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    CISQP_METRIC_INC("serve.plan_cache.stale_evictions");
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CISQP_METRIC_INC("serve.plan_cache.miss");
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CISQP_METRIC_INC("serve.plan_cache.hit");
+  Touch(it->second, key);
+  return it->second.entry;
+}
+
+void PlanCache::Insert(const std::string& key, CachedPlanEntry entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    Touch(it->second, key);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    CISQP_METRIC_INC("serve.plan_cache.lru_evictions");
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+}
+
+std::size_t PlanCache::InvalidateBefore(std::uint64_t epoch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t invalidated = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.entry.epoch < epoch) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+      ++invalidated;
+    } else {
+      ++it;
+    }
+  }
+  if (invalidated > 0) {
+    stale_.fetch_add(invalidated, std::memory_order_relaxed);
+    CISQP_METRIC_ADD("serve.plan_cache.stale_evictions", invalidated);
+  }
+  return invalidated;
+}
+
+void PlanCache::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace cisqp::serve

@@ -1,0 +1,94 @@
+// PlanCache: (canonical query signature, policy epoch) → finished planning
+// (DESIGN.md §15.2).
+//
+// A hit skips the entire front half of the pipeline — parse/bind still run
+// (they produced the signature), but join-order enumeration, the per-order
+// SafePlanner traversals, and cost ranking are all amortized to zero. Both
+// outcomes are cached: a feasible search caches its PlanHandle, an
+// infeasible one caches the typed kInfeasible status, so repeated denied
+// shapes are as cheap as repeated granted ones and a cached request
+// reproduces the cold request's answer bit-for-bit, success or failure.
+//
+// Epoch invalidation contract: every entry is stamped with the policy epoch
+// it was planned under. Lookup(key, epoch) only returns entries of exactly
+// that epoch; a stale entry found under the key is evicted on the spot (and
+// counted as serve.plan_cache.stale_evictions), so a policy change can
+// never serve a pre-change plan. Entries inserted after a bump are
+// unaffected by it.
+//
+// Bounded LRU: at `capacity` entries the least-recently-used entry is
+// evicted. Thread-safe behind one mutex; the payloads are shared-const so
+// concurrent requests execute the same cached plan without copying.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "planner/plan_search.hpp"
+
+namespace cisqp::serve {
+
+/// One cached planning outcome: a feasible plan handle, or the typed
+/// infeasibility verdict.
+struct CachedPlanEntry {
+  Status verdict;             ///< Ok (handle set) or kInfeasible
+  planner::PlanHandle handle; ///< set iff verdict.ok()
+  std::uint64_t epoch = 0;    ///< policy epoch the planning ran under
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The entry planned for `key` under exactly `epoch`, or nullopt. A
+  /// same-key entry of a different epoch is evicted (stale).
+  std::optional<CachedPlanEntry> Lookup(const std::string& key,
+                                        std::uint64_t epoch);
+
+  /// Inserts (or replaces) the entry for `key`. Evicts LRU at capacity.
+  void Insert(const std::string& key, CachedPlanEntry entry);
+
+  /// Drops every entry stamped with an epoch below `epoch`. Returns the
+  /// number invalidated (the epoch-bump sweep; lazy eviction in Lookup
+  /// would reclaim them too, this makes the invalidation prompt and
+  /// countable).
+  std::size_t InvalidateBefore(std::uint64_t epoch);
+
+  void Clear();
+
+  std::size_t size() const;
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stale_evictions() const noexcept {
+    return stale_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    CachedPlanEntry entry;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(Slot& slot, const std::string& key);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> map_;
+  std::list<std::string> lru_;  ///< most-recent first
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> stale_{0};
+};
+
+}  // namespace cisqp::serve

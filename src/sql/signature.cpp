@@ -1,0 +1,88 @@
+#include "sql/signature.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace cisqp::sql {
+namespace {
+
+/// Lossless literal rendering: a type tag plus an unambiguous payload.
+/// Strings are length-prefixed so no payload can fake another literal's
+/// rendering; doubles use %.17g (round-trip exact for IEEE doubles).
+std::string LiteralToken(const storage::Value& v) {
+  if (v.is_null()) return "n";
+  if (v.is_int64()) return "i" + std::to_string(v.AsInt64());
+  if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "d%.17g", v.AsDouble());
+    return buf;
+  }
+  const std::string& s = v.AsString();
+  return "s" + std::to_string(s.size()) + ":" + s;
+}
+
+std::string ComparisonToken(const algebra::Comparison& c) {
+  std::string token = "a" + std::to_string(c.lhs);
+  token += CompareOpSymbol(c.op);
+  if (c.rhs_is_attribute()) {
+    token += "a" + std::to_string(std::get<catalog::AttributeId>(c.rhs));
+  } else {
+    token += LiteralToken(std::get<storage::Value>(c.rhs));
+  }
+  return token;
+}
+
+void AppendSorted(std::string& out, std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += "&";
+    out += tokens[i];
+  }
+}
+
+}  // namespace
+
+std::string CanonicalQuerySignature(const plan::QuerySpec& spec) {
+  std::string sig;
+  sig.reserve(128);
+  // Output schema: DISTINCT flag and the SELECT list in declared order.
+  sig += spec.distinct ? "D|S:" : "S:";
+  for (std::size_t i = 0; i < spec.select_list.size(); ++i) {
+    if (i != 0) sig += ",";
+    sig += std::to_string(spec.select_list[i]);
+  }
+  // FROM sequence, order-sensitive (the plan search's enumeration order —
+  // and with it the deterministic tie-break — follows the spec's order).
+  sig += "|F:" + std::to_string(spec.first_relation);
+  for (const plan::JoinStep& step : spec.joins) {
+    sig += "|J" + std::to_string(step.relation) + ":";
+    std::vector<std::string> atoms;
+    atoms.reserve(step.atoms.size());
+    for (const algebra::EquiJoinAtom& atom : step.atoms) {
+      atoms.push_back("a" + std::to_string(atom.left) + "=a" +
+                      std::to_string(atom.right));
+    }
+    AppendSorted(sig, std::move(atoms));
+  }
+  // WHERE conjunction, commutativity canonicalized by sorting the tokens.
+  if (!spec.where.IsTrue()) {
+    sig += "|W:";
+    std::vector<std::string> conjuncts;
+    conjuncts.reserve(spec.where.conjuncts().size());
+    for (const algebra::Comparison& c : spec.where.conjuncts()) {
+      conjuncts.push_back(ComparisonToken(c));
+    }
+    AppendSorted(sig, std::move(conjuncts));
+  }
+  return sig;
+}
+
+std::uint64_t QuerySignatureHash(const plan::QuerySpec& spec) {
+  const std::string sig = CanonicalQuerySignature(spec);
+  return static_cast<std::uint64_t>(HashRange(sig.begin(), sig.end()));
+}
+
+}  // namespace cisqp::sql

@@ -1,0 +1,40 @@
+// Canonical query signatures (DESIGN.md §15.2).
+//
+// The serving layer's plan cache is keyed by the *meaning* of a query, not
+// its spelling: two requests whose bound specs are semantically identical
+// must map to one cache entry, and two requests that could ever produce
+// different result bytes must never collide. The signature is computed from
+// the bound plan::QuerySpec, so everything the lexer already normalizes
+// (whitespace, keyword case, `!=` vs `<>`, bare vs dotted names) is free,
+// and the remaining commutativity is canonicalized here:
+//
+//   * ON operand order — the binder orients every atom (earlier relation on
+//     the left), so `ON a = b` and `ON b = a` bind identically;
+//   * conjunct order — the ON atoms of a join step and the WHERE conjuncts
+//     are conjunctions, so their tokens are sorted;
+//   * nothing else — the SELECT list (output column order), DISTINCT, and
+//     the FROM sequence (the plan search's enumeration tie-break order) all
+//     stay order-sensitive, because each can change the result bytes.
+//
+// Literals render losslessly (%.17g doubles, length-prefixed strings) so
+// near-miss queries differing only in a constant never share a signature.
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.hpp"
+#include "plan/query_spec.hpp"
+
+namespace cisqp::sql {
+
+/// Canonical signature of a bound query. Equal signatures guarantee
+/// byte-identical results under one catalog + policy epoch; semantically
+/// distinct specs produce distinct signatures (injective on everything the
+/// executor can observe).
+std::string CanonicalQuerySignature(const plan::QuerySpec& spec);
+
+/// 64-bit digest of CanonicalQuerySignature — for metrics/log labels only;
+/// cache keys use the full string so collisions are impossible.
+std::uint64_t QuerySignatureHash(const plan::QuerySpec& spec);
+
+}  // namespace cisqp::sql

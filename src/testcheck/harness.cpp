@@ -11,6 +11,7 @@
 #include "obs/audit.hpp"
 #include "planner/plan_search.hpp"
 #include "planner/verifier.hpp"
+#include "serve/front_door.hpp"
 #include "testcheck/oracle.hpp"
 #include "testcheck/row_kernels.hpp"
 
@@ -110,6 +111,7 @@ std::string_view MismatchKindName(MismatchKind kind) noexcept {
     case MismatchKind::kAuditViolation: return "audit-violation";
     case MismatchKind::kFaultSafety: return "fault-safety";
     case MismatchKind::kProfileDivergence: return "profile-divergence";
+    case MismatchKind::kServingDivergence: return "serving-divergence";
     case MismatchKind::kPipelineError: return "pipeline-error";
   }
   return "unknown";
@@ -273,20 +275,91 @@ Result<CheckReport> CheckScenario(const Scenario& s,
   }
 
   report.feasible = chosen.has_value();
-  if (!options.check_execution || !chosen.has_value()) return report;
+  if (!options.check_execution) return report;
 
-  // --- execution arm -------------------------------------------------------
   CISQP_ASSIGN_OR_RETURN(const exec::Cluster cluster, s.MakeCluster());
-  const exec::DistributedExecutor executor(cluster, *chosen_policy);
-  obs::AuthzAuditLog& audit = obs::AuthzAuditLog::Get();
 
   // The oracle runs the retained row-at-a-time kernels, so every seed also
   // differentially validates the columnar engine the executor now runs on.
   Result<storage::Table> reference = InternalError("unset");
-  Timed(report.oracle_us,
-        [&] { reference = ReferenceEvaluate(cluster, chosen->plan); });
-  CISQP_RETURN_IF_ERROR(reference.status());
+  if (chosen.has_value()) {
+    Timed(report.oracle_us,
+          [&] { reference = ReferenceEvaluate(cluster, chosen->plan); });
+    CISQP_RETURN_IF_ERROR(reference.status());
+  }
 
+  // --- serving arm: cold vs cached answers must match exactly --------------
+  // The scenario query goes through a FrontDoor twice. The first request
+  // plans cold, the second must hit the plan cache, and the two answers
+  // must be indistinguishable: byte-identical tables on success, identical
+  // typed statuses on failure. Infeasible scenarios exercise the negative
+  // cache the same way, so this arm runs regardless of feasibility.
+  if (options.check_serving) {
+    serve::ServeOptions serve_options;
+    serve_options.max_orders = options.max_orders;
+    serve_options.planning_threads = 1;
+    serve_options.chase.max_path_atoms = options.chase_max_path_atoms;
+    serve_options.chase.threads = 1;
+    serve::FrontDoor door(cat, s.auths, cluster, &stats, serve_options);
+    serve::Request request;
+    request.sql = s.query.ToString(cat);
+    Result<serve::Response> cold = InternalError("unset");
+    Timed(report.production_us, [&] { cold = door.Serve(request); });
+    Result<serve::Response> warm = InternalError("unset");
+    Timed(report.production_us, [&] { warm = door.Serve(request); });
+    if (cold.ok() != warm.ok()) {
+      fail(MismatchKind::kServingDivergence,
+           "cold and cached serving runs disagree on success: cold=" +
+               cold.status().ToString() +
+               ", cached=" + warm.status().ToString());
+    } else if (!cold.ok()) {
+      if (cold.status().code() != warm.status().code() ||
+          cold.status().message() != warm.status().message()) {
+        fail(MismatchKind::kServingDivergence,
+             "cold and cached typed errors differ: cold=" +
+                 cold.status().ToString() +
+                 ", cached=" + warm.status().ToString());
+      }
+      if (cold.status().code() != StatusCode::kInfeasible) {
+        fail(MismatchKind::kServingDivergence,
+             "serving failed with an unexpected status: " +
+                 cold.status().ToString());
+      } else if (chosen.has_value()) {
+        fail(MismatchKind::kServingDivergence,
+             "serving says infeasible where the pipeline found a feasible "
+             "plan");
+      }
+    } else {
+      if (cold->plan_cache_hit) {
+        fail(MismatchKind::kServingDivergence,
+             "first serving request hit a plan cache that should be empty");
+      }
+      if (!warm->plan_cache_hit) {
+        fail(MismatchKind::kServingDivergence,
+             "second identical serving request missed the plan cache");
+      }
+      if (!TablesByteIdentical(cold->table, warm->table)) {
+        fail(MismatchKind::kServingDivergence,
+             "cached serving result is not byte-identical to the cold "
+             "result");
+      }
+      if (!chosen.has_value()) {
+        fail(MismatchKind::kServingDivergence,
+             "serving succeeded where the pipeline found no feasible plan");
+      } else if (!storage::Table::SameRowMultiset(cold->table, *reference)) {
+        fail(MismatchKind::kServingDivergence,
+             "serving result has " + std::to_string(cold->table.row_count()) +
+                 " rows, reference evaluation has " +
+                 std::to_string(reference->row_count()));
+      }
+    }
+  }
+
+  if (!chosen.has_value()) return report;
+
+  // --- execution arm -------------------------------------------------------
+  const exec::DistributedExecutor executor(cluster, *chosen_policy);
+  obs::AuthzAuditLog& audit = obs::AuthzAuditLog::Get();
   audit.Enable();
   Result<exec::ExecutionResult> executed = InternalError("unset");
   Timed(report.production_us, [&] {

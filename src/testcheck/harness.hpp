@@ -51,6 +51,7 @@ enum class MismatchKind : std::uint8_t {
   kAuditViolation,   ///< denied executor/requestor entry on a success
   kFaultSafety,      ///< faulted run returned wrong rows or kUnauthorized
   kProfileDivergence,///< profiling changed the result, or rows don't conserve
+  kServingDivergence,///< cached serving answer differs from the cold answer
   kPipelineError,    ///< a production stage failed with an unexpected status
 };
 
@@ -80,6 +81,12 @@ struct CheckOptions {
   double fault_drop_probability = 0.3;
   /// Run the execution arms (distributed vs reference, audit, faults).
   bool check_execution = true;
+  /// Run the serving arm: the scenario query goes through a FrontDoor twice
+  /// — cold, then plan-cache-hit — and the answers must match exactly:
+  /// byte-identical tables on success, identical typed statuses on failure,
+  /// and the serving feasibility verdict must agree with the pipeline's.
+  /// Requires check_execution (the arm needs the loaded cluster).
+  bool check_serving = true;
 };
 
 struct CheckReport {

@@ -1,0 +1,326 @@
+// Tests for the serving front door (src/serve): cold/cached byte-identity,
+// the admission scheduler, 32-client concurrency on the shared executor
+// pool (runs under TSan in CI), policy-epoch invalidation exactness, the
+// CanView memo, and the executor's shared-pool regression guard (one pool
+// construction across many concurrent parallel executions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "authz/canview_cache.hpp"
+#include "exec/executor.hpp"
+#include "obs/metrics.hpp"
+#include "planner/safe_planner.hpp"
+#include "serve/admission.hpp"
+#include "serve/front_door.hpp"
+#include "serve/plan_cache.hpp"
+#include "test_util.hpp"
+
+namespace cisqp::serve {
+namespace {
+
+using cisqp::testing::MedicalFixture;
+
+Request Req(std::string sql) {
+  Request request;
+  request.sql = std::move(sql);
+  return request;
+}
+
+bool TablesIdentical(const storage::Table& a, const storage::Table& b) {
+  if (a.columns() != b.columns() || a.row_count() != b.row_count()) return false;
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    if (a.rows()[i] != b.rows()[i]) return false;
+  }
+  return true;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<exec::Cluster>(fix_.cat);
+    Rng rng(2026);
+    ASSERT_OK(workload::MedicalScenario::PopulateCluster(
+        *cluster_, workload::MedicalScenario::DataConfig{300, 0.4, 0.6, 30},
+        rng));
+    stats_ = workload::MedicalScenario::ComputeStats(*cluster_);
+  }
+
+  FrontDoor MakeDoor(ServeOptions options = {}) const {
+    return FrontDoor(fix_.cat, fix_.auths, *cluster_, &stats_, options);
+  }
+
+  /// The medical policy minus every rule that mentions a Hospital
+  /// attribute (in its attribute set or its join path) — revokes all views
+  /// over Hospital, making the paper's 3-way join infeasible while leaving
+  /// Insurance-only queries untouched.
+  authz::AuthorizationSet RevokeHospital() const {
+    const IdSet hospital =
+        fix_.cat.relation(testing::Relation(fix_.cat, "Hospital"))
+            .attribute_set;
+    const auto mentions_hospital = [&](const authz::Authorization& rule) {
+      for (IdSet::value_type a : rule.attributes) {
+        if (hospital.Contains(a)) return true;
+      }
+      for (IdSet::value_type a : rule.path.Attributes()) {
+        if (hospital.Contains(a)) return true;
+      }
+      return false;
+    };
+    authz::AuthorizationSet reduced;
+    for (const authz::Authorization& rule : fix_.auths.All()) {
+      if (mentions_hospital(rule)) continue;
+      EXPECT_OK(reduced.Add(fix_.cat, rule));
+    }
+    return reduced;
+  }
+
+  MedicalFixture fix_;
+  std::unique_ptr<exec::Cluster> cluster_;
+  plan::StatsCatalog stats_;
+  const std::string paper_sql_{workload::MedicalScenario::kPaperQuery};
+  const std::string insurance_sql_{"SELECT Holder, Plan FROM Insurance"};
+};
+
+TEST_F(ServingTest, CachedAnswerIsByteIdenticalToCold) {
+  FrontDoor door = MakeDoor();
+  ASSERT_OK_AND_ASSIGN(const Response cold, door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response warm, door.Serve(Req(paper_sql_)));
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_TRUE(TablesIdentical(cold.table, warm.table));
+  EXPECT_EQ(cold.result_server, warm.result_server);
+  EXPECT_EQ(cold.signature, warm.signature);
+  EXPECT_GT(cold.table.row_count(), 0u);
+
+  const FrontDoorStats stats = door.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  // The cold request warmed the CanView memo; the cached request skipped
+  // planning entirely, so runtime enforcement was the only prober left.
+  EXPECT_GT(stats.canview_misses, 0u);
+}
+
+TEST_F(ServingTest, SpellingVariantsShareOnePlanCacheEntry) {
+  FrontDoor door = MakeDoor();
+  ASSERT_OK_AND_ASSIGN(const Response a, door.Serve(Req(paper_sql_)));
+  // Same meaning, different spelling: case, whitespace, flipped ON operands.
+  ASSERT_OK_AND_ASSIGN(
+      const Response b,
+      door.Serve(Req("select  Patient, Physician, Plan, HealthAid  from "
+                         "Insurance join Nat_registry on Citizen = Holder "
+                         "join Hospital on Patient = Citizen")));
+  EXPECT_TRUE(b.plan_cache_hit);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_TRUE(TablesIdentical(a.table, b.table));
+  EXPECT_EQ(door.Stats().plan_cache_size, 1u);
+}
+
+TEST_F(ServingTest, InfeasibleVerdictIsCachedWithIdenticalStatus) {
+  FrontDoor door = MakeDoor();
+  // The §3.2 denied association: Insurance must not see Holder⋈Disease.
+  const std::string denied =
+      "SELECT Holder, Disease FROM Insurance JOIN Hospital ON Holder = "
+      "Patient";
+  const Result<Response> cold = door.Serve(Req(denied));
+  const Result<Response> warm = door.Serve(Req(denied));
+  ASSERT_FALSE(cold.ok());
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(cold.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(warm.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(cold.status().message(), warm.status().message());
+  const FrontDoorStats stats = door.Stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+}
+
+TEST_F(ServingTest, ThirtyTwoConcurrentClientsShareThePoolSafely) {
+  // 32 clients hammer one front door over the shared executor pool: 8
+  // admission slots, morsel-parallel execution (threads=2 resolves through
+  // the executor's process-shared pool). Every answer must be byte-identical
+  // to the single-threaded reference. Runs under TSan in CI.
+  ServeOptions options;
+  options.max_concurrent = 8;
+  options.exec_threads = 2;
+  options.morsel.morsel_rows = 64;
+  options.morsel.min_parallel_rows = 0;
+  FrontDoor door = MakeDoor(options);
+  ASSERT_OK_AND_ASSIGN(const Response reference,
+                       door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response reference_ins,
+                       door.Serve(Req(insurance_sql_)));
+
+  constexpr std::size_t kClients = 32;
+  std::vector<Result<Response>> responses(kClients, InternalError("unset"));
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        const std::string& sql = (i % 2 == 0) ? paper_sql_ : insurance_sql_;
+        responses[i] = door.Serve(Req(sql));
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ASSERT_OK(responses[i].status());
+    EXPECT_TRUE(responses[i]->plan_cache_hit) << "client " << i;
+    const Response& want = (i % 2 == 0) ? reference : reference_ins;
+    EXPECT_TRUE(TablesIdentical(responses[i]->table, want.table))
+        << "client " << i;
+  }
+  const FrontDoorStats stats = door.Stats();
+  EXPECT_EQ(stats.requests, kClients + 2);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.plan_cache_hits, kClients);
+}
+
+TEST_F(ServingTest, SharedExecutorPoolIsConstructedOnce) {
+  // Regression guard for the per-query pool respawn: N parallel executions
+  // with ExecutionOptions::pool == nullptr must share one process-wide pool
+  // per thread count, not construct one each.
+  const exec::DistributedExecutor executor(*cluster_, fix_.auths);
+  planner::SafePlanner planner(fix_.cat, fix_.auths);
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  ASSERT_OK_AND_ASSIGN(const planner::SafePlan sp, planner.Plan(plan));
+
+  exec::ExecutionOptions options;
+  options.threads = 2;
+  options.morsel.morsel_rows = 64;
+  options.morsel.min_parallel_rows = 0;
+  ASSERT_OK(executor.Execute(plan, sp.assignment, options).status());  // pool built
+  const std::uint64_t before = ThreadPool::constructed_count();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(executor.Execute(plan, sp.assignment, options).status());
+  }
+  EXPECT_EQ(ThreadPool::constructed_count(), before)
+      << "executions with threads>1 must reuse the process-shared pool";
+}
+
+TEST_F(ServingTest, PolicyEpochBumpInvalidatesExactlyTheCachedEntries) {
+  obs::MetricsRegistry::Get().Enable();
+  const std::uint64_t stale_before =
+      obs::MetricsRegistry::Get().Counter("serve.plan_cache.stale_evictions");
+
+  FrontDoor door = MakeDoor();
+  ASSERT_OK_AND_ASSIGN(const Response paper_cold,
+                       door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response ins_cold,
+                       door.Serve(Req(insurance_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response paper_warm,
+                       door.Serve(Req(paper_sql_)));
+  EXPECT_TRUE(paper_warm.plan_cache_hit);
+  EXPECT_EQ(door.policy_epoch(), 0u);
+  EXPECT_EQ(paper_cold.policy_epoch, 0u);
+
+  // Revoke every view over Hospital: the epoch bumps, and BOTH cached
+  // entries (the now-infeasible paper join AND the untouched Insurance
+  // lookup) must be invalidated — entries are stamped per epoch, so a
+  // stale hit is structurally impossible.
+  door.SetPolicy(RevokeHospital());
+  EXPECT_EQ(door.policy_epoch(), 1u);
+  EXPECT_EQ(door.Stats().plan_cache_size, 0u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Get().Counter("serve.plan_cache.stale_evictions"),
+      stale_before + 2)
+      << "the epoch bump must sweep exactly the two cached entries";
+
+  // The paper join is now infeasible — a stale cache hit would have
+  // returned the old rows instead of this typed verdict.
+  const Result<Response> paper_after = door.Serve(Req(paper_sql_));
+  ASSERT_FALSE(paper_after.ok());
+  EXPECT_EQ(paper_after.status().code(), StatusCode::kInfeasible);
+
+  // The Insurance lookup replans under epoch 1 (a miss, not a hit) and
+  // still returns the identical bytes.
+  ASSERT_OK_AND_ASSIGN(const Response ins_after,
+                       door.Serve(Req(insurance_sql_)));
+  EXPECT_FALSE(ins_after.plan_cache_hit);
+  EXPECT_EQ(ins_after.policy_epoch, 1u);
+  EXPECT_TRUE(TablesIdentical(ins_cold.table, ins_after.table));
+
+  // Entries inserted after the bump are unaffected by it: the re-served
+  // lookup now hits.
+  ASSERT_OK_AND_ASSIGN(const Response ins_rewarm,
+                       door.Serve(Req(insurance_sql_)));
+  EXPECT_TRUE(ins_rewarm.plan_cache_hit);
+  EXPECT_TRUE(TablesIdentical(ins_cold.table, ins_rewarm.table));
+}
+
+TEST_F(ServingTest, CanViewMemoHitsAndEpochBump) {
+  authz::CachingPolicy memo(fix_.auths);
+  const plan::QueryPlan plan = fix_.PaperPlan();
+  const std::vector<authz::Profile> profiles =
+      planner::ComputeNodeProfiles(fix_.cat, plan);
+  ASSERT_FALSE(profiles.empty());
+  const catalog::ServerId insurance = testing::Server(fix_.cat, "S_I");
+
+  const authz::CanViewExplanation cold =
+      memo.ExplainCanView(profiles[0], insurance);
+  const authz::CanViewExplanation warm =
+      memo.ExplainCanView(profiles[0], insurance);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.hits(), 1u);
+  // The memo stores full explanations: the audit evidence is identical on
+  // a hit and a miss.
+  EXPECT_EQ(cold.allowed, warm.allowed);
+  EXPECT_EQ(cold.reason, warm.reason);
+  EXPECT_EQ(cold.matched_attributes, warm.matched_attributes);
+  EXPECT_EQ(cold.missing_attributes, warm.missing_attributes);
+
+  memo.BumpEpoch();
+  EXPECT_EQ(memo.epoch(), 1u);
+  EXPECT_EQ(memo.size(), 0u);
+  (void)memo.CanView(profiles[0], insurance);
+  EXPECT_EQ(memo.misses(), 2u) << "a bump must invalidate the memo";
+}
+
+TEST_F(ServingTest, AdmissionRejectsBeyondTheQueueBound) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/0);
+  ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket first, admission.Admit());
+  // The slot is held and the queue holds zero: the next request fails fast.
+  const Result<AdmissionController::Ticket> second = admission.Admit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.rejected(), 1u);
+  first = AdmissionController::Ticket();  // release
+  ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket third,
+                       admission.Admit());
+  (void)third;
+  EXPECT_EQ(admission.admitted(), 2u);
+}
+
+TEST_F(ServingTest, AdmissionServesWaitersInFifoOrder) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/64);
+  constexpr std::size_t kWaiters = 8;
+  std::vector<std::size_t> order;
+  std::mutex order_mu;
+  ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket gate, admission.Admit());
+  std::vector<std::thread> waiters;
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    // Admission order must equal arrival order; start waiters one at a time
+    // so arrival order is well-defined.
+    while (admission.queued() < i) std::this_thread::yield();
+    waiters.emplace_back([&, i] {
+      const Result<AdmissionController::Ticket> t = admission.Admit();
+      ASSERT_TRUE(t.ok());
+      const std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    });
+  }
+  while (admission.queued() < kWaiters) std::this_thread::yield();
+  gate = AdmissionController::Ticket();  // open the gate
+  for (std::thread& t : waiters) t.join();
+  ASSERT_EQ(order.size(), kWaiters);
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(order[i], i) << "waiters must be admitted FIFO";
+  }
+}
+
+}  // namespace
+}  // namespace cisqp::serve
