@@ -24,6 +24,10 @@
 //   \search SQL       feasibility-aware join-order search
 //   \serve SQL        fire the query from --clients concurrent clients
 //                     through the serving front door (plan + CanView caches)
+//   \grant S a,b [on l=r]   add the rule [{a, b}, {(l, r)}] -> S; a live
+//                     front door maintains its chase closure incrementally
+//                     and keeps cache entries the edit cannot affect
+//   \revoke S a,b [on l=r]  remove that exact rule (same incremental path)
 //   \requestor NAME   deliver results to this server ('none' to reset)
 //   \enforce on|off   toggle runtime release enforcement
 //   \faults SPEC|off  inject faults (seed=N,drop=P,down=S@A..B,kill=S@A)
@@ -187,6 +191,10 @@ class Shell {
       SearchOrders(arg);
     } else if (cmd == "\\serve") {
       ServeSql(arg);
+    } else if (cmd == "\\grant") {
+      EditRule(arg, /*grant=*/true);
+    } else if (cmd == "\\revoke") {
+      EditRule(arg, /*grant=*/false);
     } else if (cmd == "\\requestor") {
       SetRequestor(arg);
     } else if (cmd == "\\enforce") {
@@ -414,6 +422,84 @@ class Shell {
         static_cast<unsigned long long>(stats.canview_misses));
   }
 
+  /// "\grant S a[,b] [on l=r[,l=r]]" — builds the rule from names.
+  Result<authz::Authorization> ParseRuleSpec(std::string_view arg) {
+    static constexpr const char* kUsage =
+        "usage: SERVER attr[,attr...] [on left=right[,left=right...]]";
+    std::istringstream iss{std::string(arg)};
+    std::string server, attrs, kw, pairs;
+    iss >> server >> attrs;
+    if (server.empty() || attrs.empty()) return InvalidArgumentError(kUsage);
+    if (iss >> kw) {
+      if (kw != "on" && kw != "ON") return InvalidArgumentError(kUsage);
+      iss >> pairs;
+      if (pairs.empty()) return InvalidArgumentError(kUsage);
+    }
+    authz::Authorization auth;
+    CISQP_ASSIGN_OR_RETURN(auth.server, cat_.FindServer(server));
+    for (const std::string& name : SplitString(attrs, ',')) {
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId id, cat_.FindAttribute(name));
+      auth.attributes.Insert(id);
+    }
+    std::vector<authz::JoinAtom> atoms;
+    for (const std::string& pair : SplitString(pairs, ',')) {
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) return InvalidArgumentError(kUsage);
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId l,
+                             cat_.FindAttribute(pair.substr(0, eq)));
+      CISQP_ASSIGN_OR_RETURN(catalog::AttributeId r,
+                             cat_.FindAttribute(pair.substr(eq + 1)));
+      if (l == r) {
+        return InvalidArgumentError("join atom needs two distinct attributes: " +
+                                    pair);
+      }
+      atoms.push_back(authz::JoinAtom::Make(l, r));
+    }
+    auth.path = authz::JoinPath::FromAtoms(std::move(atoms));
+    return auth;
+  }
+
+  /// \grant / \revoke: edits the session policy, and — when a front door is
+  /// live — applies the same edit incrementally (delta-chase + selective
+  /// cache retention) and prints the closure-delta summary.
+  void EditRule(std::string_view arg, bool grant) {
+    Result<authz::Authorization> rule = ParseRuleSpec(arg);
+    if (!rule.ok()) {
+      std::printf("error: %s\n", rule.status().ToString().c_str());
+      return;
+    }
+    const Status applied =
+        grant ? auths_.Add(cat_, *rule) : auths_.Remove(cat_, *rule);
+    if (!applied.ok()) {
+      std::printf("error: %s\n", applied.ToString().c_str());
+      return;
+    }
+    std::printf("%s %s (%zu rule(s) now)\n", grant ? "granted" : "revoked",
+                rule->ToString(cat_).c_str(), auths_.size());
+    if (front_door_ == nullptr) return;
+    Result<authz::ClosureDelta> delta =
+        grant ? front_door_->AddRule(*rule) : front_door_->RevokeRule(*rule);
+    if (!delta.ok()) {
+      std::printf("front door error: %s\n", delta.status().ToString().c_str());
+      return;
+    }
+    const serve::FrontDoorStats stats = front_door_->Stats();
+    if (delta->full) {
+      std::printf(
+          "front door: epoch %llu, full cache sweep (closure recomputed "
+          "lazily)\n",
+          static_cast<unsigned long long>(front_door_->policy_epoch()));
+    } else {
+      std::printf(
+          "front door: epoch %llu, closure delta +%zu/-%zu rule(s) over %zu "
+          "relation(s); %llu plan(s) retained across all edits\n",
+          static_cast<unsigned long long>(front_door_->policy_epoch()),
+          delta->added_rules, delta->removed_rules, delta->relations.size(),
+          static_cast<unsigned long long>(stats.plan_cache_retained));
+    }
+  }
+
   void SetFaults(std::string_view arg) {
     if (arg.empty() || arg == "off") {
       fault_options_.reset();
@@ -478,6 +564,9 @@ class Shell {
       "  \\search SQL        feasibility-aware join-order search\n"
       "  \\serve SQL         the query from --clients concurrent clients via\n"
       "                     the serving front door (plan + CanView caches)\n"
+      "  \\grant S a[,b] [on l=r[,l=r]]  add rule [{a,b}, {(l,r)}] -> S;\n"
+      "                     the front door updates its closure incrementally\n"
+      "  \\revoke S a[,b] [on l=r[,l=r]] remove that exact rule\n"
       "  \\requestor NAME    deliver results to this server (or 'none')\n"
       "  \\enforce on|off    toggle runtime enforcement\n"
       "  \\faults SPEC|off   inject faults: seed=N,drop=P,down=S@A..B,kill=S@A\n"

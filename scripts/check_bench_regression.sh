@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI bench smoke gates: the columnar execution engine (E16), the
 # query-profiler overhead budget (E13), morsel-driven parallel
-# execution (E18), and the serving front door's caches (E19).
+# execution (E18), the serving front door's caches (E19), and
+# incremental policy churn (E20).
 #
 # Runs bench_exec_kernels, then compares the freshly measured end-to-end
 # speedup (row kernels / columnar kernels) against the committed baseline in
@@ -216,4 +217,72 @@ if fresh < floor:
     sys.exit(f"FAIL: cached-hit speedup {fresh:.2f}x below the "
              f"{floor:.2f}x floor")
 print("OK: serving cache speedup within the gate")
+PY
+
+# --- E20: incremental policy churn --------------------------------------
+CHURN_BENCH="$BUILD_DIR/bench/bench_policy_churn"
+if [ ! -x "$CHURN_BENCH" ]; then
+  echo "error: $CHURN_BENCH not built" >&2
+  exit 1
+fi
+
+# Byte-identity is unconditional: the binary aborts (failing this step)
+# when any post-edit answer differs from its cold reference. The timing
+# gate takes the best of three so loaded runners don't flake: the
+# aggregate incremental edit cost must beat the per-edit full rechase
+# (floor = half the committed baseline speedup, never below break-even),
+# and a disjoint edit must keep the warm hit rate within 5 points.
+best_churn=""
+best_delta_pts=""
+for attempt in 1 2 3; do
+  CISQP_BENCH_OUT_DIR="$OUT_DIR" "$CHURN_BENCH" --benchmark_filter='^$' \
+      > /dev/null
+  churn="$(python3 -c '
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = next(r for r in rows if r.get("mode") == "summary")
+if not row["identical"]:
+    sys.exit("FAIL: a post-edit answer differed from its cold reference")
+print(row["edit_speedup"])
+' "$OUT_DIR/BENCH_policy_churn.json")"
+  delta_pts="$(python3 -c '
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = next(r for r in rows if r.get("mode") == "summary")
+print(row["hit_rate_delta_pts"])
+' "$OUT_DIR/BENCH_policy_churn.json")"
+  echo "incremental edit speedup, attempt $attempt: ${churn}x (hit-rate delta ${delta_pts} pts)"
+  if [ -z "$best_churn" ] || \
+     python3 -c "import sys; sys.exit(0 if $churn > $best_churn else 1)"; then
+    best_churn="$churn"
+  fi
+  if [ -z "$best_delta_pts" ] || \
+     python3 -c "import sys; sys.exit(0 if $delta_pts < $best_delta_pts else 1)"; then
+    best_delta_pts="$delta_pts"
+  fi
+  if python3 -c "import sys; sys.exit(0 if $best_churn >= 1.0 and $best_delta_pts <= 5.0 else 1)"; then
+    break
+  fi
+done
+
+python3 - "$best_churn" "$best_delta_pts" \
+    bench/baselines/BENCH_policy_churn.json <<'PY'
+import json
+import sys
+
+fresh = float(sys.argv[1])
+delta_pts = float(sys.argv[2])
+base = next(r for r in json.load(open(sys.argv[3]))["rows"]
+            if r.get("mode") == "summary")
+floor = max(1.0, base["edit_speedup"] / 2.0)
+print(f"fresh edit speedup: {fresh:.2f}x "
+      f"(floor {floor:.2f}x, baseline {base['edit_speedup']:.2f}x)")
+if fresh < floor:
+    sys.exit(f"FAIL: incremental edit speedup {fresh:.2f}x below the "
+             f"{floor:.2f}x floor")
+if delta_pts > 5.0:
+    sys.exit(f"FAIL: disjoint-edit hit rate fell {delta_pts:.1f} points "
+             f"below the no-edit warm rate (5-point budget)")
+print(f"OK: incremental churn within the gate "
+      f"(hit-rate delta {delta_pts:.1f} pts)")
 PY

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Rebuilds the project, runs the full test suite, and regenerates every
-# experiment (E1..E18), tee-ing the artifacts next to the repository root.
+# experiment (E1..E20), tee-ing the artifacts next to the repository root.
 # Each bench binary also writes a machine-readable BENCH_<name>.json into
 # artifacts/ (via CISQP_BENCH_OUT_DIR) for downstream plotting.
 #

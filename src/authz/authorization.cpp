@@ -84,6 +84,27 @@ Status AuthorizationSet::Add(
   return Add(cat, std::move(auth));
 }
 
+Status AuthorizationSet::Remove(const catalog::Catalog& cat,
+                                const Authorization& auth) {
+  if (auth.server < by_server_.size()) {
+    PathIndex& index = by_server_[auth.server];
+    const auto it = index.find(auth.path);
+    if (it != index.end()) {
+      std::vector<IdSet>& grants = it->second;
+      const auto grant =
+          std::find(grants.begin(), grants.end(), auth.attributes);
+      if (grant != grants.end()) {
+        grants.erase(grant);
+        if (grants.empty()) index.erase(it);
+        --total_;
+        return Status::Ok();
+      }
+    }
+  }
+  return NotFoundError("no such authorization to revoke: " +
+                       auth.ToString(cat));
+}
+
 bool AuthorizationSet::CanView(const Profile& profile,
                                catalog::ServerId server) const {
   if (server >= by_server_.size()) return false;
@@ -181,6 +202,15 @@ std::size_t AuthorizationSet::Minimize() {
   }
   total_ -= removed;
   return removed;
+}
+
+void AuthorizationSet::Canonicalize() {
+  Minimize();
+  for (PathIndex& index : by_server_) {
+    for (auto& [path, grants] : index) {
+      std::sort(grants.begin(), grants.end());
+    }
+  }
 }
 
 std::string AuthorizationSet::ToString(const catalog::Catalog& cat) const {

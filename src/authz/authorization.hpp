@@ -55,6 +55,10 @@ class AuthorizationSet : public Policy {
              const std::vector<std::string>& attribute_names,
              const std::vector<std::pair<std::string, std::string>>& path_pairs);
 
+  /// Removes exactly `auth` (same server, attributes, path). kNotFound when
+  /// no such rule is present.
+  Status Remove(const catalog::Catalog& cat, const Authorization& auth);
+
   /// Def. 3.3: true iff some authorization of `server` covers `profile`.
   bool CanView(const Profile& profile,
                catalog::ServerId server) const override;
@@ -80,6 +84,14 @@ class AuthorizationSet : public Policy {
   /// Drops rules subsumed by another rule of the same server with the same
   /// path and a superset of attributes. Returns the number removed.
   std::size_t Minimize();
+
+  /// Minimize() plus a deterministic order: within every (server, path)
+  /// bucket the surviving grants are sorted. Two equivalent policies — e.g.
+  /// an incrementally maintained closure and a from-scratch rechase, whose
+  /// raw rule orders differ — canonicalize to identical sets, so
+  /// order-sensitive consumers (ExplainCanView's first-wins tie among
+  /// incomparable grants) answer identically over either.
+  void Canonicalize();
 
   /// Multi-line policy dump, one rule per line.
   std::string ToString(const catalog::Catalog& cat) const;

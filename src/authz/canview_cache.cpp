@@ -37,17 +37,41 @@ CanViewExplanation CachingPolicy::Explain(const Profile& profile,
     if (it != memo_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       CISQP_METRIC_INC("authz.canview_cache.hit");
-      return it->second;
+      return it->second.explanation;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   CISQP_METRIC_INC("authz.canview_cache.miss");
-  CanViewExplanation explanation = base_.ExplainCanView(profile, server);
+  Entry entry;
+  entry.explanation = base_.ExplainCanView(profile, server);
+  if (cat_ != nullptr) {
+    entry.relations = profile.join.Relations(*cat_);
+    for (const IdSet::value_type a : profile.VisibleAttributes()) {
+      entry.relations.Insert(cat_->attribute(a).relation);
+    }
+  }
+  CanViewExplanation explanation = entry.explanation;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    memo_.emplace(std::move(key), explanation);
+    memo_.emplace(std::move(key), std::move(entry));
   }
   return explanation;
+}
+
+std::size_t CachingPolicy::RetainFrom(const CachingPolicy& prior,
+                                      const IdSet& changed_relations) {
+  if (cat_ == nullptr || prior.cat_ == nullptr) return 0;
+  const std::lock_guard<std::mutex> prior_lock(prior.mu_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t retained = 0;
+  for (const auto& [key, entry] : prior.memo_) {
+    if (entry.relations.empty()) continue;
+    if (entry.relations.Intersects(changed_relations)) continue;
+    memo_.emplace(key, entry);
+    ++retained;
+  }
+  CISQP_METRIC_ADD("authz.canview_cache.retained", retained);
+  return retained;
 }
 
 void CachingPolicy::BumpEpoch() {

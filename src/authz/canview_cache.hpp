@@ -15,6 +15,14 @@
 // change any verdict). The decorated policy itself is immutable through
 // this class; the owner swaps/edits it and then bumps.
 //
+// An *incremental* policy edit does better: when constructed with a
+// catalog, every entry records the relations its profile touches, and
+// RetainFrom copies into a fresh memo exactly the prior entries whose
+// relation sets are disjoint from the edit's ClosureDelta — verdicts the
+// edit provably could not change (DESIGN.md §16). Entries with no recorded
+// relations are never retained (an empty set is vacuously disjoint from
+// everything, which is the wrong default for safety).
+//
 // Thread-safe: lookups and inserts serialize on one mutex (probes are
 // microseconds; the memo's win is skipping the rule-index walk, not lock
 // elision). Hit/miss counters are atomics readable without the lock, and
@@ -37,8 +45,12 @@ std::string ProfileCacheKey(const Profile& profile, catalog::ServerId server);
 class CachingPolicy : public Policy {
  public:
   /// Decorates `base`, which must outlive this object and must not change
-  /// between BumpEpoch calls.
-  explicit CachingPolicy(const Policy& base) : base_(base) {}
+  /// between BumpEpoch calls. When `cat` is non-null (it must then outlive
+  /// this object too), entries record their profile's relations, enabling
+  /// RetainFrom after an incremental policy edit.
+  explicit CachingPolicy(const Policy& base,
+                         const catalog::Catalog* cat = nullptr)
+      : base_(base), cat_(cat) {}
 
   bool CanView(const Profile& profile,
                catalog::ServerId server) const override {
@@ -62,6 +74,14 @@ class CachingPolicy : public Policy {
   /// Drops all entries without advancing the epoch (bench cold paths).
   void Clear();
 
+  /// Copies from `prior` every entry whose recorded relation set is
+  /// non-empty and disjoint from `changed_relations` — the verdicts an
+  /// incremental policy edit provably left intact. Call on a freshly
+  /// constructed memo wrapping the post-edit policy. Returns the number of
+  /// entries retained; requires both memos to carry a catalog.
+  std::size_t RetainFrom(const CachingPolicy& prior,
+                         const IdSet& changed_relations);
+
   std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -71,15 +91,21 @@ class CachingPolicy : public Policy {
   std::size_t size() const;
 
  private:
+  struct Entry {
+    CanViewExplanation explanation;
+    IdSet relations;  ///< empty when no catalog was supplied
+  };
+
   CanViewExplanation Explain(const Profile& profile,
                              catalog::ServerId server) const;
 
   const Policy& base_;
+  const catalog::Catalog* cat_ = nullptr;
   std::atomic<std::uint64_t> epoch_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::mutex mu_;  ///< guards memo_
-  mutable std::unordered_map<std::string, CanViewExplanation> memo_;
+  mutable std::unordered_map<std::string, Entry> memo_;
 };
 
 }  // namespace cisqp::authz

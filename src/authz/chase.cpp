@@ -1,12 +1,10 @@
 #include "authz/chase.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "authz/chase_core.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -14,121 +12,8 @@
 namespace cisqp::authz {
 namespace {
 
-/// Fixed-width bitset over the catalog's join edges. Federations declare
-/// tens of edges, so one or two words cover the whole schema.
-class EdgeBits {
- public:
-  explicit EdgeBits(std::size_t words) : words_(words, 0) {}
-
-  void Set(std::size_t bit) {
-    words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
-  }
-
-  /// Invokes `fn(edge_index)` for every edge set in
-  /// (a.left & b.right) | (a.right & b.left) — the edges whose endpoints are
-  /// visible one through each rule, in ascending edge order.
-  template <typename Fn>
-  static void ForEachJoinable(const EdgeBits& left_a, const EdgeBits& right_a,
-                              const EdgeBits& left_b, const EdgeBits& right_b,
-                              Fn&& fn) {
-    for (std::size_t w = 0; w < left_a.words_.size(); ++w) {
-      std::uint64_t word = (left_a.words_[w] & right_b.words_[w]) |
-                           (right_a.words_[w] & left_b.words_[w]);
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        word &= word - 1;
-        fn((w << 6) + static_cast<std::size_t>(bit));
-      }
-    }
-  }
-
- private:
-  std::vector<std::uint64_t> words_;
-};
-
-/// cat.join_edges() indexed by endpoint attribute: for each attribute, the
-/// edges it is the left (resp. right) endpoint of. Built once per closure
-/// and shared read-only by every server task.
-class EdgeIndex {
- public:
-  explicit EdgeIndex(const catalog::Catalog& cat) : cat_(cat) {
-    const std::vector<catalog::JoinEdge>& edges = cat.join_edges();
-    words_ = (edges.size() + 63) / 64;
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      left_of_[edges[e].left].push_back(e);
-      right_of_[edges[e].right].push_back(e);
-    }
-  }
-
-  const catalog::JoinEdge& edge(std::size_t e) const {
-    return cat_.join_edges()[e];
-  }
-  std::size_t words() const noexcept { return words_; }
-
-  /// The edges whose left (resp. right) endpoint is visible in `attrs`.
-  EdgeBits LeftVisible(const IdSet& attrs) const {
-    return Collect(left_of_, attrs);
-  }
-  EdgeBits RightVisible(const IdSet& attrs) const {
-    return Collect(right_of_, attrs);
-  }
-
- private:
-  EdgeBits Collect(
-      const std::map<catalog::AttributeId, std::vector<std::size_t>>& index,
-      const IdSet& attrs) const {
-    EdgeBits bits(words_);
-    for (const catalog::AttributeId attr : attrs) {
-      const auto it = index.find(attr);
-      if (it == index.end()) continue;
-      for (const std::size_t e : it->second) bits.Set(e);
-    }
-    return bits;
-  }
-
-  const catalog::Catalog& cat_;
-  std::size_t words_ = 0;
-  std::map<catalog::AttributeId, std::vector<std::size_t>> left_of_;
-  std::map<catalog::AttributeId, std::vector<std::size_t>> right_of_;
-};
-
-/// Working form of a server's rule set: the rules in derivation order, each
-/// with its edge-visibility masks, plus a per-path subsumption index.
-class RulePool {
- public:
-  explicit RulePool(const EdgeIndex& index) : index_(&index) {}
-
-  struct Rule {
-    IdSet attrs;
-    JoinPath path;
-    EdgeBits left;   ///< edges whose left endpoint is in attrs
-    EdgeBits right;  ///< edges whose right endpoint is in attrs
-  };
-
-  /// Adds unless an existing same-path rule already grants a superset of
-  /// attributes. Returns true when the pool changed.
-  bool AddIfNovel(IdSet attrs, JoinPath path) {
-    std::vector<IdSet>& grants = by_path_[path];
-    for (const IdSet& existing : grants) {
-      if (attrs.IsSubsetOf(existing)) return false;
-    }
-    grants.push_back(attrs);
-    EdgeBits left = index_->LeftVisible(attrs);
-    EdgeBits right = index_->RightVisible(attrs);
-    rules_.push_back(Rule{std::move(attrs), std::move(path), std::move(left),
-                          std::move(right)});
-    return true;
-  }
-
-  std::size_t size() const noexcept { return rules_.size(); }
-  const Rule& rule(std::size_t i) const { return rules_[i]; }
-  const std::vector<Rule>& rules() const noexcept { return rules_; }
-
- private:
-  const EdgeIndex* index_;
-  std::vector<Rule> rules_;
-  std::map<JoinPath, std::vector<IdSet>> by_path_;
-};
+using chase_internal::EdgeIndex;
+using chase_internal::RulePool;
 
 /// One server's closure, produced independently on a pool worker.
 struct ServerClosure {
@@ -137,17 +22,8 @@ struct ServerClosure {
   ChaseStats stats;
 };
 
-Status ExceededCap(const ChaseOptions& options) {
-  return ResourceExhaustedError("chase closure exceeded max_derived_rules=" +
-                                std::to_string(options.max_derived_rules));
-}
-
-/// Semi-naïve fixpoint for one server. Round k pairs only the delta (rules
-/// first seen in round k-1) against everything older, so each unordered
-/// rule pair is visited exactly once over the whole run; the edge masks
-/// restrict a pair to the edges it can fire. New derivations are buffered
-/// per round and inserted after the scan — rules are never moved while
-/// references into the pool are live, so nothing is copied per pair.
+/// Semi-naïve fixpoint for one server (chase_core.hpp): seed the pool with
+/// the input rules and run the loop with everything as the initial delta.
 ServerClosure CloseServer(const catalog::Catalog& cat, const EdgeIndex& index,
                           const std::vector<Authorization>& input,
                           catalog::ServerId server,
@@ -158,51 +34,9 @@ ServerClosure CloseServer(const catalog::Catalog& cat, const EdgeIndex& index,
     pool.AddIfNovel(auth.attributes, auth.path);
   }
 
-  std::size_t delta_begin = 0;
-  std::vector<std::pair<IdSet, JoinPath>> pending;
-  while (delta_begin < pool.size()) {
-    ++out.stats.iterations;
-    CISQP_METRIC_INC("chase.iterations");
-    CISQP_TRACE_SPAN(round_span, "authz.chase.iteration");
-    round_span.AddAttribute("server", cat.server(server).name);
-    const std::size_t round_start_rules = out.stats.derived_rules;
-    const std::size_t frozen = pool.size();
-    pending.clear();
-    for (std::size_t j = delta_begin; j < frozen; ++j) {
-      const RulePool::Rule& rule_j = pool.rule(j);
-      for (std::size_t i = 0; i < j; ++i) {
-        const RulePool::Rule& rule_i = pool.rule(i);
-        EdgeBits::ForEachJoinable(
-            rule_i.left, rule_i.right, rule_j.left, rule_j.right,
-            [&](std::size_t e) {
-              ++out.stats.pairs_considered;
-              // One endpoint is visible through rule i, the other through
-              // rule j: the server can join the two authorized views locally
-              // on attributes it already sees. The derived rule is symmetric
-              // in (i, j), so the unordered pair is derived once.
-              const catalog::JoinEdge& edge = index.edge(e);
-              JoinPath derived_path = JoinPath::Union(rule_i.path, rule_j.path);
-              derived_path.Insert(JoinAtom::Make(edge.left, edge.right));
-              if (options.max_path_atoms != 0 &&
-                  derived_path.size() > options.max_path_atoms) {
-                return;
-              }
-              pending.emplace_back(IdSet::Union(rule_i.attrs, rule_j.attrs),
-                                   std::move(derived_path));
-            });
-      }
-    }
-    for (auto& [attrs, path] : pending) {
-      if (!pool.AddIfNovel(std::move(attrs), std::move(path))) continue;
-      if (++out.stats.derived_rules > options.max_derived_rules) {
-        out.status = ExceededCap(options);
-        return out;
-      }
-    }
-    round_span.AddAttribute("rules_fired",
-                            out.stats.derived_rules - round_start_rules);
-    delta_begin = frozen;
-  }
+  out.status = chase_internal::RunSemiNaive(cat, index, pool, 0, server,
+                                            options, out.stats);
+  if (!out.status.ok()) return out;
 
   out.rules.reserve(pool.size());
   for (const RulePool::Rule& rule : pool.rules()) {
@@ -254,7 +88,7 @@ Result<AuthorizationSet> ChaseClosure(const catalog::Catalog& cat,
     // budget: enforce it over the ordered running total as the sequential
     // fixpoint did.
     if (local_stats.derived_rules > options.max_derived_rules) {
-      return ExceededCap(options);
+      return chase_internal::ExceededCap(options);
     }
     for (auto& [attrs, path] : closure.rules) {
       const Status status =

@@ -1,0 +1,63 @@
+#include "authz/chase_core.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cisqp::authz::chase_internal {
+
+Status ExceededCap(const ChaseOptions& options) {
+  return ResourceExhaustedError("chase closure exceeded max_derived_rules=" +
+                                std::to_string(options.max_derived_rules));
+}
+
+Status RunSemiNaive(const catalog::Catalog& cat, const EdgeIndex& index,
+                    RulePool& pool, std::size_t delta_begin,
+                    catalog::ServerId server, const ChaseOptions& options,
+                    ChaseStats& stats) {
+  std::vector<std::pair<IdSet, JoinPath>> pending;
+  while (delta_begin < pool.size()) {
+    ++stats.iterations;
+    CISQP_METRIC_INC("chase.iterations");
+    CISQP_TRACE_SPAN(round_span, "authz.chase.iteration");
+    round_span.AddAttribute("server", cat.server(server).name);
+    const std::size_t round_start_rules = stats.derived_rules;
+    const std::size_t frozen = pool.size();
+    pending.clear();
+    for (std::size_t j = delta_begin; j < frozen; ++j) {
+      const RulePool::Rule& rule_j = pool.rule(j);
+      for (std::size_t i = 0; i < j; ++i) {
+        const RulePool::Rule& rule_i = pool.rule(i);
+        EdgeBits::ForEachJoinable(
+            rule_i.left, rule_i.right, rule_j.left, rule_j.right,
+            [&](std::size_t e) {
+              ++stats.pairs_considered;
+              // One endpoint is visible through rule i, the other through
+              // rule j: the server can join the two authorized views locally
+              // on attributes it already sees. The derived rule is symmetric
+              // in (i, j), so the unordered pair is derived once.
+              const catalog::JoinEdge& edge = index.edge(e);
+              JoinPath derived_path = JoinPath::Union(rule_i.path, rule_j.path);
+              derived_path.Insert(JoinAtom::Make(edge.left, edge.right));
+              if (options.max_path_atoms != 0 &&
+                  derived_path.size() > options.max_path_atoms) {
+                return;
+              }
+              pending.emplace_back(IdSet::Union(rule_i.attrs, rule_j.attrs),
+                                   std::move(derived_path));
+            });
+      }
+    }
+    for (auto& [attrs, path] : pending) {
+      if (!pool.AddIfNovel(std::move(attrs), std::move(path))) continue;
+      if (++stats.derived_rules > options.max_derived_rules) {
+        return ExceededCap(options);
+      }
+    }
+    round_span.AddAttribute("rules_fired",
+                            stats.derived_rules - round_start_rules);
+    delta_begin = frozen;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cisqp::authz::chase_internal

@@ -1,14 +1,22 @@
 #include "serve/admission.hpp"
 
+#include <chrono>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace cisqp::serve {
 
 AdmissionController::AdmissionController(std::size_t max_concurrent,
-                                         std::size_t max_queue)
+                                         std::size_t max_queue,
+                                         std::int64_t max_wait_us)
     : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
-      max_queue_(max_queue) {}
+      max_queue_(max_queue),
+      max_wait_us_(max_wait_us) {}
+
+void AdmissionController::SkipAbandoned() {
+  while (abandoned_.erase(now_serving_) > 0) ++now_serving_;
+}
 
 Result<AdmissionController::Ticket> AdmissionController::Admit(
     std::int64_t* queue_wait_us) {
@@ -27,14 +35,45 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
     ++queued_;
     CISQP_METRIC_SET("serve.queued", static_cast<double>(queued_));
     const std::int64_t start = obs::NowMicros();
-    cv_.wait(lock, [&] {
+    const auto ready = [&] {
       return seq == now_serving_ && running_ < max_concurrent_;
-    });
+    };
+    bool admitted = true;
+    if (max_wait_us_ > 0) {
+      admitted = cv_.wait_until(lock,
+                                std::chrono::steady_clock::now() +
+                                    std::chrono::microseconds(max_wait_us_),
+                                ready);
+    } else {
+      cv_.wait(lock, ready);
+    }
     waited_us = obs::NowMicros() - start;
     --queued_;
     CISQP_METRIC_SET("serve.queued", static_cast<double>(queued_));
+    if (!admitted) {
+      // Deadline passed while queued. Hand the FIFO position back: at the
+      // head, step now_serving_ past this ticket (and any previously
+      // abandoned successors) on the spot; otherwise leave a marker the
+      // hand-off skips when it gets there. Either way the waiters behind
+      // this ticket are never wedged by the timeout.
+      if (seq == now_serving_) {
+        ++now_serving_;
+        SkipAbandoned();
+      } else {
+        abandoned_.insert(seq);
+      }
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      CISQP_METRIC_INC("serve.rejected");
+      lock.unlock();
+      cv_.notify_all();
+      return ResourceExhaustedError(
+          "admission wait exceeded max_wait_us=" +
+          std::to_string(max_wait_us_) + " (" + std::to_string(waited_us) +
+          "us queued)");
+    }
   }
   ++now_serving_;
+  SkipAbandoned();
   ++running_;
   admitted_.fetch_add(1, std::memory_order_relaxed);
   CISQP_METRIC_INC("serve.admitted");

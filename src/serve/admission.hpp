@@ -9,6 +9,13 @@
 // the caller can retry with backoff). Waiters are admitted in FIFO order
 // via ticket numbers, so no request starves under sustained load.
 //
+// An optional `max_wait_us` deadline bounds the queueing itself: a waiter
+// whose turn has not come by the deadline gives up with a typed
+// kResourceExhausted instead of blocking forever behind a ticket holder
+// that never releases. An abandoned ticket's sequence number is recorded
+// (or, at the queue head, skipped on the spot) so the FIFO hand-off walks
+// past it — a timeout never wedges the waiters behind it.
+//
 // The controller publishes its state as metrics: serve.admitted /
 // serve.rejected counters and serve.running / serve.queued gauges.
 #pragma once
@@ -17,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <set>
 
 #include "common/status.hpp"
 
@@ -24,7 +32,10 @@ namespace cisqp::serve {
 
 class AdmissionController {
  public:
-  AdmissionController(std::size_t max_concurrent, std::size_t max_queue);
+  /// `max_wait_us` bounds how long an admitted-to-queue request may wait
+  /// for its slot; 0 means wait indefinitely (the historical behavior).
+  AdmissionController(std::size_t max_concurrent, std::size_t max_queue,
+                      std::int64_t max_wait_us = 0);
 
   /// RAII admission slot: releasing it (destruction) wakes the next waiter.
   class Ticket {
@@ -52,9 +63,10 @@ class AdmissionController {
   };
 
   /// Blocks until a slot frees (FIFO among waiters), or fails immediately
-  /// with kResourceExhausted when the wait queue is already full. On
-  /// success `queue_wait_us` (when non-null) receives the time spent
-  /// queued.
+  /// with kResourceExhausted when the wait queue is already full, or — with
+  /// a nonzero `max_wait_us` — with kResourceExhausted when the deadline
+  /// passes while still queued. On success `queue_wait_us` (when non-null)
+  /// receives the time spent queued.
   Result<Ticket> Admit(std::int64_t* queue_wait_us = nullptr);
 
   std::size_t running() const;
@@ -70,14 +82,20 @@ class AdmissionController {
   friend class Ticket;
   void ReleaseSlot();
 
+  /// With mu_ held: advances now_serving_ past consecutively abandoned
+  /// sequence numbers so the FIFO order skips timed-out waiters.
+  void SkipAbandoned();
+
   const std::size_t max_concurrent_;
   const std::size_t max_queue_;
+  const std::int64_t max_wait_us_;  ///< 0 = unbounded queueing
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::size_t running_ = 0;
   std::size_t queued_ = 0;
   std::uint64_t next_ticket_ = 0;   ///< next sequence number to hand out
   std::uint64_t now_serving_ = 0;   ///< lowest not-yet-admitted sequence
+  std::set<std::uint64_t> abandoned_;  ///< timed-out, not yet skipped
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
 };

@@ -19,7 +19,8 @@ FrontDoor::FrontDoor(const catalog::Catalog& cat,
       cluster_(cluster),
       stats_(stats),
       options_(options),
-      admission_(options.max_concurrent, options.max_queue),
+      admission_(options.max_concurrent, options.max_queue,
+                 options.admission_max_wait_us),
       plan_cache_(options.plan_cache_capacity),
       base_policy_(std::move(auths)) {
   // Cluster::TableOf materializes a relation's empty table lazily and
@@ -41,6 +42,10 @@ Result<std::shared_ptr<const FrontDoor::EpochState>> FrontDoor::State() {
         authz::ChaseClosure(cat_, base_policy_, options_.chase);
     if (closed.ok()) {
       st->policy = std::move(*closed);
+      // Canonical form (minimized, grants sorted per path): the closure an
+      // incremental edit maintains is canonical, so serving from either
+      // source answers identically — down to deny-reason tie-breaks.
+      st->policy.Canonicalize();
     } else if (closed.status().code() == StatusCode::kResourceExhausted) {
       // The cap tripped: serve against the raw rules. Sound — the chase only
       // adds derivable grants — just stricter than the full closure.
@@ -53,7 +58,7 @@ Result<std::shared_ptr<const FrontDoor::EpochState>> FrontDoor::State() {
   } else {
     st->policy = base_policy_;
   }
-  st->memo = std::make_unique<authz::CachingPolicy>(st->policy);
+  st->memo = std::make_unique<authz::CachingPolicy>(st->policy, &cat_);
   state_ = std::move(st);
   return state_;
 }
@@ -148,6 +153,9 @@ Result<Response> FrontDoor::Serve(const Request& request) {
     Result<planner::PlanSearchResult> found = search.Search(*spec, popt);
     CachedPlanEntry fresh;
     fresh.epoch = state->epoch;
+    for (const catalog::RelationId rel : spec->Relations()) {
+      fresh.relations.Insert(rel);
+    }
     if (found.ok()) {
       fresh.handle =
           std::make_shared<const planner::PlanSearchResult>(std::move(*found));
@@ -199,13 +207,18 @@ Result<Response> FrontDoor::Serve(const Request& request) {
   return out;
 }
 
-void FrontDoor::SetPolicy(authz::AuthorizationSet auths) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  base_policy_ = std::move(auths);
+void FrontDoor::RetireMemoCountersLocked() {
   if (state_ != nullptr && state_->memo != nullptr) {
     retired_canview_hits_ += state_->memo->hits();
     retired_canview_misses_ += state_->memo->misses();
   }
+}
+
+void FrontDoor::SetPolicy(authz::AuthorizationSet auths) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  base_policy_ = std::move(auths);
+  inc_.reset();  // wholesale replacement: rebuild the closure from scratch
+  RetireMemoCountersLocked();
   state_.reset();
   const std::uint64_t next =
       epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -213,12 +226,114 @@ void FrontDoor::SetPolicy(authz::AuthorizationSet auths) {
   CISQP_METRIC_INC("serve.policy_epoch_bumps");
 }
 
+Result<authz::ClosureDelta> FrontDoor::AddRule(const authz::Authorization& auth) {
+  return EditPolicy(auth, /*grant=*/true);
+}
+
+Result<authz::ClosureDelta> FrontDoor::RevokeRule(
+    const authz::Authorization& auth) {
+  return EditPolicy(auth, /*grant=*/false);
+}
+
+Result<authz::ClosureDelta> FrontDoor::EditPolicy(
+    const authz::Authorization& auth, bool grant) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const obs::Span span(grant ? "serve.policy_grant" : "serve.policy_revoke");
+  authz::ClosureDelta delta;
+  bool incremental = false;
+  const bool capped = state_ != nullptr && state_->chase_capped;
+  if (options_.chase_policy && !capped) {
+    if (inc_ == nullptr) {
+      Result<authz::IncrementalClosure> built =
+          authz::IncrementalClosure::Build(cat_, base_policy_, options_.chase);
+      if (built.ok()) {
+        inc_ = std::make_unique<authz::IncrementalClosure>(std::move(*built));
+      } else if (built.status().code() != StatusCode::kResourceExhausted) {
+        return built.status();
+      }
+      // Cap trip: leave inc_ null and take the full-sweep path below —
+      // serving already degrades to the raw rules in State().
+    }
+  } else if (options_.chase_policy) {
+    // Capped state serves raw rules; keep doing so via the full path.
+    inc_.reset();
+  }
+  if (inc_ != nullptr) {
+    Result<authz::ClosureDelta> edited =
+        grant ? inc_->AddRule(auth) : inc_->RevokeRule(auth);
+    if (edited.ok()) {
+      delta = std::move(*edited);
+      incremental = true;
+      // Mirror the edit so base_policy_ stays equal to inc_->base() (the
+      // same validation just passed inside the incremental closure).
+      const Status mirrored = grant ? base_policy_.Add(cat_, auth)
+                                    : base_policy_.Remove(cat_, auth);
+      if (!mirrored.ok()) return mirrored;
+    } else if (edited.status().code() == StatusCode::kResourceExhausted) {
+      // The chase cap tripped mid-edit: the incremental pools are
+      // inconsistent, but the base edit itself was validated and applied.
+      // Discard the maintained closure, apply the edit to the raw rules,
+      // and fall back to a full sweep; State() re-detects the cap lazily.
+      inc_.reset();
+      const Status applied = grant ? base_policy_.Add(cat_, auth)
+                                   : base_policy_.Remove(cat_, auth);
+      if (!applied.ok()) return applied;
+      delta.full = true;
+      delta.relations = authz::RuleRelations(cat_, auth);
+      delta.servers.Insert(auth.server);
+      if (grant) delta.added_rules = 1; else delta.removed_rules = 1;
+    } else {
+      return edited.status();  // validation failure: nothing changed
+    }
+  } else {
+    // Chase off (or capped): the served policy IS the base rule set, so the
+    // only rule that changes is the edited one. Selective retention is
+    // still sound — unless the server's rule set transitions between empty
+    // and non-empty, which flips kNoRulesForServer denials for every
+    // profile at that server.
+    const bool was_empty = base_policy_.ForServer(auth.server).empty();
+    const Status applied = grant ? base_policy_.Add(cat_, auth)
+                                 : base_policy_.Remove(cat_, auth);
+    if (!applied.ok()) return applied;
+    const bool is_empty = base_policy_.ForServer(auth.server).empty();
+    delta.relations = authz::RuleRelations(cat_, auth);
+    delta.servers.Insert(auth.server);
+    // With the chase on we only reach here capped (state or build), where a
+    // full sweep is the only sound answer; with it off, selective retention
+    // holds unless the server's rule set transitioned empty <-> non-empty.
+    delta.full = options_.chase_policy || (was_empty != is_empty);
+    if (grant) delta.added_rules = 1; else delta.removed_rules = 1;
+  }
+
+  RetireMemoCountersLocked();
+  const std::uint64_t next =
+      epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  CISQP_METRIC_INC("serve.policy_epoch_bumps");
+  CISQP_METRIC_INC(grant ? "serve.policy_grants" : "serve.policy_revokes");
+  if (delta.full || state_ == nullptr) {
+    // Full sweep: no retained entries, closure (re)built lazily by State().
+    state_.reset();
+    plan_cache_.InvalidateBefore(next);
+    return delta;
+  }
+  // Publish the new epoch eagerly from the maintained closure (or the raw
+  // rules when the chase is off) and re-stamp every cache entry whose
+  // relations are disjoint from the delta: no verdict it depends on changed.
+  auto st = std::make_shared<EpochState>();
+  st->epoch = next;
+  st->policy = incremental ? inc_->closed() : base_policy_;
+  st->memo = std::make_unique<authz::CachingPolicy>(st->policy, &cat_);
+  if (state_->memo != nullptr) {
+    st->memo->RetainFrom(*state_->memo, delta.relations);
+  }
+  state_ = std::move(st);
+  plan_cache_.AdvanceEpoch(next, delta.relations);
+  return delta;
+}
+
 void FrontDoor::ClearCaches() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (state_ != nullptr && state_->memo != nullptr) {
-    retired_canview_hits_ += state_->memo->hits();
-    retired_canview_misses_ += state_->memo->misses();
-  }
+  RetireMemoCountersLocked();
   state_.reset();  // drops the chased closure and the CanView memo
   plan_cache_.Clear();
   const std::lock_guard<std::mutex> sig_lock(sig_mu_);
@@ -233,6 +348,7 @@ FrontDoorStats FrontDoor::Stats() const {
   stats.plan_cache_hits = plan_cache_.hits();
   stats.plan_cache_misses = plan_cache_.misses();
   stats.plan_cache_stale_evictions = plan_cache_.stale_evictions();
+  stats.plan_cache_retained = plan_cache_.retained();
   stats.plan_cache_size = plan_cache_.size();
   const std::lock_guard<std::mutex> lock(mu_);
   stats.canview_hits = retired_canview_hits_;

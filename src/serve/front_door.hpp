@@ -39,6 +39,7 @@
 #include "authz/authorization.hpp"
 #include "authz/canview_cache.hpp"
 #include "authz/chase.hpp"
+#include "authz/incremental.hpp"
 #include "exec/executor.hpp"
 #include "plan/stats.hpp"
 #include "serve/admission.hpp"
@@ -49,8 +50,11 @@ namespace cisqp::serve {
 struct ServeOptions {
   // Admission: at most `max_concurrent` requests execute at once; at most
   // `max_queue` more wait FIFO; beyond that Serve fails kResourceExhausted.
+  // A queued request waiting longer than `admission_max_wait_us` fails with
+  // kResourceExhausted too (0 = wait indefinitely).
   std::size_t max_concurrent = 8;
   std::size_t max_queue = 1024;
+  std::int64_t admission_max_wait_us = 0;
 
   std::size_t plan_cache_capacity = 256;
 
@@ -110,6 +114,7 @@ struct FrontDoorStats {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_stale_evictions = 0;
+  std::uint64_t plan_cache_retained = 0;  ///< re-stamped across policy edits
   std::uint64_t canview_hits = 0;
   std::uint64_t canview_misses = 0;
   std::size_t plan_cache_size = 0;
@@ -138,6 +143,20 @@ class FrontDoor {
   /// epoch they started under.
   void SetPolicy(authz::AuthorizationSet auths);
 
+  /// Grants one rule incrementally (DESIGN.md §16): the chase closure is
+  /// maintained as a semi-naïve delta instead of rechased, the epoch bumps,
+  /// and plan-cache/CanView-memo entries whose relations are disjoint from
+  /// the edit's ClosureDelta are re-stamped into the new epoch instead of
+  /// swept. Validation failures (kInvalidArgument, kNotFound,
+  /// kAlreadyExists) change nothing — no epoch bump, caches intact. Falls
+  /// back to SetPolicy semantics (full sweep, lazy rechase) when the
+  /// incremental path is unavailable (chase off, closure capped).
+  Result<authz::ClosureDelta> AddRule(const authz::Authorization& auth);
+
+  /// Revokes one rule incrementally; kNotFound when the exact rule is not
+  /// in the base policy. Same retention contract as AddRule.
+  Result<authz::ClosureDelta> RevokeRule(const authz::Authorization& auth);
+
   std::uint64_t policy_epoch() const noexcept {
     return epoch_.load(std::memory_order_relaxed);
   }
@@ -162,6 +181,14 @@ class FrontDoor {
   /// The current epoch's state, chasing the policy on first use.
   Result<std::shared_ptr<const EpochState>> State();
 
+  /// Shared grant/revoke implementation; `grant` selects the direction.
+  Result<authz::ClosureDelta> EditPolicy(const authz::Authorization& auth,
+                                         bool grant);
+
+  /// With mu_ held: folds the live memo's counters into the retired totals
+  /// before the state it belongs to is replaced.
+  void RetireMemoCountersLocked();
+
   /// Raw-SQL-text → canonical signature memo: a repeated spelling skips
   /// parse+bind entirely (signatures depend only on the immutable catalog,
   /// never on the policy, so entries survive epoch bumps). Bounded; full
@@ -182,9 +209,13 @@ class FrontDoor {
   mutable std::mutex sig_mu_;  ///< guards sig_memo_
   std::unordered_map<std::string, std::string> sig_memo_;
 
-  mutable std::mutex mu_;  ///< guards base_policy_, state_, retired counters
+  mutable std::mutex mu_;  ///< guards base_policy_, state_, inc_, counters
   authz::AuthorizationSet base_policy_;
   std::shared_ptr<const EpochState> state_;  ///< null until first State()
+  /// Incrementally maintained closure of base_policy_; built lazily on the
+  /// first AddRule/RevokeRule, dropped whenever the incremental path cannot
+  /// keep up (SetPolicy, cap trips).
+  std::unique_ptr<authz::IncrementalClosure> inc_;
   std::uint64_t retired_canview_hits_ = 0;
   std::uint64_t retired_canview_misses_ = 0;
 };

@@ -21,13 +21,14 @@ std::optional<CachedPlanEntry> PlanCache::Lookup(const std::string& key,
   }
   if (it->second.entry.epoch != epoch) {
     // A policy epoch bump made this entry unservable; evict eagerly so the
-    // cache never holds plans no current request could use.
+    // cache never holds plans no current request could use. Lookup outcomes
+    // partition into {hit, miss, stale_eviction}: a stale hit counts as
+    // stale only, never additionally as a miss (InvalidateBefore counts the
+    // same event the same way when the sweep gets there first).
     stale_.fetch_add(1, std::memory_order_relaxed);
     CISQP_METRIC_INC("serve.plan_cache.stale_evictions");
     lru_.erase(it->second.lru_it);
     map_.erase(it);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    CISQP_METRIC_INC("serve.plan_cache.miss");
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -71,6 +72,41 @@ std::size_t PlanCache::InvalidateBefore(std::uint64_t epoch) {
     CISQP_METRIC_ADD("serve.plan_cache.stale_evictions", invalidated);
   }
   return invalidated;
+}
+
+std::size_t PlanCache::AdvanceEpoch(std::uint64_t epoch,
+                                    const IdSet& changed_relations) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t kept = 0;
+  std::size_t evicted = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    CachedPlanEntry& entry = it->second.entry;
+    const bool retain = entry.epoch < epoch && !entry.relations.empty() &&
+                        !entry.relations.Intersects(changed_relations);
+    if (retain) {
+      // The edit touched no relation of this query, so no CanView verdict
+      // the plan (or the kInfeasible refusal) depends on changed; the entry
+      // is as good as one planned under the new epoch.
+      entry.epoch = epoch;
+      ++kept;
+      ++it;
+    } else if (entry.epoch < epoch) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (kept > 0) {
+    retained_.fetch_add(kept, std::memory_order_relaxed);
+    CISQP_METRIC_ADD("serve.plan_cache.retained", kept);
+  }
+  if (evicted > 0) {
+    stale_.fetch_add(evicted, std::memory_order_relaxed);
+    CISQP_METRIC_ADD("serve.plan_cache.stale_evictions", evicted);
+  }
+  return kept;
 }
 
 void PlanCache::Clear() {

@@ -12,9 +12,17 @@
 // Epoch invalidation contract: every entry is stamped with the policy epoch
 // it was planned under. Lookup(key, epoch) only returns entries of exactly
 // that epoch; a stale entry found under the key is evicted on the spot (and
-// counted as serve.plan_cache.stale_evictions), so a policy change can
-// never serve a pre-change plan. Entries inserted after a bump are
-// unaffected by it.
+// counted as serve.plan_cache.stale_evictions — the lookup outcomes
+// {hit, miss, stale_eviction} partition, a stale hit is not also a miss),
+// so a policy change can never serve a pre-change plan. Entries inserted
+// after a bump are unaffected by it.
+//
+// Incremental policy edits retain instead of sweep: every entry records the
+// relations its query touches, and AdvanceEpoch(epoch, changed_relations)
+// re-stamps to the new epoch exactly the entries whose relation sets are
+// non-empty and disjoint from the edit's delta — plans the edit provably
+// could not have changed (DESIGN.md §16) — while evicting the rest as
+// stale. InvalidateBefore remains the full sweep for non-incremental edits.
 //
 // Bounded LRU: at `capacity` entries the least-recently-used entry is
 // evicted. Thread-safe behind one mutex; the payloads are shared-const so
@@ -29,6 +37,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/idset.hpp"
 #include "common/status.hpp"
 #include "planner/plan_search.hpp"
 
@@ -40,6 +49,11 @@ struct CachedPlanEntry {
   Status verdict;             ///< Ok (handle set) or kInfeasible
   planner::PlanHandle handle; ///< set iff verdict.ok()
   std::uint64_t epoch = 0;    ///< policy epoch the planning ran under
+  /// Relations the planned query touches; AdvanceEpoch retains the entry
+  /// across an incremental policy edit when this is non-empty and disjoint
+  /// from the edit's changed relations. Empty means "unknown": never
+  /// retained.
+  IdSet relations;
 };
 
 class PlanCache {
@@ -61,6 +75,12 @@ class PlanCache {
   /// countable).
   std::size_t InvalidateBefore(std::uint64_t epoch);
 
+  /// Delta-aware epoch bump: entries whose relation sets are non-empty and
+  /// disjoint from `changed_relations` are re-stamped to `epoch` and kept
+  /// (the edit could not have changed their plans); every other entry is
+  /// evicted as stale. Returns the number retained.
+  std::size_t AdvanceEpoch(std::uint64_t epoch, const IdSet& changed_relations);
+
   void Clear();
 
   std::size_t size() const;
@@ -72,6 +92,9 @@ class PlanCache {
   }
   std::uint64_t stale_evictions() const noexcept {
     return stale_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retained() const noexcept {
+    return retained_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -89,6 +112,7 @@ class PlanCache {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> stale_{0};
+  mutable std::atomic<std::uint64_t> retained_{0};
 };
 
 }  // namespace cisqp::serve

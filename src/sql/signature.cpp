@@ -1,6 +1,7 @@
 #include "sql/signature.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -16,8 +17,15 @@ std::string LiteralToken(const storage::Value& v) {
   if (v.is_null()) return "n";
   if (v.is_int64()) return "i" + std::to_string(v.AsInt64());
   if (v.is_double()) {
+    double d = v.AsDouble();
+    // Signature equality must track predicate equivalence under SqlEquals
+    // (IEEE ==): -0.0 == 0.0, so both must render as one token, and every
+    // NaN bit pattern compares unequal to everything the same way, so all
+    // NaNs share one canonical spelling (%.17g may print "nan" or "-nan").
+    if (std::isnan(d)) return "dnan";
+    if (d == 0.0) d = 0.0;  // collapses -0.0
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "d%.17g", v.AsDouble());
+    std::snprintf(buf, sizeof(buf), "d%.17g", d);
     return buf;
   }
   const std::string& s = v.AsString();

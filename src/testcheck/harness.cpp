@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "authz/chase.hpp"
+#include "authz/incremental.hpp"
+#include "common/rng.hpp"
 #include "exec/executor.hpp"
 #include "obs/audit.hpp"
 #include "planner/plan_search.hpp"
@@ -112,6 +114,7 @@ std::string_view MismatchKindName(MismatchKind kind) noexcept {
     case MismatchKind::kFaultSafety: return "fault-safety";
     case MismatchKind::kProfileDivergence: return "profile-divergence";
     case MismatchKind::kServingDivergence: return "serving-divergence";
+    case MismatchKind::kPolicyEditDivergence: return "policy-edit-divergence";
     case MismatchKind::kPipelineError: return "pipeline-error";
   }
   return "unknown";
@@ -351,6 +354,207 @@ Result<CheckReport> CheckScenario(const Scenario& s,
              "serving result has " + std::to_string(cold->table.row_count()) +
                  " rows, reference evaluation has " +
                  std::to_string(reference->row_count()));
+      }
+    }
+  }
+
+  // --- policy-edit arm: incremental maintenance vs full recompute ----------
+  // Replays a deterministic grant/revoke script through one long-lived
+  // FrontDoor (incremental delta-chase, selective cache retention) and,
+  // after every edit, diffs it against throwaway from-scratch state built on
+  // the edited rule set: the canonical closure, the per-profile CanView
+  // verdicts (deny reasons byte-for-byte), and the served answer — success
+  // tables, typed kInfeasible messages, and runtime-enforcement audit
+  // entries alike. The long-lived door is served twice per edit so retained
+  // cache entries answer, not just cold plans.
+  if (options.check_policy_edits && options.policy_edit_count > 0 &&
+      s.auths.size() > 0) {
+    serve::ServeOptions serve_options;
+    serve_options.max_orders = options.max_orders;
+    serve_options.planning_threads = 1;
+    serve_options.chase.max_path_atoms = options.chase_max_path_atoms;
+    serve_options.chase.threads = 1;
+    serve::FrontDoor inc_door(cat, s.auths, cluster, &stats, serve_options);
+    authz::AuthorizationSet oracle_base = s.auths;
+
+    // Closure-level differential: a separately maintained incremental
+    // closure vs a from-scratch rechase. Capped scenarios abstain (the door
+    // degrades to serving the raw rules in that regime anyway).
+    std::optional<authz::IncrementalClosure> inc;
+    {
+      Result<authz::IncrementalClosure> built =
+          authz::IncrementalClosure::Build(cat, s.auths, serve_options.chase);
+      if (built.ok()) {
+        inc.emplace(std::move(*built));
+      } else if (built.status().code() != StatusCode::kResourceExhausted) {
+        return built.status();
+      }
+    }
+
+    // Candidate rules: the scenario's own grants plus one-attribute-narrowed
+    // variants (still well formed — shrinking attributes cannot violate the
+    // path-mention rule). Each step flips the membership of one candidate,
+    // so the script interleaves grants of absent rules with revokes.
+    std::vector<authz::Authorization> pool = s.auths.All();
+    const std::size_t original_rules = pool.size();
+    for (std::size_t i = 0; i < original_rules; ++i) {
+      if (pool[i].attributes.size() < 2) continue;
+      authz::Authorization narrowed = pool[i];
+      narrowed.attributes.Erase(narrowed.attributes.ids().front());
+      pool.push_back(std::move(narrowed));
+    }
+
+    Rng rng(s.seed ^ 0x9e3779b97f4a7c15ULL);
+    serve::Request request;
+    request.sql = s.query.ToString(cat);
+    obs::AuthzAuditLog& audit = obs::AuthzAuditLog::Get();
+    const auto enforcement_entries = [&audit] {
+      std::vector<std::string> out;
+      for (const obs::AuditEntry& e : audit.entries()) {
+        if (e.site == obs::AuditSite::kExecutor ||
+            e.site == obs::AuditSite::kRequestor) {
+          out.push_back(e.ToString());
+        }
+      }
+      return out;
+    };
+    const auto same_answer = [](const Result<serve::Response>& a,
+                                const Result<serve::Response>& b) {
+      if (a.ok() != b.ok()) return false;
+      if (!a.ok()) {
+        return a.status().code() == b.status().code() &&
+               a.status().message() == b.status().message();
+      }
+      return TablesByteIdentical(a->table, b->table);
+    };
+
+    for (std::size_t step = 0; step < options.policy_edit_count; ++step) {
+      const authz::Authorization cand = pool[rng.UniformIndex(pool.size())];
+      const bool grant = !oracle_base.Contains(cand);
+      const std::string edit_label =
+          (grant ? std::string("grant ") : std::string("revoke ")) +
+          cand.ToString(cat) + " (edit " + std::to_string(step + 1) + ")";
+
+      Result<authz::ClosureDelta> edited = InternalError("unset");
+      Timed(report.production_us, [&] {
+        edited = grant ? inc_door.AddRule(cand) : inc_door.RevokeRule(cand);
+      });
+      Status mirrored = Status::Ok();
+      Timed(report.oracle_us, [&] {
+        mirrored = grant ? oracle_base.Add(cat, cand)
+                         : oracle_base.Remove(cat, cand);
+      });
+      if (edited.ok() != mirrored.ok() ||
+          (!edited.ok() &&
+           (edited.status().code() != mirrored.code() ||
+            edited.status().message() != mirrored.message()))) {
+        fail(MismatchKind::kPolicyEditDivergence,
+             edit_label + ": serving edit says " +
+                 edited.status().ToString() + ", direct base edit says " +
+                 mirrored.ToString());
+        break;
+      }
+      if (!edited.ok()) continue;  // both rejected the edit: nothing changed
+
+      if (inc.has_value()) {
+        Result<authz::ClosureDelta> inc_edit =
+            grant ? inc->AddRule(cand) : inc->RevokeRule(cand);
+        if (!inc_edit.ok()) {
+          if (inc_edit.status().code() != StatusCode::kResourceExhausted) {
+            fail(MismatchKind::kPolicyEditDivergence,
+                 edit_label + ": incremental closure rejected an edit the "
+                              "base accepted: " +
+                     inc_edit.status().ToString());
+            break;
+          }
+          inc.reset();  // cap tripped mid-edit: abstain from closure diffs
+        }
+      }
+      if (inc.has_value()) {
+        Result<authz::AuthorizationSet> rechased = InternalError("unset");
+        Timed(report.oracle_us, [&] {
+          rechased =
+              authz::ChaseClosure(cat, oracle_base, serve_options.chase);
+        });
+        if (rechased.ok()) {
+          if (CanonicalPolicy(cat, inc->closed()) !=
+              CanonicalPolicy(cat, *rechased)) {
+            fail(MismatchKind::kPolicyEditDivergence,
+                 edit_label +
+                     ": incrementally maintained closure differs from the "
+                     "full rechase");
+          }
+          // Deny reasons byte-for-byte: probe every candidate rule's shape
+          // against every server under both closures. Canonicalizing the
+          // rechase pins ExplainCanView's first-wins tie-break to the same
+          // order the incremental closure maintains.
+          authz::AuthorizationSet canonical = std::move(*rechased);
+          canonical.Canonicalize();
+          for (const authz::Authorization& probe : pool) {
+            authz::Profile p;
+            p.pi = probe.attributes;
+            p.join = probe.path;
+            for (std::size_t srv = 0; srv < cat.server_count(); ++srv) {
+              const auto server = static_cast<catalog::ServerId>(srv);
+              const authz::CanViewExplanation got =
+                  inc->closed().ExplainCanView(p, server);
+              const authz::CanViewExplanation want =
+                  canonical.ExplainCanView(p, server);
+              if (got.allowed != want.allowed || got.reason != want.reason ||
+                  got.matched_attributes != want.matched_attributes ||
+                  got.DescribeDenial(cat) != want.DescribeDenial(cat)) {
+                fail(MismatchKind::kPolicyEditDivergence,
+                     edit_label + ": CanView verdicts diverge for profile " +
+                         p.ToString(cat) + " at server " +
+                         std::to_string(srv));
+              }
+            }
+          }
+        } else if (rechased.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          inc.reset();  // oracle capped where the incremental path was not
+        } else {
+          return rechased.status();
+        }
+      }
+
+      // Served-answer differential: the long-lived door (first serve may be
+      // a retained cache hit, second is definitely warm) vs a from-scratch
+      // door over the edited base.
+      serve::FrontDoor oracle_door(cat, oracle_base, cluster, &stats,
+                                   serve_options);
+      audit.Enable();
+      Result<serve::Response> inc_first = InternalError("unset");
+      Timed(report.production_us,
+            [&] { inc_first = inc_door.Serve(request); });
+      const std::vector<std::string> inc_audit = enforcement_entries();
+      audit.Enable();
+      Result<serve::Response> inc_second = InternalError("unset");
+      Timed(report.production_us,
+            [&] { inc_second = inc_door.Serve(request); });
+      audit.Enable();
+      Result<serve::Response> oracle_cold = InternalError("unset");
+      Timed(report.oracle_us,
+            [&] { oracle_cold = oracle_door.Serve(request); });
+      const std::vector<std::string> oracle_audit = enforcement_entries();
+      audit.Disable();
+      if (!same_answer(inc_first, oracle_cold)) {
+        fail(MismatchKind::kPolicyEditDivergence,
+             edit_label + ": served answer diverges from the from-scratch "
+                          "door (incremental=" +
+                 inc_first.status().ToString() +
+                 ", oracle=" + oracle_cold.status().ToString() + ")");
+      }
+      if (!same_answer(inc_second, oracle_cold)) {
+        fail(MismatchKind::kPolicyEditDivergence,
+             edit_label + ": warm re-serve diverges from the from-scratch "
+                          "door");
+      }
+      if (inc_audit != oracle_audit) {
+        fail(MismatchKind::kPolicyEditDivergence,
+             edit_label + ": runtime-enforcement audit entries differ (" +
+                 std::to_string(inc_audit.size()) + " vs " +
+                 std::to_string(oracle_audit.size()) + ")");
       }
     }
   }

@@ -25,6 +25,13 @@
 //              byte-identical table (profiling is observation only), and the
 //              recorded per-operator cardinalities conserve: every child's
 //              rows_out equals its parent's observed rows_in.
+//   edits      a deterministic grant/revoke script replayed through
+//              FrontDoor::AddRule/RevokeRule (incremental delta-chase,
+//              selective cache retention) matches a full-recompute oracle
+//              after every edit: identical canonical closures, identical
+//              CanView deny reasons, and byte-identical served answers —
+//              success tables, kInfeasible negative-cache verdicts, and
+//              runtime-enforcement audit entries alike.
 //
 // Disagreements are reported as typed Mismatches, never as errors: an error
 // return means the harness itself could not run (malformed scenario), which
@@ -52,6 +59,7 @@ enum class MismatchKind : std::uint8_t {
   kFaultSafety,      ///< faulted run returned wrong rows or kUnauthorized
   kProfileDivergence,///< profiling changed the result, or rows don't conserve
   kServingDivergence,///< cached serving answer differs from the cold answer
+  kPolicyEditDivergence, ///< incremental policy edit differs from recompute
   kPipelineError,    ///< a production stage failed with an unexpected status
 };
 
@@ -87,6 +95,16 @@ struct CheckOptions {
   /// and the serving feasibility verdict must agree with the pipeline's.
   /// Requires check_execution (the arm needs the loaded cluster).
   bool check_serving = true;
+  /// Run the policy-edit arm: `policy_edit_count` grants/revokes drawn
+  /// deterministically from the scenario seed are replayed through
+  /// FrontDoor::AddRule/RevokeRule (incremental closure maintenance plus
+  /// selective plan-cache/CanView retention) and, after every edit, the
+  /// closure, the CanView deny reasons, and the served answers (twice — so
+  /// retained cache hits are exercised) must be byte-identical to a
+  /// from-scratch FrontDoor over the edited rule set. Requires
+  /// check_execution (the arm serves against the loaded cluster).
+  bool check_policy_edits = true;
+  std::size_t policy_edit_count = 4;
 };
 
 struct CheckReport {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "authz/chase.hpp"
+#include "authz/incremental.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -227,6 +228,130 @@ TEST_F(ChaseTest, EmptyInputYieldsEmptyClosure) {
   ASSERT_OK_AND_ASSIGN(AuthorizationSet closed,
                        ChaseClosure(fix_.cat, AuthorizationSet{}));
   EXPECT_EQ(closed.size(), 0u);
+}
+
+// --- Incremental maintenance (DESIGN.md §16) -------------------------------
+
+// The from-scratch answer an incremental closure must match byte for byte.
+std::string CanonicalChase(const catalog::Catalog& cat,
+                           const AuthorizationSet& base) {
+  auto closed = ChaseClosure(cat, base);
+  CISQP_CHECK_MSG(closed.ok(), closed.status().ToString());
+  closed->Canonicalize();
+  return closed->ToString(cat);
+}
+
+TEST_F(ChaseTest, IncrementalGrantMatchesFromScratchChase) {
+  ASSERT_OK_AND_ASSIGN(IncrementalClosure inc,
+                       IncrementalClosure::Build(fix_.cat, fix_.auths));
+  EXPECT_EQ(inc.closed().ToString(fix_.cat), CanonicalChase(fix_.cat, fix_.auths));
+
+  // The §3.2 grant that makes derivations fire: the delta round must derive
+  // exactly what a batch chase over the edited base would.
+  Authorization grant;
+  grant.server = Server(fix_.cat, "S_D");
+  grant.attributes = Attrs(fix_.cat, {"Patient", "Disease", "Physician"});
+  ASSERT_OK_AND_ASSIGN(ClosureDelta delta, inc.AddRule(grant));
+
+  AuthorizationSet edited = fix_.auths;
+  ASSERT_OK(edited.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  EXPECT_EQ(inc.closed().ToString(fix_.cat), CanonicalChase(fix_.cat, edited));
+  EXPECT_TRUE(delta.changed());
+  EXPECT_FALSE(delta.full);  // S_D already had rules: no empty<->non-empty flip
+  EXPECT_TRUE(delta.servers.Contains(Server(fix_.cat, "S_D")));
+  EXPECT_EQ(delta.relations.ids(), RuleRelations(fix_.cat, grant).ids());
+  EXPECT_GT(delta.added_rules, 0u);
+}
+
+TEST_F(ChaseTest, IncrementalRevokeMatchesFromScratchChase) {
+  AuthorizationSet base = fix_.auths;
+  ASSERT_OK(base.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ASSERT_OK_AND_ASSIGN(IncrementalClosure inc,
+                       IncrementalClosure::Build(fix_.cat, base));
+
+  // Revoking the grant must rederive S_D back to the original closure: the
+  // derived joined views lose their only derivation.
+  Authorization grant;
+  grant.server = Server(fix_.cat, "S_D");
+  grant.attributes = Attrs(fix_.cat, {"Patient", "Disease", "Physician"});
+  ASSERT_OK_AND_ASSIGN(ClosureDelta delta, inc.RevokeRule(grant));
+  EXPECT_EQ(inc.closed().ToString(fix_.cat), CanonicalChase(fix_.cat, fix_.auths));
+  EXPECT_TRUE(delta.changed());
+  EXPECT_GT(delta.removed_rules, 0u);
+
+  // Revoking a rule that is not in the base policy is typed kNotFound and
+  // leaves the object usable.
+  const auto missing = inc.RevokeRule(grant);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(inc.closed().ToString(fix_.cat), CanonicalChase(fix_.cat, fix_.auths));
+}
+
+TEST_F(ChaseTest, SubsumedGrantChangesBaseButNotClosure) {
+  ASSERT_OK_AND_ASSIGN(IncrementalClosure inc,
+                       IncrementalClosure::Build(fix_.cat, fix_.auths));
+  const std::size_t base_before = inc.base().size();
+  const std::string closed_before = inc.closed().ToString(fix_.cat);
+
+  // S_H holds {Patient, Disease, Physician} on Hospital (Fig. 2); a narrower
+  // grant on the same (server, path) is subsumed by it in the minimized form.
+  Authorization narrow;
+  narrow.server = Server(fix_.cat, "S_H");
+  narrow.attributes = Attrs(fix_.cat, {"Patient"});
+  ASSERT_OK_AND_ASSIGN(ClosureDelta delta, inc.AddRule(narrow));
+
+  EXPECT_FALSE(delta.changed());
+  EXPECT_EQ(delta.added_rules, 0u);
+  EXPECT_EQ(delta.removed_rules, 0u);
+  EXPECT_EQ(inc.base().size(), base_before + 1);  // base keeps the edit
+  EXPECT_EQ(inc.closed().ToString(fix_.cat), closed_before);
+  // And it still matches the from-scratch oracle over the grown base.
+  EXPECT_EQ(inc.closed().ToString(fix_.cat),
+            CanonicalChase(fix_.cat, inc.base()));
+}
+
+TEST_F(ChaseTest, IncrementalEditScriptTracksOracleOnRandomizedSchemas) {
+  for (const std::uint64_t seed : {5u, 19u, 42u}) {
+    Rng rng(seed);
+    workload::FederationConfig fed_config;
+    fed_config.servers = 3;
+    fed_config.relations = 5;
+    const workload::Federation fed =
+        workload::GenerateFederation(fed_config, rng);
+    workload::AuthzConfig authz_config;
+    authz_config.base_grant_prob = 0.5;
+    authz_config.path_grants_per_server = 2;
+    authz_config.max_path_atoms = 2;
+    AuthorizationSet base =
+        workload::GenerateAuthorizations(fed.catalog, authz_config, rng);
+    auto built = IncrementalClosure::Build(fed.catalog, base);
+    ASSERT_OK(built.status());
+    IncrementalClosure inc = std::move(*built);
+
+    // Flip membership of each candidate rule in turn; after every edit the
+    // incremental closure equals the from-scratch canonical chase.
+    std::vector<Authorization> pool = base.All();
+    rng.Shuffle(pool);
+    std::size_t edits = 0;
+    for (const Authorization& cand : pool) {
+      if (edits >= 6) break;
+      const bool grant = !inc.base().Contains(cand);
+      const auto edited = grant ? inc.AddRule(cand) : inc.RevokeRule(cand);
+      ASSERT_OK(edited.status());
+      EXPECT_EQ(inc.closed().ToString(fed.catalog),
+                CanonicalChase(fed.catalog, inc.base()))
+          << "seed " << seed << " edit " << edits;
+      ++edits;
+    }
+  }
+}
+
+TEST_F(ChaseTest, IncrementalBuildHonorsDerivedRulesCap) {
+  AuthorizationSet base = fix_.auths;
+  ASSERT_OK(base.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ChaseOptions options;
+  options.max_derived_rules = 1;
+  const auto built = IncrementalClosure::Build(fix_.cat, base, options);
+  EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -280,6 +280,168 @@ TEST_F(ServingTest, CanViewMemoHitsAndEpochBump) {
   EXPECT_EQ(memo.misses(), 2u) << "a bump must invalidate the memo";
 }
 
+TEST_F(ServingTest, IncrementalEditMatchesFromScratchDoor) {
+  // Grant, then revoke, through the incremental path; after each edit the
+  // long-lived door must answer byte-identically to a door built from
+  // scratch on the edited rule set.
+  FrontDoor door = MakeDoor();
+  ASSERT_OK(door.Serve(Req(paper_sql_)).status());  // warm the caches
+
+  authz::Authorization extra;
+  extra.server = testing::Server(fix_.cat, "S_D");
+  extra.attributes.Insert(testing::Attr(fix_.cat, "Holder"));
+  extra.attributes.Insert(testing::Attr(fix_.cat, "Plan"));
+  ASSERT_OK_AND_ASSIGN(const authz::ClosureDelta granted,
+                       door.AddRule(extra));
+  EXPECT_TRUE(granted.changed());
+  EXPECT_GE(granted.added_rules, 1u);
+  EXPECT_EQ(door.policy_epoch(), 1u);
+
+  authz::AuthorizationSet edited = fix_.auths;
+  ASSERT_OK(edited.Add(fix_.cat, extra));
+  FrontDoor fresh(fix_.cat, edited, *cluster_, &stats_, ServeOptions{});
+  ASSERT_OK_AND_ASSIGN(const Response inc_ans, door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response fresh_ans,
+                       fresh.Serve(Req(paper_sql_)));
+  EXPECT_TRUE(TablesIdentical(inc_ans.table, fresh_ans.table));
+
+  ASSERT_OK_AND_ASSIGN(const authz::ClosureDelta revoked,
+                       door.RevokeRule(extra));
+  EXPECT_GE(revoked.removed_rules, 1u);
+  EXPECT_EQ(door.policy_epoch(), 2u);
+  FrontDoor original = MakeDoor();
+  ASSERT_OK_AND_ASSIGN(const Response back, door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response want, original.Serve(Req(paper_sql_)));
+  EXPECT_TRUE(TablesIdentical(back.table, want.table));
+
+  // Editing a rule that is not there fails typed and changes nothing.
+  const Result<authz::ClosureDelta> missing = door.RevokeRule(extra);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(door.policy_epoch(), 2u);
+}
+
+TEST_F(ServingTest, DisjointEditRetainsPlanCacheAcrossTheEpochBump) {
+  // An edit touching only Disease_list cannot change any verdict the cached
+  // Insurance/paper plans depend on: the entries are re-stamped into the
+  // new epoch and the very next requests hit, byte-identically.
+  FrontDoor door = MakeDoor();
+  ASSERT_OK_AND_ASSIGN(const Response paper_cold,
+                       door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response ins_cold,
+                       door.Serve(Req(insurance_sql_)));
+
+  authz::Authorization disjoint;
+  disjoint.server = testing::Server(fix_.cat, "S_I");
+  disjoint.attributes.Insert(testing::Attr(fix_.cat, "Illness"));
+  ASSERT_OK_AND_ASSIGN(const authz::ClosureDelta delta,
+                       door.AddRule(disjoint));
+  EXPECT_FALSE(delta.full);
+  EXPECT_EQ(door.policy_epoch(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(const Response paper_after,
+                       door.Serve(Req(paper_sql_)));
+  ASSERT_OK_AND_ASSIGN(const Response ins_after,
+                       door.Serve(Req(insurance_sql_)));
+  EXPECT_TRUE(paper_after.plan_cache_hit)
+      << "a disjoint edit must not evict the paper join's plan";
+  EXPECT_TRUE(ins_after.plan_cache_hit);
+  EXPECT_EQ(paper_after.policy_epoch, 1u);
+  EXPECT_TRUE(TablesIdentical(paper_cold.table, paper_after.table));
+  EXPECT_TRUE(TablesIdentical(ins_cold.table, ins_after.table));
+  EXPECT_EQ(door.Stats().plan_cache_retained, 2u);
+  EXPECT_EQ(door.Stats().plan_cache_stale_evictions, 0u);
+
+  // An overlapping edit (Insurance attributes) evicts both entries: the
+  // paper join and the Insurance lookup replan cold under epoch 2.
+  authz::Authorization overlapping;
+  overlapping.server = testing::Server(fix_.cat, "S_D");
+  overlapping.attributes.Insert(testing::Attr(fix_.cat, "Holder"));
+  ASSERT_OK(door.AddRule(overlapping).status());
+  ASSERT_OK_AND_ASSIGN(const Response paper_cold2,
+                       door.Serve(Req(paper_sql_)));
+  EXPECT_FALSE(paper_cold2.plan_cache_hit);
+  EXPECT_EQ(paper_cold2.policy_epoch, 2u);
+  EXPECT_TRUE(TablesIdentical(paper_cold.table, paper_cold2.table));
+}
+
+TEST_F(ServingTest, PlanCacheCapacityZeroIsClampedToOne) {
+  // Regression: capacity 0 used to dereference lru_.back() on an empty list
+  // in Insert. The constructor clamps to one slot.
+  PlanCache cache(/*capacity=*/0);
+  CachedPlanEntry entry;
+  entry.epoch = 0;
+  cache.Insert("a", entry);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("a", 0).has_value());
+  cache.Insert("b", entry);  // evicts "a" instead of crashing
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup("a", 0).has_value());
+  EXPECT_TRUE(cache.Lookup("b", 0).has_value());
+}
+
+TEST_F(ServingTest, StaleLookupCountsStaleOnlyNeverAlsoMiss) {
+  // Lookup outcomes partition into {hit, miss, stale_eviction}; a stale hit
+  // used to double-count as a miss, inflating miss rates after every epoch
+  // bump. Pin the partition on both the cache counters and the obs metrics.
+  obs::MetricsRegistry::Get().Enable();
+  const std::uint64_t miss_metric_before =
+      obs::MetricsRegistry::Get().Counter("serve.plan_cache.miss");
+  const std::uint64_t stale_metric_before =
+      obs::MetricsRegistry::Get().Counter("serve.plan_cache.stale_evictions");
+
+  PlanCache cache(4);
+  CachedPlanEntry entry;
+  entry.epoch = 0;
+  cache.Insert("k", entry);
+  EXPECT_FALSE(cache.Lookup("k", 1).has_value());  // stale, evicted
+  EXPECT_EQ(cache.stale_evictions(), 1u);
+  EXPECT_EQ(cache.misses(), 0u) << "a stale hit is not a miss";
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_FALSE(cache.Lookup("k", 1).has_value());  // now truly absent
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.stale_evictions(), 1u);
+  EXPECT_EQ(obs::MetricsRegistry::Get().Counter("serve.plan_cache.miss"),
+            miss_metric_before + 1);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Get().Counter("serve.plan_cache.stale_evictions"),
+      stale_metric_before + 1);
+}
+
+TEST_F(ServingTest, AdmissionDeadlineFailsTypedAndNeverWedgesTheQueue) {
+  // A waiter whose deadline passes gets a typed kResourceExhausted; its
+  // abandoned FIFO ticket must not block later arrivals.
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/8,
+                                /*max_wait_us=*/5000);
+  ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket gate, admission.Admit());
+  std::vector<Result<AdmissionController::Ticket>> timed_out;
+  timed_out.emplace_back(InternalError("unset"));
+  timed_out.emplace_back(InternalError("unset"));
+  {
+    std::vector<std::thread> waiters;
+    for (std::size_t i = 0; i < timed_out.size(); ++i) {
+      while (admission.queued() < i) std::this_thread::yield();
+      waiters.emplace_back([&, i] { timed_out[i] = admission.Admit(); });
+    }
+    for (std::thread& t : waiters) t.join();  // both deadlines pass
+  }
+  for (const Result<AdmissionController::Ticket>& r : timed_out) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(r.status().message().find("max_wait_us"), std::string::npos);
+  }
+  EXPECT_EQ(admission.rejected(), 2u);
+  EXPECT_EQ(admission.queued(), 0u);
+
+  // Release the slot: a fresh request must be admitted promptly even though
+  // two abandoned tickets sit between it and the old FIFO head. (If the
+  // hand-off were wedged, this would time out and fail typed, not hang.)
+  gate = AdmissionController::Ticket();
+  ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket next, admission.Admit());
+  (void)next;
+  EXPECT_EQ(admission.admitted(), 2u);
+}
+
 TEST_F(ServingTest, AdmissionRejectsBeyondTheQueueBound) {
   AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/0);
   ASSERT_OK_AND_ASSIGN(AdmissionController::Ticket first, admission.Admit());

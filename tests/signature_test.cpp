@@ -4,6 +4,8 @@
 // scenario generator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -109,6 +111,36 @@ TEST_F(SignatureTest, LiteralEncodingIsLossless) {
   auto spec = ParseAndBind(fix_.cat, "SELECT Plan FROM Insurance");
   ASSERT_OK(spec.status());
   EXPECT_EQ(QuerySignatureHash(*spec), QuerySignatureHash(*spec));
+}
+
+// Goldens for the double-literal encoding. Signature equality must track
+// predicate equivalence under SqlEquals, which compares doubles with IEEE
+// ==: -0.0 == 0.0, so the two spellings must share one signature (a plan
+// cached under either key answers both), and every NaN compares unequal to
+// everything in exactly the same way, so all NaN bit patterns share one
+// canonical token rather than whatever "%.17g" prints for the sign bit.
+TEST_F(SignatureTest, DoubleLiteralZeroAndNaNGoldens) {
+  auto base = ParseAndBind(fix_.cat, "SELECT Plan FROM Insurance");
+  ASSERT_OK(base.status());
+  const auto with = [&](double d) {
+    plan::QuerySpec m = *base;
+    m.where.And(algebra::Comparison{m.select_list.front(),
+                                    algebra::CompareOp::kGe,
+                                    storage::Value(d)});
+    return CanonicalQuerySignature(m);
+  };
+  // IEEE ==: -0.0 == 0.0, so the signatures collide on the positive spelling.
+  EXPECT_EQ(with(0.0), with(-0.0));
+  EXPECT_NE(with(0.0).find("d0"), std::string::npos) << with(0.0);
+  EXPECT_EQ(with(-0.0).find("-0"), std::string::npos) << with(-0.0);
+  // All NaN bit patterns get the one canonical token, sign bit included.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(with(qnan), with(std::copysign(qnan, -1.0)));
+  EXPECT_NE(with(qnan).find("dnan"), std::string::npos) << with(qnan);
+  // NaN never collides with a number, and nonzero doubles keep full
+  // round-trip precision: adjacent representable values stay distinct.
+  EXPECT_NE(with(qnan), with(0.0));
+  EXPECT_NE(with(1.0), with(std::nextafter(1.0, 2.0)));
 }
 
 // Randomized near-miss pairs: for fuzz-generated scenario queries, every
