@@ -33,8 +33,13 @@ Result<IncrementalClosure> IncrementalClosure::Build(
   inc.base_ = base;
   const std::size_t servers = cat.server_count();
   inc.canon_.resize(servers);
+  inc.derived_.resize(servers, 0);
   for (catalog::ServerId server = 0; server < servers; ++server) {
     CISQP_ASSIGN_OR_RETURN(RulePool pool, inc.RechaseServer(server));
+    // Batch semantics: each server chases under a fresh per-server counter,
+    // and the whole-closure budget is enforced over the running total in
+    // server order — the same two cap sites ChaseClosure has.
+    CISQP_RETURN_IF_ERROR(inc.CheckClosureCap());
     inc.canon_[server] = Canonicalize(pool);
     inc.pools_.push_back(std::move(pool));
   }
@@ -57,9 +62,28 @@ Result<RulePool> IncrementalClosure::RechaseServer(catalog::ServerId server) {
   for (const Authorization& auth : base_.ForServer(server)) {
     pool.AddIfNovel(auth.attributes, auth.path);
   }
-  CISQP_RETURN_IF_ERROR(chase_internal::RunSemiNaive(
-      *cat_, *index_, pool, 0, server, options_, stats_));
+  // Fresh counter: the cap bounds this from-scratch chase of one server
+  // (batch semantics), never chase work accumulated over the object's
+  // lifetime — a long edit history must not trip it spuriously. stats_
+  // still accumulates the work for reporting.
+  ChaseStats local;
+  const Status run = chase_internal::RunSemiNaive(*cat_, *index_, pool, 0,
+                                                  server, options_, local);
+  stats_.iterations += local.iterations;
+  stats_.pairs_considered += local.pairs_considered;
+  stats_.derived_rules += local.derived_rules;
+  CISQP_RETURN_IF_ERROR(run);
+  derived_[server] = local.derived_rules;
   return pool;
+}
+
+Status IncrementalClosure::CheckClosureCap() const {
+  std::size_t total = 0;
+  for (const std::size_t d : derived_) total += d;
+  if (total > options_.max_derived_rules) {
+    return chase_internal::ExceededCap(options_);
+  }
+  return Status::Ok();
 }
 
 IncrementalClosure::CanonicalRules IncrementalClosure::Canonicalize(
@@ -147,8 +171,20 @@ Result<ClosureDelta> IncrementalClosure::AddRule(const Authorization& auth) {
     // subsuming rule, so the canonical closure is unchanged.
     return delta;
   }
-  CISQP_RETURN_IF_ERROR(chase_internal::RunSemiNaive(
-      *cat_, *index_, pool, delta_begin, auth.server, options_, stats_));
+  // Seed the counter with this server's prior derived count so the cap
+  // sees exactly what a from-scratch chase over the edited base would: the
+  // server's existing derivations plus this delta round's — never other
+  // servers' work or earlier edits' rechases.
+  ChaseStats local;
+  local.derived_rules = derived_[auth.server];
+  const Status run = chase_internal::RunSemiNaive(
+      *cat_, *index_, pool, delta_begin, auth.server, options_, local);
+  stats_.iterations += local.iterations;
+  stats_.pairs_considered += local.pairs_considered;
+  stats_.derived_rules += local.derived_rules - derived_[auth.server];
+  CISQP_RETURN_IF_ERROR(run);
+  derived_[auth.server] = local.derived_rules;
+  CISQP_RETURN_IF_ERROR(CheckClosureCap());
   CISQP_RETURN_IF_ERROR(Publish(auth.server, Canonicalize(pool), delta));
   span.AddAttribute("added_rules", delta.added_rules);
   return delta;
@@ -162,6 +198,7 @@ Result<ClosureDelta> IncrementalClosure::RevokeRule(const Authorization& auth) {
   delta.relations = RuleRelations(*cat_, auth);
 
   CISQP_ASSIGN_OR_RETURN(RulePool pool, RechaseServer(auth.server));
+  CISQP_RETURN_IF_ERROR(CheckClosureCap());
   CanonicalRules next = Canonicalize(pool);
   pools_[auth.server] = std::move(pool);
   CISQP_RETURN_IF_ERROR(Publish(auth.server, std::move(next), delta));

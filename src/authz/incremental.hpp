@@ -85,8 +85,12 @@ class IncrementalClosure {
   /// within each (server, path) bucket.
   const AuthorizationSet& closed() const noexcept { return closed_; }
 
-  /// Chase work accumulated across Build and every edit; the cap in
-  /// ChaseOptions::max_derived_rules applies to this running total.
+  /// Chase work accumulated across Build and every edit, for reporting
+  /// only. The ChaseOptions::max_derived_rules cap is NOT applied to this
+  /// lifetime total: it bounds the *current closure* — each per-server
+  /// chase run plus the sum of per-server derived counts, the same budget
+  /// the batch chase enforces — so an arbitrarily long edit history whose
+  /// every intermediate closure fits under the cap never trips it.
   const ChaseStats& stats() const noexcept { return stats_; }
 
   /// Grants `auth`. Validation failures (kInvalidArgument, kNotFound,
@@ -113,8 +117,13 @@ class IncrementalClosure {
   Status Publish(catalog::ServerId server, CanonicalRules next,
                  ClosureDelta& delta);
 
-  /// Rechases one server from its current base rules into a fresh pool.
+  /// Rechases one server from its current base rules into a fresh pool,
+  /// updating derived_[server] on success.
   Result<chase_internal::RulePool> RechaseServer(catalog::ServerId server);
+
+  /// kResourceExhausted when the per-server derived counts sum past
+  /// max_derived_rules — the batch chase's whole-closure budget.
+  Status CheckClosureCap() const;
 
   const catalog::Catalog* cat_;
   ChaseOptions options_;
@@ -122,8 +131,11 @@ class IncrementalClosure {
   AuthorizationSet base_;
   std::vector<chase_internal::RulePool> pools_;  ///< per server, persistent
   std::vector<CanonicalRules> canon_;            ///< per server, canonical
+  /// Rules each server's pool holds beyond its base seeds; the cap applies
+  /// to their sum (the closure's size), never to lifetime chase work.
+  std::vector<std::size_t> derived_;
   AuthorizationSet closed_;
-  ChaseStats stats_;
+  ChaseStats stats_;  ///< lifetime totals, reporting only (see stats())
 };
 
 /// The relations an authorization mentions: its join path's relations plus

@@ -268,7 +268,20 @@ Result<authz::ClosureDelta> FrontDoor::EditPolicy(
       // same validation just passed inside the incremental closure).
       const Status mirrored = grant ? base_policy_.Add(cat_, auth)
                                     : base_policy_.Remove(cat_, auth);
-      if (!mirrored.ok()) return mirrored;
+      if (!mirrored.ok()) {
+        // The identical validation passed inside the incremental closure,
+        // so a mirror refusal means inc_->base() now holds the edit while
+        // base_policy_ does not — the two were already out of step. Discard
+        // the divergent closure and the published state so nothing ever
+        // serves the half-applied edit; the edit is reported failed and
+        // base_policy_ (without it) stays the truth State() rebuilds from.
+        inc_.reset();
+        RetireMemoCountersLocked();
+        state_.reset();
+        plan_cache_.InvalidateBefore(
+            epoch_.fetch_add(1, std::memory_order_relaxed) + 1);
+        return mirrored;
+      }
     } else if (edited.status().code() == StatusCode::kResourceExhausted) {
       // The chase cap tripped mid-edit: the incremental pools are
       // inconsistent, but the base edit itself was validated and applied.

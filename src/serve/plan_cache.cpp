@@ -81,7 +81,13 @@ std::size_t PlanCache::AdvanceEpoch(std::uint64_t epoch,
   std::size_t evicted = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     CachedPlanEntry& entry = it->second.entry;
-    const bool retain = entry.epoch < epoch && !entry.relations.empty() &&
+    // Only entries stamped with the immediately prior epoch are retention
+    // candidates. An older stamp means a racing Serve inserted the entry
+    // after at least one intervening edit had already swept the cache; that
+    // edit's delta is unknown here, and re-stamping across it could revive
+    // a plan (or a cached kInfeasible verdict) the intervening edit
+    // invalidated even though *this* edit is disjoint.
+    const bool retain = entry.epoch + 1 == epoch && !entry.relations.empty() &&
                         !entry.relations.Intersects(changed_relations);
     if (retain) {
       // The edit touched no relation of this query, so no CanView verdict

@@ -19,10 +19,13 @@
 //
 // Incremental policy edits retain instead of sweep: every entry records the
 // relations its query touches, and AdvanceEpoch(epoch, changed_relations)
-// re-stamps to the new epoch exactly the entries whose relation sets are
-// non-empty and disjoint from the edit's delta — plans the edit provably
-// could not have changed (DESIGN.md §16) — while evicting the rest as
-// stale. InvalidateBefore remains the full sweep for non-incremental edits.
+// re-stamps to the new epoch exactly the entries stamped with the
+// immediately prior epoch whose relation sets are non-empty and disjoint
+// from the edit's delta — plans the edit provably could not have changed
+// (DESIGN.md §16) — while evicting the rest as stale. Entries with older
+// stamps were inserted by requests racing an earlier edit and may be
+// invalid under a delta this bump never saw, so they always die.
+// InvalidateBefore remains the full sweep for non-incremental edits.
 //
 // Bounded LRU: at `capacity` entries the least-recently-used entry is
 // evicted. Thread-safe behind one mutex; the payloads are shared-const so
@@ -75,10 +78,12 @@ class PlanCache {
   /// countable).
   std::size_t InvalidateBefore(std::uint64_t epoch);
 
-  /// Delta-aware epoch bump: entries whose relation sets are non-empty and
-  /// disjoint from `changed_relations` are re-stamped to `epoch` and kept
-  /// (the edit could not have changed their plans); every other entry is
-  /// evicted as stale. Returns the number retained.
+  /// Delta-aware epoch bump: entries stamped with the immediately prior
+  /// epoch (`epoch - 1`) whose relation sets are non-empty and disjoint
+  /// from `changed_relations` are re-stamped to `epoch` and kept (the edit
+  /// could not have changed their plans); every other pre-`epoch` entry is
+  /// evicted as stale — an older stamp may have missed an intervening
+  /// edit's delta. Returns the number retained.
   std::size_t AdvanceEpoch(std::uint64_t epoch, const IdSet& changed_relations);
 
   void Clear();

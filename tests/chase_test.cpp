@@ -345,6 +345,35 @@ TEST_F(ChaseTest, IncrementalEditScriptTracksOracleOnRandomizedSchemas) {
   }
 }
 
+TEST_F(ChaseTest, RepeatedEditsDoNotAccumulateTowardTheDerivedRulesCap) {
+  // The cap bounds the *closure*, not lifetime chase work: a long
+  // grant/revoke history whose every intermediate closure fits under the
+  // cap must never trip kResourceExhausted. (It used to — edits fed one
+  // running counter, so revokes' rechases re-counted old derivations until
+  // the long-lived closure spuriously degraded to full-sweep serving.)
+  AuthorizationSet edited = fix_.auths;
+  ASSERT_OK(edited.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));
+  ChaseStats batch;
+  ASSERT_OK(ChaseClosure(fix_.cat, edited, {}, &batch).status());
+  ASSERT_GT(batch.derived_rules, 0u);
+
+  ChaseOptions options;
+  options.max_derived_rules = batch.derived_rules;  // tight but sufficient
+  ASSERT_OK_AND_ASSIGN(
+      IncrementalClosure inc,
+      IncrementalClosure::Build(fix_.cat, fix_.auths, options));
+  Authorization grant;
+  grant.server = Server(fix_.cat, "S_D");
+  grant.attributes = Attrs(fix_.cat, {"Patient", "Disease", "Physician"});
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    ASSERT_OK(inc.AddRule(grant).status());
+    ASSERT_OK(inc.RevokeRule(grant).status());
+  }
+  EXPECT_EQ(inc.closed().ToString(fix_.cat),
+            CanonicalChase(fix_.cat, fix_.auths));
+}
+
 TEST_F(ChaseTest, IncrementalBuildHonorsDerivedRulesCap) {
   AuthorizationSet base = fix_.auths;
   ASSERT_OK(base.Add(fix_.cat, "S_D", {"Patient", "Disease", "Physician"}, {}));

@@ -365,6 +365,34 @@ TEST_F(ServingTest, DisjointEditRetainsPlanCacheAcrossTheEpochBump) {
   EXPECT_TRUE(TablesIdentical(paper_cold.table, paper_cold2.table));
 }
 
+TEST_F(ServingTest, AdvanceEpochNeverRevivesEntriesAcrossAnInterveningEdit) {
+  // A Serve that captured epoch 0 can Insert its entry after the edit to
+  // epoch 1 already swept. If that edit's delta intersected the entry's
+  // relations the entry is dead, and a later *disjoint* edit to epoch 2
+  // must not re-stamp it back to life: only entries of the immediately
+  // prior epoch are retention candidates.
+  PlanCache cache(4);
+  CachedPlanEntry late;
+  late.epoch = 0;
+  late.relations.Insert(1);
+  IdSet intersecting;  // the epoch-1 edit touched relation 1 …
+  intersecting.Insert(1);
+  cache.AdvanceEpoch(1, intersecting);  // … and swept before the insert
+  cache.Insert("late", late);           // stamped 0: already invalid
+
+  CachedPlanEntry fresh;  // planned under epoch 1, legitimately retainable
+  fresh.epoch = 1;
+  fresh.relations.Insert(1);
+  cache.Insert("fresh", fresh);
+
+  IdSet disjoint;  // the epoch-2 edit touches neither entry's relations
+  disjoint.Insert(2);
+  EXPECT_EQ(cache.AdvanceEpoch(2, disjoint), 1u) << "only \"fresh\" survives";
+  EXPECT_FALSE(cache.Lookup("late", 2).has_value())
+      << "an entry that straddled the epoch-1 edit must not be revived";
+  EXPECT_TRUE(cache.Lookup("fresh", 2).has_value());
+}
+
 TEST_F(ServingTest, PlanCacheCapacityZeroIsClampedToOne) {
   // Regression: capacity 0 used to dereference lru_.back() on an empty list
   // in Insert. The constructor clamps to one slot.
